@@ -1,0 +1,37 @@
+// Command bov2vtk converts a bov volume (this repository's shared-file
+// format) into a legacy VTK structured-points file loadable by ParaView
+// or VisIt — the final hop of the conversion pipeline the paper's
+// introduction motivates. Example:
+//
+//	stackconvert -stack /tmp/stack -out /tmp/volume.bov
+//	bov2vtk -in /tmp/volume.bov -out /tmp/volume.vtk -name density
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ddr/internal/bov"
+	"ddr/internal/vtk"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "volume.bov", "input bov path")
+		out  = flag.String("out", "volume.vtk", "output VTK path")
+		name = flag.String("name", "density", "scalar array name")
+	)
+	flag.Parse()
+	if err := vtk.ExportBOV(*in, *out, *name); err != nil {
+		fmt.Fprintln(os.Stderr, "bov2vtk:", err)
+		os.Exit(1)
+	}
+	v, err := bov.Open(*in)
+	if err == nil {
+		h := v.Header()
+		v.Close()
+		fmt.Printf("exported %dx%dx%d (%d-byte elements) -> %s\n",
+			h.Dims[0], h.Dims[1], h.Dims[2], h.ElemSize, *out)
+	}
+}

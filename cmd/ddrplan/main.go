@@ -1,0 +1,150 @@
+// Command ddrplan is an offline schedule analyzer: it compiles the exact
+// DDR communication plan for a described geometry — no data, no ranks —
+// and prints the Table-III-style statistics, letting users size workloads
+// before running them. Two geometry families cover the paper's use cases:
+//
+//	ddrplan -mode stack -width 4096 -height 2048 -depth 4096 -elem 4 \
+//	        -procs 216 -technique consecutive
+//	ddrplan -mode regrid -width 25904 -height 10360 -elem 4 -producers 128 -consumers 32
+//
+// The per-round table shows each rank's wire bytes per round (max/avg),
+// exposing imbalance the aggregate stats can hide.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ddr/internal/core"
+	"ddr/internal/experiments"
+	"ddr/internal/grid"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "stack", "geometry family: stack or regrid")
+		width     = flag.Int("width", 4096, "domain width")
+		height    = flag.Int("height", 2048, "domain height")
+		depth     = flag.Int("depth", 4096, "domain depth / image count (stack mode)")
+		elem      = flag.Int("elem", 4, "element size in bytes")
+		procs     = flag.Int("procs", 64, "process count (stack mode)")
+		technique = flag.String("technique", "consecutive", "stack chunking: consecutive or round-robin")
+		producers = flag.Int("producers", 128, "producer ranks (regrid mode)")
+		consumers = flag.Int("consumers", 32, "consumer ranks (regrid mode)")
+		perRound  = flag.Bool("rounds", false, "print the per-round traffic table")
+		save      = flag.String("save", "", "write the geometry as JSON to this path")
+		load      = flag.String("load", "", "analyze a geometry JSON instead of -mode")
+	)
+	flag.Parse()
+	if err := run(*mode, *width, *height, *depth, *elem, *procs, *technique, *producers, *consumers, *perRound, *save, *load); err != nil {
+		fmt.Fprintln(os.Stderr, "ddrplan:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode string, width, height, depth, elem, procs int, technique string, producers, consumers int, perRound bool, save, load string) error {
+	var (
+		allChunks [][]grid.Box
+		allNeeds  []grid.Box
+		label     string
+	)
+	if load != "" {
+		f, err := os.Open(load)
+		if err != nil {
+			return err
+		}
+		g, err := core.LoadGeometry(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		plan, err := g.Plan(0)
+		if err != nil {
+			return err
+		}
+		return report(plan, fmt.Sprintf("geometry file %s", load), g.ElemSize, perRound, save)
+	}
+	switch mode {
+	case "stack":
+		tech := experiments.Consecutive
+		if technique == "round-robin" {
+			tech = experiments.RoundRobin
+		} else if technique != "consecutive" {
+			return fmt.Errorf("unknown technique %q", technique)
+		}
+		domain := grid.Box3(0, 0, 0, width, height, depth)
+		allChunks, allNeeds = experiments.StackGeometry(domain, procs, tech)
+		label = fmt.Sprintf("stack %dx%dx%d, %d procs, %v chunking", width, height, depth, procs, tech)
+	case "regrid":
+		m, err := experiments.Figure5(producers, consumers, width, height)
+		if err != nil {
+			return err
+		}
+		allChunks = m.ChunksPerCons
+		allNeeds = m.ConsumerNeeds
+		label = fmt.Sprintf("regrid %dx%d, %d producers -> %d consumers", width, height, producers, consumers)
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+
+	plan, err := core.NewPlanFromGeometry(0, elem, allChunks, allNeeds)
+	if err != nil {
+		return err
+	}
+	return report(plan, label, elem, perRound, save)
+}
+
+// report prints the analysis and optionally saves the geometry.
+func report(plan *core.Plan, label string, elem int, perRound bool, save string) error {
+	stats := plan.Stats()
+	fmt.Printf("plan for %s (%d-byte elements)\n", label, elem)
+	fmt.Printf("  rounds:             %d\n", stats.Rounds)
+	fmt.Printf("  total wire:         %.2f MiB\n", float64(stats.TotalWireBytes)/(1<<20))
+	fmt.Printf("  kept local:         %.2f MiB (%.1f%% of all data)\n",
+		float64(stats.SelfBytes)/(1<<20),
+		100*float64(stats.SelfBytes)/float64(stats.SelfBytes+stats.TotalWireBytes))
+	fmt.Printf("  per rank per round: %.2f MiB avg, %.2f MiB max\n",
+		stats.PerRankRoundAvg/(1<<20), float64(stats.PerRankRoundMax)/(1<<20))
+	fmt.Printf("  peers per round:    %d max of %d ranks (sparsity %.1f%%)\n",
+		stats.MaxPeersPerRound, stats.Ranks,
+		100*float64(stats.MaxPeersPerRound)/float64(stats.Ranks-min(stats.Ranks-1, 1)))
+
+	if perRound {
+		fmt.Printf("\n%-7s %14s %14s\n", "round", "max MiB/rank", "avg MiB/rank")
+		for r := 0; r < stats.Rounds; r++ {
+			var sum, mx int64
+			active := 0
+			for rank := 0; rank < stats.Ranks; rank++ {
+				b := plan.RankRoundSendBytes(rank, r)
+				if b > 0 {
+					active++
+					sum += b
+				}
+				if b > mx {
+					mx = b
+				}
+			}
+			avg := 0.0
+			if active > 0 {
+				avg = float64(sum) / float64(active)
+			}
+			fmt.Printf("%-7d %14.2f %14.2f\n", r, float64(mx)/(1<<20), avg/(1<<20))
+		}
+	}
+	if save != "" {
+		f, err := os.Create(save)
+		if err != nil {
+			return err
+		}
+		if err := plan.Geometry().Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("geometry saved to %s\n", save)
+	}
+	return nil
+}

@@ -1,0 +1,62 @@
+// Command stackconvert converts a TIFF slice stack into a single bov
+// volume in parallel — the on-the-fly format conversion the paper's
+// introduction motivates for distributed rendering packages. Every image
+// is decoded exactly once (by one rank), DDR rearranges pixels into
+// contiguous per-rank write slabs, and each rank performs one sequential
+// write into the shared output file. Example:
+//
+//	tiffgen -dir /tmp/stack -width 256 -height 128 -depth 64
+//	stackconvert -stack /tmp/stack -out /tmp/volume.bov -procs 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"ddr/internal/experiments"
+	"ddr/internal/mpi"
+	"ddr/internal/tiff"
+)
+
+func main() {
+	var (
+		stack = flag.String("stack", "stack", "input TIFF slice stack directory")
+		out   = flag.String("out", "volume.bov", "output bov path")
+		procs = flag.Int("procs", 8, "number of ranks")
+	)
+	flag.Parse()
+	info, err := tiff.ProbeStack(*stack)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stackconvert:", err)
+		os.Exit(1)
+	}
+	var (
+		mu  sync.Mutex
+		res *experiments.ConvertResult
+	)
+	err = mpi.Run(*procs, func(c *mpi.Comm) error {
+		r, err := experiments.ConvertStackToBOV(c, info, *out)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "stackconvert:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("converted %d slices (%.1f MB) on %d ranks -> %s\n",
+		res.Slices, float64(res.Bytes)/1e6, *procs, *out)
+	fmt.Printf("read %v  redistribute %v  write %v (max across ranks)\n",
+		res.ReadTime.Round(time.Millisecond),
+		res.CommTime.Round(time.Millisecond),
+		res.WriteTime.Round(time.Millisecond))
+}

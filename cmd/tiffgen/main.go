@@ -1,0 +1,37 @@
+// Command tiffgen generates a synthetic CT-like TIFF slice stack, the
+// stand-in for the paper's APS scan data. Example:
+//
+//	tiffgen -dir /tmp/stack -width 512 -height 256 -depth 128 -bits 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ddr/internal/tiff"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", "stack", "output directory")
+		width  = flag.Int("width", 256, "slice width in pixels")
+		height = flag.Int("height", 128, "slice height in pixels")
+		depth  = flag.Int("depth", 64, "number of slices")
+		bits   = flag.Int("bits", 16, "bits per sample (8, 16, or 32)")
+		float_ = flag.Bool("float", false, "write 32-bit float samples instead of unsigned ints")
+	)
+	flag.Parse()
+	format := tiff.FormatUint
+	if *float_ {
+		format = tiff.FormatFloat
+	}
+	if err := tiff.WriteStack(*dir, *width, *height, *depth, *bits, format); err != nil {
+		fmt.Fprintln(os.Stderr, "tiffgen:", err)
+		os.Exit(1)
+	}
+	perSlice := int64(*width) * int64(*height) * int64(*bits/8)
+	fmt.Printf("wrote %d slices of %dx%d %d-bit (%.1f MB total) to %s\n",
+		*depth, *width, *height, *bits,
+		float64(perSlice*int64(*depth))/1e6, *dir)
+}

@@ -1,0 +1,40 @@
+// intransit3d joins the paper's two use cases into one workflow: a 3D
+// Lattice-Boltzmann (D3Q19) simulation of flow past a sphere runs on six
+// ranks, streams its speed volume in-transit to two analysis ranks, which
+// use DDR to regrid the arriving z-slabs into near-cube rendering bricks
+// and volume-render each frame with the software DVR — live volumetric
+// monitoring of a running 3D simulation.
+//
+// Run with: go run ./examples/intransit3d
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"ddr/internal/experiments"
+)
+
+func main() {
+	out := "intransit3d_frames"
+	if err := os.MkdirAll(out, 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "intransit3d:", err)
+		os.Exit(1)
+	}
+	res, err := experiments.RunInTransit3D(experiments.InTransit3DConfig{
+		M: 6, N: 2,
+		W: 96, H: 48, D: 48,
+		Iterations:  400,
+		OutputEvery: 80,
+		OutDir:      out,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "intransit3d:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("streamed and volume-rendered %d frames of a %s volume\n",
+		res.Frames, "96x48x48")
+	fmt.Printf("raw volumes would be %.1f MB; rendered JPEG output is %.3f MB (%.2f%% reduction)\n",
+		float64(res.RawBytes)/1e6, float64(res.ProcessedBytes)/1e6, res.ReductionPct)
+	fmt.Printf("frames written to %s/\n", out)
+}

@@ -1,0 +1,49 @@
+// restart: checkpoint/restart across different process counts. A volume
+// is checkpointed as bricks by 8 ranks into one shared file, then
+// restarted by 27 ranks that need their own (different) brick layout.
+// Two strategies are compared:
+//
+//   - direct: every restart rank performs strided reads of exactly its
+//     brick (many small positional I/Os);
+//   - slab+DDR: every rank reads one contiguous slab (a single large
+//     sequential I/O) and DDR redistributes slabs into bricks.
+//
+// This is the paper's producer-layout vs consumer-layout gap on a file
+// substrate instead of a TIFF stack.
+//
+// Run with: go run ./examples/restart
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ddr/internal/bov"
+	"ddr/internal/experiments"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ddr-restart-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "restart:", err)
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+
+	h := bov.Header{Dims: [3]int{192, 96, 108}, ElemSize: 1, Kind: "uint8 synthetic"}
+	res, err := experiments.RunRestartStudy(filepath.Join(dir, "ckpt.bov"), 8, 27, h)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "restart:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("checkpoint: %dx%dx%d (%0.1f MB) written by %d ranks, restarted by %d ranks\n",
+		h.Dims[0], h.Dims[1], h.Dims[2], float64(h.TotalBytes())/1e6, res.WriteProcs, res.ReadProcs)
+	fmt.Printf("direct brick reads: %6d positional I/Os, %v\n", res.DirectRuns, res.DirectTime)
+	fmt.Printf("slab reads + DDR:   %6d positional I/Os, %v\n", res.SlabRuns, res.SlabTime)
+	if !res.Match {
+		fmt.Fprintln(os.Stderr, "restart: strategies disagree!")
+		os.Exit(1)
+	}
+	fmt.Println("both strategies produced identical bricks")
+}

@@ -1,0 +1,108 @@
+// slab2pencil: a 3D redistribution motif common in spectral codes (and
+// the general pattern DDR automates): a volume decomposed into z-slabs is
+// redistributed into x-pencils, as a multi-dimensional FFT would need
+// between its transform stages. The mapping is set up once and replayed
+// for several "time steps" of fresh data — the paper's dynamic-data
+// property.
+//
+// Run with: go run ./examples/slab2pencil
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"ddr/internal/core"
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+	"ddr/internal/trace"
+)
+
+const (
+	nx, ny, nz = 32, 16, 24
+	procs      = 8
+	steps      = 3
+)
+
+// value is the ground-truth field: every rank can recompute what any cell
+// must contain at any step.
+func value(x, y, z, step int) float64 {
+	return float64(step*1_000_000 + z*10_000 + y*100 + x)
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "slab2pencil:", err)
+		os.Exit(1)
+	}
+	fmt.Println("slab-to-pencil redistribution verified for all steps on all ranks")
+}
+
+func run() error {
+	domain := grid.Box3(0, 0, 0, nx, ny, nz)
+	slabs := grid.Slabs(domain, 2, procs)   // z-slabs: full x-y planes
+	pencils := grid.Slabs(domain, 0, procs) // x-pencils: full y-z extents
+	rec := trace.NewRecorder()
+
+	err := mpi.Run(procs, func(c *mpi.Comm) error {
+		slab := slabs[c.Rank()]
+		pencil := pencils[c.Rank()]
+
+		desc, err := core.NewDataDescriptor(c.Size(), core.Layout3D, core.Float64,
+			core.WithValidation(), core.WithTracer(rec))
+		if err != nil {
+			return err
+		}
+		// One mapping setup serves every step.
+		if err := desc.SetupDataMapping(c, []grid.Box{slab}, pencil); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Printf("domain %v, %d ranks: slab %v -> pencil %v\n", domain, procs, slab, pencil)
+			fmt.Printf("schedule: %v\n", desc.Plan().Stats())
+		}
+
+		slabBuf := make([]byte, slab.Volume()*8)
+		pencilBuf := make([]byte, pencil.Volume()*8)
+		for step := 0; step < steps; step++ {
+			// Fresh data each step, same layout.
+			i := 0
+			for z := 0; z < slab.Dims[2]; z++ {
+				for y := 0; y < slab.Dims[1]; y++ {
+					for x := 0; x < slab.Dims[0]; x++ {
+						v := value(slab.Offset[0]+x, slab.Offset[1]+y, slab.Offset[2]+z, step)
+						binary.LittleEndian.PutUint64(slabBuf[8*i:], math.Float64bits(v))
+						i++
+					}
+				}
+			}
+			if err := desc.ReorganizeData(c, [][]byte{slabBuf}, pencilBuf); err != nil {
+				return err
+			}
+			// Verify every received cell.
+			i = 0
+			for z := 0; z < pencil.Dims[2]; z++ {
+				for y := 0; y < pencil.Dims[1]; y++ {
+					for x := 0; x < pencil.Dims[0]; x++ {
+						want := value(pencil.Offset[0]+x, pencil.Offset[1]+y, pencil.Offset[2]+z, step)
+						got := math.Float64frombits(binary.LittleEndian.Uint64(pencilBuf[8*i:]))
+						if got != want {
+							return fmt.Errorf("rank %d step %d cell (%d,%d,%d): got %f want %f",
+								c.Rank(), step, x, y, z, got, want)
+						}
+						i++
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nper-rank span timeline (m=mapping, e=exchange, r=rounds):")
+	rec.WriteTimeline(os.Stdout, 64)
+	return nil
+}

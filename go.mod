@@ -1,0 +1,3 @@
+module ddr
+
+go 1.23

@@ -1,0 +1,125 @@
+package ddr_bench
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ddr/internal/bov"
+	"ddr/internal/experiments"
+	"ddr/internal/mpi"
+	"ddr/internal/tiff"
+	"ddr/internal/vtk"
+)
+
+// TestEndToEndConversionPipeline chains the full data path the paper's
+// introduction motivates: a TIFF slice stack is generated, converted in
+// parallel (every image decoded once, DDR reshaping pixels into write
+// slabs) into one shared bov volume, checksummed, and exported to a
+// ParaView-loadable VTK file whose payload matches the stack.
+func TestEndToEndConversionPipeline(t *testing.T) {
+	const w, h, d, procs = 32, 24, 18, 6
+	dir := t.TempDir()
+	stackDir := filepath.Join(dir, "stack")
+	if err := tiff.WriteStack(stackDir, w, h, d, 8, tiff.FormatUint); err != nil {
+		t.Fatal(err)
+	}
+	info, err := tiff.ProbeStack(stackDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bovPath := filepath.Join(dir, "vol.bov")
+	err = mpi.Run(procs, func(c *mpi.Comm) error {
+		_, err := experiments.ConvertStackToBOV(c, info, bovPath)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := bov.Open(bovPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum1, err := v.Checksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := v.ReadBox(v.Header().Domain())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Close()
+
+	// Volume content equals the stack, slice by slice.
+	for z := 0; z < d; z++ {
+		img, err := tiff.ReadFile(tiff.SlicePath(stackDir, z))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(full[z*w*h:(z+1)*w*h], img.Pixels) {
+			t.Fatalf("slice %d differs after conversion", z)
+		}
+	}
+	if sum1 == 0 {
+		t.Log("checksum is zero; legal but suspicious for synthetic data")
+	}
+
+	vtkPath := filepath.Join(dir, "vol.vtk")
+	if err := vtk.ExportBOV(bovPath, vtkPath, "density"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(vtkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "DIMENSIONS 32 24 18") {
+		t.Error("VTK header lost the geometry")
+	}
+	// 1-byte samples are written unswapped: the VTK payload tail must
+	// equal the volume tail.
+	if !bytes.Equal(out[len(out)-len(full):], full) {
+		t.Error("VTK payload differs from volume")
+	}
+}
+
+// TestRealTIFFStudySmall runs the measured loading study end to end at
+// one small scale, checking the bookkeeping that EXPERIMENTS.md reports.
+func TestRealTIFFStudySmall(t *testing.T) {
+	dir := t.TempDir()
+	if err := tiff.WriteStack(dir, 48, 24, 16, 16, tiff.FormatUint); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := experiments.RunRealTIFFStudy(dir, []int{8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3 techniques", len(rows))
+	}
+	byName := map[string]experiments.RealStudyRow{}
+	for _, r := range rows {
+		byName[r.Technique] = r
+	}
+	// Baseline: all 8 ranks read the 8 images intersecting their brick
+	// (nz=2 layers over 16 slices), so each image is decoded p/nz = 4
+	// times — 64 reads total. DDR reads each image exactly once.
+	if byName["no-ddr"].ImagesRead != 64 {
+		t.Errorf("baseline read %d images, want 64", byName["no-ddr"].ImagesRead)
+	}
+	for _, tech := range []string{"ddr-round-robin", "ddr-consecutive"} {
+		if byName[tech].ImagesRead != 16 {
+			t.Errorf("%s read %d images, want 16", tech, byName[tech].ImagesRead)
+		}
+		if byName[tech].CommTime <= 0 {
+			t.Errorf("%s missing comm time", tech)
+		}
+	}
+	var sb strings.Builder
+	experiments.WriteRealStudy(&sb, rows)
+	if !strings.Contains(sb.String(), "ddr-consecutive") {
+		t.Error("study table missing rows")
+	}
+}

@@ -1,0 +1,36 @@
+package colormap
+
+import (
+	"fmt"
+	"image"
+	"image/color/palette"
+	"image/draw"
+	"image/gif"
+	"io"
+)
+
+// EncodeAnimation writes frames as an animated GIF with the given
+// per-frame delay in hundredths of a second — the quick-look artifact for
+// streamed time series (one file instead of hundreds of JPEGs). Frames
+// are palettized to the standard Plan9 palette with Floyd–Steinberg
+// dithering. All frames must share one size.
+func EncodeAnimation(w io.Writer, frames []*image.RGBA, delay int) error {
+	if len(frames) == 0 {
+		return fmt.Errorf("colormap: no frames to animate")
+	}
+	if delay < 1 {
+		delay = 1
+	}
+	bounds := frames[0].Bounds()
+	anim := &gif.GIF{LoopCount: 0}
+	for i, f := range frames {
+		if f.Bounds() != bounds {
+			return fmt.Errorf("colormap: frame %d bounds %v differ from %v", i, f.Bounds(), bounds)
+		}
+		pal := image.NewPaletted(bounds, palette.Plan9)
+		draw.FloydSteinberg.Draw(pal, bounds, f, bounds.Min)
+		anim.Image = append(anim.Image, pal)
+		anim.Delay = append(anim.Delay, delay)
+	}
+	return gif.EncodeAll(w, anim)
+}

@@ -1,0 +1,53 @@
+package colormap
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+)
+
+// Colorbar renders a vertical legend strip of the map (top = 1, bottom =
+// 0), like the colormap swatch shown beside the paper's Figure 2.
+func Colorbar(m Map, w, h int) (*image.RGBA, error) {
+	if w < 1 || h < 2 {
+		return nil, fmt.Errorf("colormap: colorbar needs at least 1x2 pixels, got %dx%d", w, h)
+	}
+	img := image.NewRGBA(image.Rect(0, 0, w, h))
+	for y := 0; y < h; y++ {
+		t := 1 - float64(y)/float64(h-1)
+		r, g, b := m(t)
+		for x := 0; x < w; x++ {
+			img.SetRGBA(x, y, color.RGBA{R: r, G: g, B: b, A: 255})
+		}
+	}
+	return img, nil
+}
+
+// WithLegend returns a new image consisting of img with a colorbar of the
+// given map attached on the right (separated by a margin), mirroring the
+// layout of the paper's Figure 2.
+func WithLegend(img image.Image, m Map) (*image.RGBA, error) {
+	b := img.Bounds()
+	const margin = 8
+	barW := max(8, b.Dx()/24)
+	barH := b.Dy() * 3 / 4
+	bar, err := Colorbar(m, barW, max(2, barH))
+	if err != nil {
+		return nil, err
+	}
+	out := image.NewRGBA(image.Rect(0, 0, b.Dx()+margin+barW+margin, b.Dy()))
+	// Copy the main image.
+	for y := 0; y < b.Dy(); y++ {
+		for x := 0; x < b.Dx(); x++ {
+			out.Set(x, y, img.At(b.Min.X+x, b.Min.Y+y))
+		}
+	}
+	// Center the bar vertically.
+	y0 := (b.Dy() - bar.Bounds().Dy()) / 2
+	for y := 0; y < bar.Bounds().Dy(); y++ {
+		for x := 0; x < barW; x++ {
+			out.Set(b.Dx()+margin+x, y0+y, bar.RGBAAt(x, y))
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,214 @@
+// Package core implements the paper's contribution: the Dynamic Data
+// Redistribution (DDR) library. DDR moves 1D/2D/3D array data from the
+// layout a producer used — any number of box-shaped chunks per rank,
+// collectively tiling the domain — to the layout a consumer needs — one
+// contiguous box per rank, possibly overlapping between ranks and possibly
+// not covering the whole domain.
+//
+// The public surface mirrors the paper's three calls:
+//
+//	desc, _ := core.NewDataDescriptor(nProcs, core.Layout2D, core.Float32)
+//	desc.SetupDataMapping(comm, ownedChunks, neededBox)   // once per layout
+//	desc.ReorganizeData(comm, ownedBuffers, neededBuffer) // per data arrival
+//
+// SetupDataMapping computes, from the geometry alone, which sub-boxes every
+// rank must exchange with every other rank and compiles them into rounds of
+// alltoallw exchanges (one round per owned chunk, as in the paper). The
+// mapping is reusable: when new data arrives in the same layout — the
+// "dynamic data" case — only ReorganizeData needs to run again.
+package core
+
+import (
+	"fmt"
+
+	"ddr/internal/grid"
+	"ddr/internal/trace"
+)
+
+// Layout identifies the dimensionality of the data being redistributed,
+// the analogue of the paper's DATA_TYPE_1D/2D/3D descriptor argument.
+type Layout int
+
+// Supported array layouts.
+const (
+	Layout1D Layout = 1
+	Layout2D Layout = 2
+	Layout3D Layout = 3
+)
+
+// NDims returns the number of spatial dimensions of the layout.
+func (l Layout) NDims() int { return int(l) }
+
+func (l Layout) String() string {
+	switch l {
+	case Layout1D:
+		return "1D"
+	case Layout2D:
+		return "2D"
+	case Layout3D:
+		return "3D"
+	}
+	return fmt.Sprintf("Layout(%d)", int(l))
+}
+
+// ElemType identifies the element type stored in the array, standing in
+// for the MPI datatype + byte size pair the C API takes.
+type ElemType int
+
+// Supported element types.
+const (
+	Uint8 ElemType = iota
+	Int16
+	Int32
+	Float32
+	Float64
+)
+
+// Size returns the element's byte size.
+func (t ElemType) Size() int {
+	switch t {
+	case Uint8:
+		return 1
+	case Int16:
+		return 2
+	case Int32, Float32:
+		return 4
+	case Float64:
+		return 8
+	}
+	return 0
+}
+
+func (t ElemType) String() string {
+	switch t {
+	case Uint8:
+		return "uint8"
+	case Int16:
+		return "int16"
+	case Int32:
+		return "int32"
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	}
+	return fmt.Sprintf("ElemType(%d)", int(t))
+}
+
+// ExchangeMode selects how ReorganizeData moves bytes between ranks.
+type ExchangeMode int
+
+const (
+	// ModeAlltoallw drives one alltoallw collective per round, the
+	// mechanism the paper implements.
+	ModeAlltoallw ExchangeMode = iota
+	// ModePointToPoint replaces each collective with direct non-blocking
+	// sends and receives between the ranks that actually share data — the
+	// optimization the paper proposes as future work for sparse mappings.
+	ModePointToPoint
+	// ModePointToPointFused goes one step further: all rounds are fused
+	// into a single message per peer pair, trading the per-round latency
+	// of many-chunk layouts (the paper's round-robin case pays one
+	// collective per chunk) for one exchange phase.
+	ModePointToPointFused
+)
+
+func (m ExchangeMode) String() string {
+	switch m {
+	case ModePointToPoint:
+		return "point-to-point"
+	case ModePointToPointFused:
+		return "point-to-point-fused"
+	default:
+		return "alltoallw"
+	}
+}
+
+// Descriptor describes the data being redistributed and, after
+// SetupDataMapping, carries the compiled communication plan. It
+// corresponds to the object returned by DDR_NewDataDescriptor.
+type Descriptor struct {
+	nProcs   int
+	layout   Layout
+	elem     ElemType
+	elemSize int
+	mode     ExchangeMode
+	validate bool
+	tracer   *trace.Recorder
+
+	plan    *Plan // nil until SetupDataMapping
+	timings []RoundTiming
+}
+
+// Option configures a Descriptor.
+type Option func(*Descriptor)
+
+// WithExchangeMode selects the wire mechanism (default ModeAlltoallw).
+func WithExchangeMode(m ExchangeMode) Option {
+	return func(d *Descriptor) { d.mode = m }
+}
+
+// WithTracer attaches a trace recorder: SetupDataMapping and every
+// exchange round of ReorganizeData record spans into it, enabling
+// per-rank timeline inspection of where redistribution time goes.
+func WithTracer(r *trace.Recorder) Option {
+	return func(d *Descriptor) { d.tracer = r }
+}
+
+// WithValidation makes SetupDataMapping verify collectively that the owned
+// chunks are mutually exclusive and complete over their bounding domain,
+// the precondition the paper states for the sending side.
+func WithValidation() Option {
+	return func(d *Descriptor) { d.validate = true }
+}
+
+// NewDataDescriptor creates a descriptor for redistributing arrays of the
+// given layout and element type across nProcs ranks. It corresponds to
+// DDR_NewDataDescriptor(nProcs, DATA_TYPE_*, mpiType, elemSize).
+func NewDataDescriptor(nProcs int, layout Layout, elem ElemType, opts ...Option) (*Descriptor, error) {
+	if elem.Size() == 0 {
+		return nil, fmt.Errorf("core: unknown element type %v", elem)
+	}
+	return NewDataDescriptorBytes(nProcs, layout, elem, elem.Size(), opts...)
+}
+
+// NewDataDescriptorBytes is NewDataDescriptor with an explicit element
+// byte size, for element types not covered by ElemType (the C API takes
+// the size separately for the same reason).
+func NewDataDescriptorBytes(nProcs int, layout Layout, elem ElemType, elemSize int, opts ...Option) (*Descriptor, error) {
+	if nProcs <= 0 {
+		return nil, fmt.Errorf("core: descriptor needs a positive process count, got %d", nProcs)
+	}
+	if layout < Layout1D || layout > Layout3D {
+		return nil, fmt.Errorf("core: unsupported layout %v", layout)
+	}
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("core: element size %d must be positive", elemSize)
+	}
+	d := &Descriptor{nProcs: nProcs, layout: layout, elem: elem, elemSize: elemSize}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d, nil
+}
+
+// NProcs returns the process count the descriptor was created for.
+func (d *Descriptor) NProcs() int { return d.nProcs }
+
+// Layout returns the data layout.
+func (d *Descriptor) Layout() Layout { return d.layout }
+
+// ElemSize returns the element byte size.
+func (d *Descriptor) ElemSize() int { return d.elemSize }
+
+// Plan returns the compiled communication plan, or nil before
+// SetupDataMapping has run.
+func (d *Descriptor) Plan() *Plan { return d.plan }
+
+// checkBoxDims verifies a box matches the descriptor's dimensionality.
+func (d *Descriptor) checkBoxDims(b grid.Box, what string) error {
+	if b.NDims != d.layout.NDims() {
+		return fmt.Errorf("core: %s box %v is %dD but descriptor is %v", what, b, b.NDims, d.layout)
+	}
+	return nil
+}

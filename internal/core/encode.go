@@ -1,0 +1,88 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ddr/internal/grid"
+)
+
+// Geometry exchange wire format: every rank contributes its need box
+// followed by its owned chunk list. All integers are little-endian int32;
+// coordinates in DDR's use cases are raster indices, far below 2^31.
+
+func appendBox(buf []byte, b grid.Box) []byte {
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(int32(b.NDims)))
+	buf = append(buf, tmp[:]...)
+	for i := 0; i < b.NDims; i++ {
+		binary.LittleEndian.PutUint32(tmp[:], uint32(int32(b.Offset[i])))
+		buf = append(buf, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:], uint32(int32(b.Dims[i])))
+		buf = append(buf, tmp[:]...)
+	}
+	return buf
+}
+
+func readBox(buf []byte) (grid.Box, []byte, error) {
+	if len(buf) < 4 {
+		return grid.Box{}, nil, fmt.Errorf("core: truncated box header")
+	}
+	nd := int(int32(binary.LittleEndian.Uint32(buf)))
+	buf = buf[4:]
+	if nd < 1 || nd > grid.MaxDims {
+		return grid.Box{}, nil, fmt.Errorf("core: box dimensionality %d out of range", nd)
+	}
+	if len(buf) < 8*nd {
+		return grid.Box{}, nil, fmt.Errorf("core: truncated box body")
+	}
+	offset := make([]int, nd)
+	dims := make([]int, nd)
+	for i := 0; i < nd; i++ {
+		offset[i] = int(int32(binary.LittleEndian.Uint32(buf)))
+		dims[i] = int(int32(binary.LittleEndian.Uint32(buf[4:])))
+		buf = buf[8:]
+	}
+	b, err := grid.NewBox(offset, dims)
+	return b, buf, err
+}
+
+// encodeGeometry packs a rank's need box and owned chunks for the
+// allgather in SetupDataMapping.
+func encodeGeometry(need grid.Box, own []grid.Box) []byte {
+	buf := appendBox(nil, need)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(int32(len(own))))
+	buf = append(buf, tmp[:]...)
+	for _, b := range own {
+		buf = appendBox(buf, b)
+	}
+	return buf
+}
+
+// decodeGeometry reverses encodeGeometry.
+func decodeGeometry(buf []byte) (need grid.Box, own []grid.Box, err error) {
+	need, buf, err = readBox(buf)
+	if err != nil {
+		return grid.Box{}, nil, err
+	}
+	if len(buf) < 4 {
+		return grid.Box{}, nil, fmt.Errorf("core: truncated chunk count")
+	}
+	n := int(int32(binary.LittleEndian.Uint32(buf)))
+	buf = buf[4:]
+	if n < 0 {
+		return grid.Box{}, nil, fmt.Errorf("core: negative chunk count %d", n)
+	}
+	own = make([]grid.Box, n)
+	for i := range own {
+		own[i], buf, err = readBox(buf)
+		if err != nil {
+			return grid.Box{}, nil, err
+		}
+	}
+	if len(buf) != 0 {
+		return grid.Box{}, nil, fmt.Errorf("core: %d trailing bytes after geometry", len(buf))
+	}
+	return need, own, nil
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+
+	"ddr/internal/datatype"
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+// Plan is the compiled communication schedule produced by
+// SetupDataMapping. It is immutable and may be replayed by
+// ReorganizeData any number of times while the data layout stays the
+// same — only the data values need to be fresh (the paper's "dynamic
+// data" property).
+type Plan struct {
+	elemSize int
+	rank     int
+	nProcs   int
+	rounds   int
+
+	myChunks []grid.Box
+	need     grid.Box
+
+	allChunks [][]grid.Box // [rank][chunk]
+	allNeeds  []grid.Box   // [rank]
+
+	send [][]datatype.Type // [round][peer], packing from the round's chunk buffer
+	recv [][]datatype.Type // [round][peer], scattering into the need buffer
+
+	sendPeers [][]int // [round] peers with non-empty sends (excluding self)
+	recvPeers [][]int // [round] peers with non-empty receives (excluding self)
+}
+
+// Rounds returns the number of exchange rounds, which equals the maximum
+// number of chunks owned by any single rank (paper §III-C).
+func (p *Plan) Rounds() int { return p.rounds }
+
+// Need returns the box this rank receives.
+func (p *Plan) Need() grid.Box { return p.need }
+
+// MyChunks returns the boxes this rank contributed as owned data.
+func (p *Plan) MyChunks() []grid.Box { return p.myChunks }
+
+// SetupDataMapping computes the data mapping between all ranks. It is a
+// collective call: every rank passes the chunks it currently owns (any
+// number, including zero) and the single contiguous box it needs after
+// redistribution. It corresponds to DDR_SetupDataMapping(rank, nProcs,
+// nChunks, ownDims, ownOffsets, needDims, needOffsets, desc) — rank and
+// nProcs come from the communicator and each (dims, offset) pair is a
+// grid.Box.
+//
+// Owned chunks must be mutually exclusive across ranks and collectively
+// complete over the domain; need boxes may overlap and need not cover the
+// domain (paper §III-B). With WithValidation the exclusivity/completeness
+// precondition is checked collectively and violations are reported.
+func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box) error {
+	if c.Size() != d.nProcs {
+		return fmt.Errorf("core: descriptor is for %d processes but communicator has %d", d.nProcs, c.Size())
+	}
+	if err := d.checkBoxDims(need, "need"); err != nil {
+		return err
+	}
+	for i, b := range own {
+		if err := d.checkBoxDims(b, fmt.Sprintf("owned chunk %d", i)); err != nil {
+			return err
+		}
+	}
+
+	endSpan := d.tracer.Span(c.Rank(), "mapping", 0)
+	defer endSpan()
+	packed, err := c.Allgather(encodeGeometry(need, own))
+	if err != nil {
+		return fmt.Errorf("core: geometry exchange: %w", err)
+	}
+	allChunks := make([][]grid.Box, c.Size())
+	allNeeds := make([]grid.Box, c.Size())
+	for r, buf := range packed {
+		allNeeds[r], allChunks[r], err = decodeGeometry(buf)
+		if err != nil {
+			return fmt.Errorf("core: geometry from rank %d: %w", r, err)
+		}
+	}
+
+	if d.validate {
+		if err := validateOwnership(allChunks); err != nil {
+			return err
+		}
+	}
+
+	plan, err := compilePlan(c.Rank(), d.elemSize, allChunks, allNeeds)
+	if err != nil {
+		return err
+	}
+	d.plan = plan
+	return nil
+}
+
+// validateOwnership enforces the paper's sending-side precondition: the
+// owned chunks of all ranks are pairwise disjoint and tile their bounding
+// box exactly.
+func validateOwnership(allChunks [][]grid.Box) error {
+	var flat []grid.Box
+	owner := make([]int, 0)
+	for r, chunks := range allChunks {
+		for _, b := range chunks {
+			flat = append(flat, b)
+			owner = append(owner, r)
+		}
+	}
+	domain, ok := grid.BoundingBox(flat)
+	if !ok {
+		return fmt.Errorf("core: no rank owns any data")
+	}
+	if err := grid.VerifyTiling(domain, flat); err != nil {
+		if ce, ok := err.(*grid.CoverageError); ok && ce.Overlap != nil {
+			return fmt.Errorf("core: owned data is not mutually exclusive: rank %d chunk %v overlaps rank %d chunk %v",
+				owner[ce.Overlap[0]], flat[ce.Overlap[0]], owner[ce.Overlap[1]], flat[ce.Overlap[1]])
+		}
+		return fmt.Errorf("core: owned data does not tile the domain %v: %w", domain, err)
+	}
+	return nil
+}
+
+// NewPlanFromGeometry compiles a communication plan directly from a full
+// global geometry description without any communication: allChunks[r]
+// lists the chunks rank r owns and allNeeds[r] the box it needs. This is
+// the offline twin of SetupDataMapping, used for schedule analysis (the
+// paper's Table III) and capacity planning at scales larger than the
+// running world.
+func NewPlanFromGeometry(rank, elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box) (*Plan, error) {
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("core: element size %d must be positive", elemSize)
+	}
+	if len(allChunks) != len(allNeeds) {
+		return nil, fmt.Errorf("core: %d chunk lists for %d need boxes", len(allChunks), len(allNeeds))
+	}
+	if rank < 0 || rank >= len(allNeeds) {
+		return nil, fmt.Errorf("core: rank %d out of range [0,%d)", rank, len(allNeeds))
+	}
+	return compilePlan(rank, elemSize, allChunks, allNeeds)
+}
+
+// compilePlan builds the per-round send/recv datatypes from the gathered
+// global geometry.
+func compilePlan(rank, elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box) (*Plan, error) {
+	nProcs := len(allNeeds)
+	rounds := 0
+	for _, chunks := range allChunks {
+		rounds = max(rounds, len(chunks))
+	}
+	p := &Plan{
+		elemSize:  elemSize,
+		rank:      rank,
+		nProcs:    nProcs,
+		rounds:    rounds,
+		myChunks:  allChunks[rank],
+		need:      allNeeds[rank],
+		allChunks: allChunks,
+		allNeeds:  allNeeds,
+		send:      make([][]datatype.Type, rounds),
+		recv:      make([][]datatype.Type, rounds),
+		sendPeers: make([][]int, rounds),
+		recvPeers: make([][]int, rounds),
+	}
+	for r := 0; r < rounds; r++ {
+		p.send[r] = make([]datatype.Type, nProcs)
+		p.recv[r] = make([]datatype.Type, nProcs)
+		for peer := 0; peer < nProcs; peer++ {
+			p.send[r][peer] = datatype.Empty{}
+			p.recv[r][peer] = datatype.Empty{}
+		}
+		// Sends: the overlap of my round-r chunk with each peer's need.
+		if r < len(p.myChunks) {
+			chunk := p.myChunks[r]
+			for peer := 0; peer < nProcs; peer++ {
+				ov, ok := chunk.Intersect(allNeeds[peer])
+				if !ok {
+					continue
+				}
+				st, err := datatype.NewSubarray(elemSize, chunk, ov)
+				if err != nil {
+					return nil, fmt.Errorf("core: send type to rank %d: %w", peer, err)
+				}
+				p.send[r][peer] = st
+				if peer != rank {
+					p.sendPeers[r] = append(p.sendPeers[r], peer)
+				}
+			}
+		}
+		// Receives: the overlap of each peer's round-r chunk with my need.
+		for peer := 0; peer < nProcs; peer++ {
+			if r >= len(allChunks[peer]) {
+				continue
+			}
+			ov, ok := allChunks[peer][r].Intersect(p.need)
+			if !ok {
+				continue
+			}
+			rt, err := datatype.NewSubarray(elemSize, p.need, ov)
+			if err != nil {
+				return nil, fmt.Errorf("core: recv type from rank %d: %w", peer, err)
+			}
+			p.recv[r][peer] = rt
+			if peer != rank {
+				p.recvPeers[r] = append(p.recvPeers[r], peer)
+			}
+		}
+	}
+	return p, nil
+}

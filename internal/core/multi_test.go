@@ -1,0 +1,204 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+// TestMultiNeedBasic: two ranks each own one half and each need TWO
+// separate sub-boxes — the pattern the single-need API rejects by design.
+func TestMultiNeedBasic(t *testing.T) {
+	ownAll := [][]grid.Box{
+		{grid.Box2(0, 0, 4, 4)},
+		{grid.Box2(4, 0, 4, 4)},
+	}
+	// Rank 0 needs the two vertical edge strips; rank 1 two middle strips.
+	needAll := [][]grid.Box{
+		{grid.Box2(0, 0, 1, 4), grid.Box2(7, 0, 1, 4)},
+		{grid.Box2(2, 0, 2, 4), grid.Box2(4, 0, 2, 4)},
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		d, err := NewMultiDescriptor(2, Layout2D, Uint8)
+		if err != nil {
+			return err
+		}
+		if err := d.SetupDataMapping(c, ownAll[c.Rank()], needAll[c.Rank()]); err != nil {
+			return err
+		}
+		own := [][]byte{fillBox(ownAll[c.Rank()][0], 1)}
+		needs := make([][]byte, len(needAll[c.Rank()]))
+		for i, b := range needAll[c.Rank()] {
+			needs[i] = make([]byte, b.Volume())
+		}
+		if err := d.ReorganizeData(c, own, needs); err != nil {
+			return err
+		}
+		for i, b := range needAll[c.Rank()] {
+			if err := checkBox(needs[i], b, 1, nil, 0); err != nil {
+				return fmt.Errorf("rank %d need %d: %w", c.Rank(), i, err)
+			}
+		}
+		if d.WireBytes() < 0 || d.SelfBytes() < 0 {
+			return errors.New("negative byte accounting")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiNeedRandom is the property test: random disjoint ownership,
+// random multiple overlapping needs per rank, repeated reorganizes.
+func TestMultiNeedRandom(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 900))
+		n := 1 + rng.Intn(6)
+		nd := 1 + rng.Intn(3)
+		dims := make([]int, nd)
+		offset := make([]int, nd)
+		for i := range dims {
+			dims[i] = 2 + rng.Intn(9)
+		}
+		domain := grid.MustBox(offset, dims)
+		tiles := grid.RandomTiling(rng, domain, 1+rng.Intn(2*n))
+		ownAll := make([][]grid.Box, n)
+		for i, b := range tiles {
+			ownAll[i%n] = append(ownAll[i%n], b)
+		}
+		needAll := make([][]grid.Box, n)
+		for r := range needAll {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				needAll[r] = append(needAll[r], grid.RandomBoxIn(rng, domain))
+			}
+		}
+		err := mpi.Run(n, func(c *mpi.Comm) error {
+			rank := c.Rank()
+			d, err := NewMultiDescriptor(n, Layout(nd), Uint8)
+			if err != nil {
+				return err
+			}
+			if err := d.SetupDataMapping(c, ownAll[rank], needAll[rank]); err != nil {
+				return err
+			}
+			own := make([][]byte, len(ownAll[rank]))
+			for i, b := range ownAll[rank] {
+				own[i] = fillBox(b, 1)
+			}
+			needs := make([][]byte, len(needAll[rank]))
+			for i, b := range needAll[rank] {
+				needs[i] = make([]byte, b.Volume())
+			}
+			for pass := 0; pass < 2; pass++ { // dynamic-data replay
+				for i := range needs {
+					for j := range needs[i] {
+						needs[i][j] = 0
+					}
+				}
+				if err := d.ReorganizeData(c, own, needs); err != nil {
+					return err
+				}
+				for i, b := range needAll[rank] {
+					if err := checkBox(needs[i], b, 1, nil, 0); err != nil {
+						return fmt.Errorf("trial %d rank %d need %d pass %d: %w", trial, rank, i, pass, err)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMultiDescriptorValidation(t *testing.T) {
+	if _, err := NewMultiDescriptor(0, Layout2D, Uint8); err == nil {
+		t.Error("zero procs accepted")
+	}
+	if _, err := NewMultiDescriptor(2, Layout(7), Uint8); err == nil {
+		t.Error("bad layout accepted")
+	}
+	if _, err := NewMultiDescriptor(2, Layout2D, ElemType(42)); err == nil {
+		t.Error("bad elem accepted")
+	}
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		d, err := NewMultiDescriptor(2, Layout1D, Uint8)
+		if err != nil {
+			return err
+		}
+		if err := d.ReorganizeData(c, nil, nil); err == nil {
+			return errors.New("reorganize before mapping accepted")
+		}
+		if err := d.SetupDataMapping(c, []grid.Box{grid.Box2(0, 0, 2, 2)}, nil); err == nil {
+			return errors.New("2D chunk accepted by 1D descriptor")
+		}
+		own := []grid.Box{grid.Box1(5*c.Rank(), 5)}
+		needs := []grid.Box{grid.Box1(0, 3), grid.Box1(6, 3)}
+		if err := d.SetupDataMapping(c, own, needs); err != nil {
+			return err
+		}
+		if err := d.ReorganizeData(c, [][]byte{make([]byte, 5)}, [][]byte{make([]byte, 3)}); err == nil {
+			return errors.New("missing need buffer accepted")
+		}
+		if err := d.ReorganizeData(c, [][]byte{make([]byte, 4)},
+			[][]byte{make([]byte, 3), make([]byte, 3)}); err == nil {
+			return errors.New("short owned buffer accepted")
+		}
+		return d.ReorganizeData(c, [][]byte{make([]byte, 5)},
+			[][]byte{make([]byte, 3), make([]byte, 3)})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiMatchesSingleNeed: when every rank has exactly one need box,
+// the multi-need API must produce the same result as the classic API.
+func TestMultiMatchesSingleNeed(t *testing.T) {
+	const n = 4
+	domain := grid.Box2(0, 0, 12, 8)
+	slabs := grid.Slabs(domain, 1, n)
+	rows, cols := grid.Factor2(n)
+	squares := grid.Grid2D(domain, rows, cols)
+	err := mpi.Run(n, func(c *mpi.Comm) error {
+		own := []grid.Box{slabs[c.Rank()]}
+		ownBuf := [][]byte{fillBox(own[0], 1)}
+
+		single, err := NewDataDescriptor(n, Layout2D, Uint8)
+		if err != nil {
+			return err
+		}
+		if err := single.SetupDataMapping(c, own, squares[c.Rank()]); err != nil {
+			return err
+		}
+		a := make([]byte, squares[c.Rank()].Volume())
+		if err := single.ReorganizeData(c, ownBuf, a); err != nil {
+			return err
+		}
+
+		multi, err := NewMultiDescriptor(n, Layout2D, Uint8)
+		if err != nil {
+			return err
+		}
+		if err := multi.SetupDataMapping(c, own, []grid.Box{squares[c.Rank()]}); err != nil {
+			return err
+		}
+		b := make([]byte, squares[c.Rank()].Volume())
+		if err := multi.ReorganizeData(c, ownBuf, [][]byte{b}); err != nil {
+			return err
+		}
+		if string(a) != string(b) {
+			return fmt.Errorf("rank %d: multi differs from single", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+// RoundTiming records the wall-clock cost of one exchange round of the
+// most recent ReorganizeData call, along with the bytes this rank sent to
+// other ranks in that round. Fused mode reports a single entry covering
+// the whole exchange.
+type RoundTiming struct {
+	Round     int
+	Duration  time.Duration
+	WireBytes int64
+}
+
+// LastTimings returns the per-round timings of the most recent
+// ReorganizeData call (nil before the first call). The slice is reused
+// across calls; copy it to retain.
+func (d *Descriptor) LastTimings() []RoundTiming { return d.timings }
+
+// ddrTagBase is the first of the user-visible tags DDR reserves for its
+// point-to-point exchange mode (one tag per round). Applications sharing a
+// communicator with DDR should stay below this range.
+const ddrTagBase = 1 << 20
+
+// ReorganizeData exchanges the data between ranks according to the plan
+// compiled by SetupDataMapping. own holds one buffer per owned chunk, in
+// the order the chunks were passed to SetupDataMapping; need receives the
+// redistributed data and must be sized for the need box. Elements of the
+// need box covered by no rank's owned data are left untouched (the paper
+// allows incomplete receives).
+//
+// It corresponds to DDR_ReorganizeData(nProcs, dataOwn, dataNeed, desc)
+// and may be called repeatedly as new data arrives in the same layout.
+func (d *Descriptor) ReorganizeData(c *mpi.Comm, own [][]byte, need []byte) error {
+	p := d.plan
+	if p == nil {
+		return fmt.Errorf("core: ReorganizeData before SetupDataMapping")
+	}
+	if c.Size() != d.nProcs || c.Rank() != p.rank {
+		return fmt.Errorf("core: communicator does not match the one used for SetupDataMapping")
+	}
+	if len(own) != len(p.myChunks) {
+		return fmt.Errorf("core: %d owned buffers for %d chunks", len(own), len(p.myChunks))
+	}
+	for i, buf := range own {
+		if want := p.myChunks[i].Volume() * d.elemSize; len(buf) != want {
+			return fmt.Errorf("core: owned buffer %d has %d bytes, chunk %v needs %d",
+				i, len(buf), p.myChunks[i], want)
+		}
+	}
+	if want := p.need.Volume() * d.elemSize; len(need) != want {
+		return fmt.Errorf("core: need buffer has %d bytes, box %v needs %d", len(need), p.need, want)
+	}
+
+	d.timings = d.timings[:0]
+	endAll := d.tracer.Span(c.Rank(), "exchange", 0)
+	defer endAll()
+	if d.mode == ModePointToPointFused {
+		start := time.Now()
+		if err := p.exchangeFused(c, own, need); err != nil {
+			return fmt.Errorf("core: fused exchange: %w", err)
+		}
+		var wire int64
+		for r := 0; r < p.rounds; r++ {
+			wire += p.RankRoundSendBytes(p.rank, r)
+		}
+		d.timings = append(d.timings, RoundTiming{Round: 0, Duration: time.Since(start), WireBytes: wire})
+		return nil
+	}
+	for r := 0; r < p.rounds; r++ {
+		var sendBuf []byte
+		if r < len(own) {
+			sendBuf = own[r]
+		}
+		start := time.Now()
+		endRound := d.tracer.Span(c.Rank(), fmt.Sprintf("round-%d", r), p.RankRoundSendBytes(p.rank, r))
+		var err error
+		switch d.mode {
+		case ModePointToPoint:
+			err = p.exchangeP2P(c, r, sendBuf, need)
+		default:
+			err = c.Alltoallw(sendBuf, p.send[r], need, p.recv[r])
+		}
+		endRound()
+		if err != nil {
+			return fmt.Errorf("core: exchange round %d: %w", r, err)
+		}
+		d.timings = append(d.timings, RoundTiming{
+			Round:     r,
+			Duration:  time.Since(start),
+			WireBytes: p.RankRoundSendBytes(p.rank, r),
+		})
+	}
+	return nil
+}
+
+// exchangeFused performs the whole redistribution in one message per peer
+// pair: each peer's per-round overlaps are concatenated in round order on
+// the sending side and unpacked in the same order on the receiving side.
+func (p *Plan) exchangeFused(c *mpi.Comm, own [][]byte, need []byte) error {
+	const tag = ddrTagBase
+
+	// Local contribution.
+	for r := 0; r < len(p.myChunks); r++ {
+		if st := p.send[r][p.rank]; st.PackedSize() > 0 {
+			wire := make([]byte, st.PackedSize())
+			st.Pack(own[r], wire)
+			p.recv[r][p.rank].Unpack(wire, need)
+		}
+	}
+
+	var sends []*mpi.Request
+	recvPeers := map[int]int{} // peer -> expected fused byte count
+	for peer := 0; peer < p.nProcs; peer++ {
+		if peer == p.rank {
+			continue
+		}
+		sendTotal := 0
+		for r := 0; r < len(p.myChunks); r++ {
+			sendTotal += p.send[r][peer].PackedSize()
+		}
+		if sendTotal > 0 {
+			wire := make([]byte, sendTotal)
+			off := 0
+			for r := 0; r < len(p.myChunks); r++ {
+				off += p.send[r][peer].Pack(own[r], wire[off:])
+			}
+			sends = append(sends, c.Isend(peer, tag, wire))
+		}
+		recvTotal := 0
+		for r := 0; r < p.rounds; r++ {
+			recvTotal += p.recv[r][peer].PackedSize()
+		}
+		if recvTotal > 0 {
+			recvPeers[peer] = recvTotal
+		}
+	}
+	recvs := make(map[int]*mpi.Request, len(recvPeers))
+	for peer := range recvPeers {
+		recvs[peer] = c.Irecv(peer, tag)
+	}
+	if err := mpi.WaitAll(sends...); err != nil {
+		return err
+	}
+	for peer, req := range recvs {
+		data, _, _, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if len(data) != recvPeers[peer] {
+			return fmt.Errorf("core: expected %d fused bytes from rank %d, got %d",
+				recvPeers[peer], peer, len(data))
+		}
+		off := 0
+		for r := 0; r < p.rounds; r++ {
+			off += p.recv[r][peer].Unpack(data[off:], need)
+		}
+	}
+	return nil
+}
+
+// exchangeP2P performs one round using direct sends and receives between
+// only the ranks that share data — the sparse-communication optimization
+// the paper lists as future work. Semantically identical to the alltoallw
+// round.
+func (p *Plan) exchangeP2P(c *mpi.Comm, round int, sendBuf, need []byte) error {
+	tag := ddrTagBase + round
+
+	// Local contribution first (no message needed).
+	if st := p.send[round][p.rank]; st.PackedSize() > 0 {
+		wire := make([]byte, st.PackedSize())
+		st.Pack(sendBuf, wire)
+		p.recv[round][p.rank].Unpack(wire, need)
+	}
+
+	reqs := make([]*mpi.Request, 0, len(p.sendPeers[round]))
+	for _, peer := range p.sendPeers[round] {
+		st := p.send[round][peer]
+		wire := make([]byte, st.PackedSize())
+		st.Pack(sendBuf, wire)
+		reqs = append(reqs, c.Isend(peer, tag, wire))
+	}
+	recvs := make([]*mpi.Request, 0, len(p.recvPeers[round]))
+	for _, peer := range p.recvPeers[round] {
+		recvs = append(recvs, c.Irecv(peer, tag))
+	}
+	if err := mpi.WaitAll(reqs...); err != nil {
+		return err
+	}
+	for i, peer := range p.recvPeers[round] {
+		data, _, _, err := recvs[i].Wait()
+		if err != nil {
+			return err
+		}
+		rt := p.recv[round][peer]
+		if len(data) != rt.PackedSize() {
+			return fmt.Errorf("core: expected %d bytes from rank %d, got %d", rt.PackedSize(), peer, len(data))
+		}
+		rt.Unpack(data, need)
+	}
+	return nil
+}
+
+// Chunk pairs an owned box with its data buffer, for the one-shot
+// Redistribute helper.
+type Chunk struct {
+	Box  grid.Box
+	Data []byte
+}
+
+// Redistribute is a convenience wrapper that performs descriptor creation,
+// mapping setup, and a single data exchange in one call, returning the
+// freshly allocated need buffer. Applications redistributing repeatedly
+// should keep the Descriptor and call ReorganizeData themselves.
+func Redistribute(c *mpi.Comm, layout Layout, elem ElemType, own []Chunk, need grid.Box, opts ...Option) ([]byte, error) {
+	d, err := NewDataDescriptor(c.Size(), layout, elem, opts...)
+	if err != nil {
+		return nil, err
+	}
+	boxes := make([]grid.Box, len(own))
+	bufs := make([][]byte, len(own))
+	for i, ch := range own {
+		boxes[i] = ch.Box
+		bufs[i] = ch.Data
+	}
+	if err := d.SetupDataMapping(c, boxes, need); err != nil {
+		return nil, err
+	}
+	out := make([]byte, need.Volume()*d.ElemSize())
+	if err := d.ReorganizeData(c, bufs, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package core
+
+import "fmt"
+
+// ScheduleStats summarizes the communication schedule of a Plan. All byte
+// counts refer to data crossing between distinct ranks; data a rank keeps
+// for itself (its owned chunk overlapping its own need) is reported
+// separately as SelfBytes. These are the quantities behind the paper's
+// Table III ("number of rounds" and "data size sent and received per
+// process per round").
+type ScheduleStats struct {
+	Rounds int
+	Ranks  int
+
+	// TotalWireBytes is the sum over all rounds and rank pairs of data
+	// actually transmitted.
+	TotalWireBytes int64
+	// SelfBytes is the total data satisfied locally without transmission.
+	SelfBytes int64
+
+	// PerRankRoundAvg is TotalWireBytes averaged over every (rank, round)
+	// slot in which the rank owns a chunk — the per-process-per-round data
+	// size of Table III.
+	PerRankRoundAvg float64
+	// PerRankRoundMax is the largest number of bytes any single rank sends
+	// in any single round.
+	PerRankRoundMax int64
+
+	// MaxPeersPerRound is the largest number of distinct destinations any
+	// rank addresses in one round — the sparsity measure motivating the
+	// paper's point-to-point future work.
+	MaxPeersPerRound int
+}
+
+// String renders the stats in the shape of a Table III row.
+func (s ScheduleStats) String() string {
+	return fmt.Sprintf("rounds=%d avg=%.2f MB/rank/round max=%.2f MB self=%.2f MB",
+		s.Rounds, float64(s.PerRankRoundAvg)/1e6, float64(s.PerRankRoundMax)/1e6, float64(s.SelfBytes)/1e6)
+}
+
+// Stats computes the schedule statistics of the plan. Because every rank
+// holds the full gathered geometry, the computation is local and
+// deterministic — all ranks obtain identical values.
+func (p *Plan) Stats() ScheduleStats {
+	s := ScheduleStats{Rounds: p.rounds, Ranks: p.nProcs}
+	activeSlots := 0
+	for rank := 0; rank < p.nProcs; rank++ {
+		for r, chunk := range p.allChunks[rank] {
+			_ = r
+			activeSlots++
+			var sentThisRound int64
+			peers := 0
+			for peer := 0; peer < p.nProcs; peer++ {
+				ov, ok := chunk.Intersect(p.allNeeds[peer])
+				if !ok {
+					continue
+				}
+				bytes := int64(ov.Volume()) * int64(p.elemSize)
+				if peer == rank {
+					s.SelfBytes += bytes
+					continue
+				}
+				peers++
+				sentThisRound += bytes
+				s.TotalWireBytes += bytes
+			}
+			s.PerRankRoundMax = max64(s.PerRankRoundMax, sentThisRound)
+			s.MaxPeersPerRound = max(s.MaxPeersPerRound, peers)
+		}
+	}
+	if activeSlots > 0 {
+		s.PerRankRoundAvg = float64(s.TotalWireBytes) / float64(activeSlots)
+	}
+	return s
+}
+
+// RankRoundSendBytes returns the bytes the given rank transmits to other
+// ranks in the given round (zero when the rank owns no chunk that round).
+func (p *Plan) RankRoundSendBytes(rank, round int) int64 {
+	if round >= len(p.allChunks[rank]) {
+		return 0
+	}
+	chunk := p.allChunks[rank][round]
+	var total int64
+	for peer := 0; peer < p.nProcs; peer++ {
+		if peer == rank {
+			continue
+		}
+		if ov, ok := chunk.Intersect(p.allNeeds[peer]); ok {
+			total += int64(ov.Volume()) * int64(p.elemSize)
+		}
+	}
+	return total
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,153 @@
+// Package datatype implements the sub-array data layouts DDR uses to
+// address multidimensional subsets of process-local buffers, playing the
+// role MPI derived datatypes (MPI_Type_create_subarray) play in the
+// original C implementation.
+//
+// A Type describes which bytes of a local array participate in a message.
+// Pack gathers those bytes into a contiguous wire buffer and Unpack
+// scatters a wire buffer back into a local array. All arrays are row-major
+// with x fastest, matching the paper's [w], [w,h], [w,h,d] convention.
+package datatype
+
+import (
+	"fmt"
+
+	"ddr/internal/grid"
+)
+
+// Type describes the portion of a process-local buffer that participates
+// in a single message.
+type Type interface {
+	// PackedSize returns the number of bytes the region occupies on the wire.
+	PackedSize() int
+	// Pack copies the region from the local array into wire, which must be
+	// at least PackedSize() bytes. It returns the bytes written.
+	Pack(local []byte, wire []byte) int
+	// Unpack copies wire (PackedSize() bytes) into the region of the local
+	// array. It returns the bytes consumed.
+	Unpack(wire []byte, local []byte) int
+}
+
+// Subarray addresses a box-shaped sub-region of a local array.
+//
+// Array describes the full extents of the local buffer; its offset gives
+// the buffer's position in the global domain, so a Sub box expressed in
+// global coordinates is located within the buffer by subtracting Array's
+// offset. ElemSize is the byte size of one element.
+type Subarray struct {
+	ElemSize int
+	Array    grid.Box // full local array (global offset + extents)
+	Sub      grid.Box // region to transfer, in global coordinates
+}
+
+// NewSubarray validates and builds a Subarray. The sub box must lie within
+// the array box and elemSize must be positive.
+func NewSubarray(elemSize int, array, sub grid.Box) (*Subarray, error) {
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("datatype: element size %d must be positive", elemSize)
+	}
+	if array.NDims != sub.NDims {
+		return nil, fmt.Errorf("datatype: array is %dD but sub-region is %dD", array.NDims, sub.NDims)
+	}
+	if !array.Contains(sub) {
+		return nil, fmt.Errorf("datatype: sub-region %v not contained in array %v", sub, array)
+	}
+	return &Subarray{ElemSize: elemSize, Array: array, Sub: sub}, nil
+}
+
+// PackedSize implements Type.
+func (s *Subarray) PackedSize() int { return s.Sub.Volume() * s.ElemSize }
+
+// rowGeometry returns the parameters of the row-run copy loop: the byte
+// offset of the first element, the length of one contiguous run, the
+// strides between consecutive runs along y and z, and the run counts.
+func (s *Subarray) rowGeometry() (start, run, strideY, strideZ, ny, nz int) {
+	local := s.Sub.LocalTo(s.Array)
+	w := s.Array.Dims[0]
+	h := 1
+	if s.Array.NDims >= 2 {
+		h = s.Array.Dims[1]
+	}
+	start = ((local.Offset[2]*h)+local.Offset[1])*w + local.Offset[0]
+	start *= s.ElemSize
+	run = local.Dims[0] * s.ElemSize
+	strideY = w * s.ElemSize
+	strideZ = w * h * s.ElemSize
+	ny = local.Dims[1]
+	nz = local.Dims[2]
+	return
+}
+
+// Pack implements Type.
+func (s *Subarray) Pack(local []byte, wire []byte) int {
+	if s.Sub.Empty() {
+		return 0
+	}
+	start, run, strideY, strideZ, ny, nz := s.rowGeometry()
+	w := 0
+	for z := 0; z < nz; z++ {
+		rowBase := start + z*strideZ
+		for y := 0; y < ny; y++ {
+			copy(wire[w:w+run], local[rowBase:rowBase+run])
+			w += run
+			rowBase += strideY
+		}
+	}
+	return w
+}
+
+// Unpack implements Type.
+func (s *Subarray) Unpack(wire []byte, local []byte) int {
+	if s.Sub.Empty() {
+		return 0
+	}
+	start, run, strideY, strideZ, ny, nz := s.rowGeometry()
+	r := 0
+	for z := 0; z < nz; z++ {
+		rowBase := start + z*strideZ
+		for y := 0; y < ny; y++ {
+			copy(local[rowBase:rowBase+run], wire[r:r+run])
+			r += run
+			rowBase += strideY
+		}
+	}
+	return r
+}
+
+// String describes the subarray for diagnostics.
+func (s *Subarray) String() string {
+	return fmt.Sprintf("subarray{%v of %v, %dB elems}", s.Sub, s.Array, s.ElemSize)
+}
+
+// Contiguous is a Type covering an entire contiguous byte range — the
+// degenerate datatype used for already-linear payloads such as streamed
+// simulation slabs.
+type Contiguous struct {
+	Bytes int
+}
+
+// PackedSize implements Type.
+func (c Contiguous) PackedSize() int { return c.Bytes }
+
+// Pack implements Type.
+func (c Contiguous) Pack(local []byte, wire []byte) int {
+	return copy(wire[:c.Bytes], local[:c.Bytes])
+}
+
+// Unpack implements Type.
+func (c Contiguous) Unpack(wire []byte, local []byte) int {
+	return copy(local[:c.Bytes], wire[:c.Bytes])
+}
+
+// Empty is a zero-size Type used for peers that exchange no data in a
+// given round (the alltoallw slots MPI would fill with zero counts).
+type Empty struct{}
+
+// PackedSize implements Type.
+func (Empty) PackedSize() int { return 0 }
+
+// Pack implements Type.
+func (Empty) Pack([]byte, []byte) int { return 0 }
+
+// Unpack implements Type.
+func (Empty) Unpack([]byte, []byte) int { return 0 }

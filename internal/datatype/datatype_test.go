@@ -1,0 +1,219 @@
+package datatype
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ddr/internal/grid"
+)
+
+// fillPattern writes a distinct byte pattern derived from the element's
+// global coordinates into a local array buffer.
+func fillPattern(buf []byte, array grid.Box, elemSize int) {
+	w := array.Dims[0]
+	h := array.Dims[1]
+	idx := 0
+	for z := 0; z < array.Dims[2]; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				gx := array.Offset[0] + x
+				gy := array.Offset[1] + y
+				gz := array.Offset[2] + z
+				v := uint32(gx + 1000*gy + 1000000*gz)
+				for b := 0; b < elemSize; b++ {
+					buf[idx*elemSize+b] = byte(v >> (8 * (b % 4)))
+				}
+				idx++
+			}
+		}
+	}
+}
+
+func TestNewSubarrayValidation(t *testing.T) {
+	arr := grid.Box2(0, 0, 8, 8)
+	if _, err := NewSubarray(0, arr, grid.Box2(0, 0, 2, 2)); err == nil {
+		t.Error("zero element size accepted")
+	}
+	if _, err := NewSubarray(4, arr, grid.Box1(0, 2)); err == nil {
+		t.Error("dimensionality mismatch accepted")
+	}
+	if _, err := NewSubarray(4, arr, grid.Box2(6, 6, 4, 4)); err == nil {
+		t.Error("out-of-bounds sub-region accepted")
+	}
+	s, err := NewSubarray(4, arr, grid.Box2(4, 0, 4, 4))
+	if err != nil {
+		t.Fatalf("NewSubarray: %v", err)
+	}
+	if s.PackedSize() != 4*4*4 {
+		t.Errorf("PackedSize = %d, want 64", s.PackedSize())
+	}
+}
+
+func TestPackE1Row(t *testing.T) {
+	// E1 from the paper: rank 0 owns row y=0 of an 8x8 float32 domain and
+	// must send its right half (x in [4,8)) to rank 1.
+	chunk := grid.Box2(0, 0, 8, 1)
+	overlap := grid.Box2(4, 0, 4, 1)
+	s, err := NewSubarray(4, chunk, overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := make([]byte, 8*4)
+	for x := 0; x < 8; x++ {
+		binary.LittleEndian.PutUint32(local[4*x:], uint32(x))
+	}
+	wire := make([]byte, s.PackedSize())
+	if n := s.Pack(local, wire); n != 16 {
+		t.Fatalf("Pack wrote %d bytes, want 16", n)
+	}
+	for i := 0; i < 4; i++ {
+		if got := binary.LittleEndian.Uint32(wire[4*i:]); got != uint32(4+i) {
+			t.Errorf("wire[%d] = %d, want %d", i, got, 4+i)
+		}
+	}
+}
+
+func TestUnpackIntoQuadrant(t *testing.T) {
+	// Receiving side of E1: rank 0 needs quadrant (0,0)+(4,4) and receives
+	// the sub-row (0,1)+(4,1) from rank 1.
+	need := grid.Box2(0, 0, 4, 4)
+	overlap := grid.Box2(0, 1, 4, 1)
+	s, err := NewSubarray(1, need, overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := make([]byte, need.Volume())
+	wire := []byte{0xA, 0xB, 0xC, 0xD}
+	if n := s.Unpack(wire, local); n != 4 {
+		t.Fatalf("Unpack consumed %d bytes, want 4", n)
+	}
+	// Row y=1 of the 4x4 buffer is elements 4..7.
+	if !bytes.Equal(local[4:8], wire) {
+		t.Errorf("row 1 = %v, want %v", local[4:8], wire)
+	}
+	for _, i := range []int{0, 3, 8, 15} {
+		if local[i] != 0 {
+			t.Errorf("element %d disturbed: %d", i, local[i])
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip3D(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		elemSize := []int{1, 2, 4, 8}[rng.Intn(4)]
+		array := grid.Box3(rng.Intn(5), rng.Intn(5), rng.Intn(5),
+			1+rng.Intn(9), 1+rng.Intn(9), 1+rng.Intn(9))
+		sub := grid.RandomBoxIn(rng, array)
+		s, err := NewSubarray(elemSize, array, sub)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		src := make([]byte, array.Volume()*elemSize)
+		fillPattern(src, array, elemSize)
+		wire := make([]byte, s.PackedSize())
+		if s.Pack(src, wire) != s.PackedSize() {
+			return false
+		}
+		// Unpack into a zeroed buffer of the same geometry; the sub-region
+		// must match src exactly and everything else must stay zero.
+		dst := make([]byte, len(src))
+		if s.Unpack(wire, dst) != s.PackedSize() {
+			return false
+		}
+		w, h := array.Dims[0], array.Dims[1]
+		for z := 0; z < array.Dims[2]; z++ {
+			for y := 0; y < h; y++ {
+				for x := 0; x < w; x++ {
+					idx := (((z*h)+y)*w + x) * elemSize
+					p := [3]int{array.Offset[0] + x, array.Offset[1] + y, array.Offset[2] + z}
+					inside := sub.ContainsPoint(p)
+					for b := 0; b < elemSize; b++ {
+						if inside && dst[idx+b] != src[idx+b] {
+							return false
+						}
+						if !inside && dst[idx+b] != 0 {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackFullArrayIsIdentity(t *testing.T) {
+	array := grid.Box2(2, 3, 7, 5)
+	s, err := NewSubarray(2, array, array)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := make([]byte, array.Volume()*2)
+	fillPattern(src, array, 2)
+	wire := make([]byte, s.PackedSize())
+	s.Pack(src, wire)
+	if !bytes.Equal(wire, src) {
+		t.Error("packing the whole array should be a straight copy")
+	}
+}
+
+func TestEmptySubarray(t *testing.T) {
+	array := grid.Box1(0, 10)
+	s, err := NewSubarray(4, array, grid.Box1(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PackedSize() != 0 {
+		t.Errorf("PackedSize = %d, want 0", s.PackedSize())
+	}
+	if n := s.Pack(make([]byte, 40), nil); n != 0 {
+		t.Errorf("Pack = %d, want 0", n)
+	}
+}
+
+func TestContiguous(t *testing.T) {
+	c := Contiguous{Bytes: 6}
+	src := []byte{1, 2, 3, 4, 5, 6, 7}
+	wire := make([]byte, 6)
+	if n := c.Pack(src, wire); n != 6 {
+		t.Fatalf("Pack = %d", n)
+	}
+	dst := make([]byte, 7)
+	if n := c.Unpack(wire, dst); n != 6 {
+		t.Fatalf("Unpack = %d", n)
+	}
+	if !bytes.Equal(dst[:6], src[:6]) || dst[6] != 0 {
+		t.Errorf("dst = %v", dst)
+	}
+}
+
+func TestEmptyType(t *testing.T) {
+	var e Empty
+	if e.PackedSize() != 0 || e.Pack(nil, nil) != 0 || e.Unpack(nil, nil) != 0 {
+		t.Error("Empty type moved bytes")
+	}
+}
+
+func BenchmarkPackSubarray2D(b *testing.B) {
+	array := grid.Box2(0, 0, 2048, 1024)
+	sub := grid.Box2(512, 256, 1024, 512)
+	s, err := NewSubarray(4, array, sub)
+	if err != nil {
+		b.Fatal(err)
+	}
+	local := make([]byte, array.Volume()*4)
+	wire := make([]byte, s.PackedSize())
+	b.SetBytes(int64(s.PackedSize()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Pack(local, wire)
+	}
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"ddr/internal/grid"
+	"ddr/internal/lbm"
+	"ddr/internal/mpi"
+	"ddr/internal/transit"
+)
+
+// Bridge-mode pipeline: the simulation and the analysis run as two
+// separate applications (separate worlds, possibly separate processes or
+// machines) connected only by transit's TCP bridge — the deployment shape
+// the paper's in-transit frameworks (GLEAN, ADIOS) serve.
+
+// RunInTransitBridgeViz runs the analysis application standalone: cfg.N
+// analysis ranks, each with a bridge listener bound on bindHost. Once all
+// listeners are up, ready is called with the addresses (in analysis rank
+// order) so they can be handed to the simulation side. Blocks until all
+// steps have been received and rendered.
+func RunInTransitBridgeViz(cfg InTransitConfig, bindHost string, ready func(addrs []string)) (*InTransitResult, error) {
+	cfg.fillDefaults()
+	if cfg.OutputEvery <= 0 || cfg.Iterations < cfg.OutputEvery {
+		return nil, fmt.Errorf("experiments: need OutputEvery in (0, Iterations]")
+	}
+	if err := cfg.validateFields(); err != nil {
+		return nil, err
+	}
+	if bindHost == "" {
+		bindHost = "127.0.0.1:0"
+	}
+	listeners := make([]*transit.BridgeListener, cfg.N)
+	addrs := make([]string, cfg.N)
+	for i := range listeners {
+		l, err := transit.ListenBridge(bindHost)
+		if err != nil {
+			for _, prev := range listeners[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr()
+	}
+	defer func() {
+		for _, l := range listeners {
+			l.Close()
+		}
+	}()
+	if ready != nil {
+		ready(addrs)
+	}
+
+	blocks := grid.SplitEven(cfg.M, cfg.N)
+	var (
+		mu  sync.Mutex
+		res *InTransitResult
+	)
+	err := mpi.Run(cfg.N, func(c *mpi.Comm) error {
+		me := c.Rank()
+		r, err := runConsumer(consumerEnv{
+			local: c,
+			producersOf: func(rank int) (int, int) {
+				return blocks[rank], blocks[rank+1]
+			},
+			recv: func(step, producer int) ([]byte, error) {
+				return listeners[me].Recv(step, producer)
+			},
+		}, cfg)
+		if err != nil {
+			return err
+		}
+		if r != nil {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("experiments: bridge consumer produced no result")
+	}
+	return res, nil
+}
+
+// RunInTransitBridgeSim runs the simulation application standalone: cfg.M
+// LBM ranks, each dialing its assigned analysis address (addrs in
+// analysis rank order, as published by RunInTransitBridgeViz).
+func RunInTransitBridgeSim(cfg InTransitConfig, addrs []string) error {
+	cfg.fillDefaults()
+	if cfg.OutputEvery <= 0 || cfg.Iterations < cfg.OutputEvery {
+		return fmt.Errorf("experiments: need OutputEvery in (0, Iterations]")
+	}
+	if err := cfg.validateFields(); err != nil {
+		return err
+	}
+	if len(addrs) != cfg.N {
+		return fmt.Errorf("experiments: %d bridge addresses for %d analysis ranks", len(addrs), cfg.N)
+	}
+	blocks := grid.SplitEven(cfg.M, cfg.N)
+	consumerOf := func(p int) int {
+		for c := 0; c < cfg.N; c++ {
+			if p >= blocks[c] && p < blocks[c+1] {
+				return c
+			}
+		}
+		return -1
+	}
+	params := lbm.Params{
+		Width:         cfg.GridW,
+		Height:        cfg.GridH,
+		Viscosity:     cfg.Viscosity,
+		InletVelocity: cfg.InletVelocity,
+		Barrier:       lbm.CylinderBarrier(cfg.GridW/4, cfg.GridH/2, cfg.GridH/9),
+	}
+	return mpi.Run(cfg.M, func(c *mpi.Comm) error {
+		sender, err := transit.DialBridge(addrs[consumerOf(c.Rank())], c.Rank())
+		if err != nil {
+			return err
+		}
+		defer sender.Close()
+		return runProducer(c, params, cfg, sender.Send)
+	})
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestBridgePipelineMatchesCoupled runs the identical workload through
+// the in-world coupling and through the two-application bridge; the
+// consumer-side accounting must agree exactly (same frames, same JPEG
+// bytes — the pipelines are deterministic).
+func TestBridgePipelineMatchesCoupled(t *testing.T) {
+	cfg := InTransitConfig{
+		M: 4, N: 2,
+		GridW: 48, GridH: 36,
+		Iterations:  20,
+		OutputEvery: 10,
+	}
+	coupled, err := RunInTransit(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg     sync.WaitGroup
+		simErr error
+	)
+	addrs := make(chan []string, 1)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		simErr = RunInTransitBridgeSim(cfg, <-addrs)
+	}()
+	bridged, err := RunInTransitBridgeViz(cfg, "", func(a []string) { addrs <- a })
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if simErr != nil {
+		t.Fatal(simErr)
+	}
+	if bridged.Frames != coupled.Frames {
+		t.Errorf("frames %d vs %d", bridged.Frames, coupled.Frames)
+	}
+	if bridged.RawBytes != coupled.RawBytes {
+		t.Errorf("raw bytes %d vs %d", bridged.RawBytes, coupled.RawBytes)
+	}
+	if bridged.ProcessedBytes != coupled.ProcessedBytes {
+		t.Errorf("processed bytes %d vs %d (pipelines should be deterministic)",
+			bridged.ProcessedBytes, coupled.ProcessedBytes)
+	}
+}
+
+func TestBridgePipelineValidation(t *testing.T) {
+	cfg := InTransitConfig{M: 2, N: 1, GridW: 32, GridH: 16, Iterations: 10, OutputEvery: 5}
+	if err := RunInTransitBridgeSim(cfg, nil); err == nil {
+		t.Error("missing addresses accepted")
+	}
+	bad := cfg
+	bad.OutputEvery = 0
+	if _, err := RunInTransitBridgeViz(bad, "", nil); err == nil {
+		t.Error("zero OutputEvery accepted")
+	}
+	if err := RunInTransitBridgeSim(bad, []string{"x"}); err == nil {
+		t.Error("zero OutputEvery accepted by sim side")
+	}
+}

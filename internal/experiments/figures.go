@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"fmt"
+	"image"
+	"io"
+	"sync"
+
+	"ddr/internal/core"
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+	"ddr/internal/render"
+	"ddr/internal/tiff"
+)
+
+// Table1Row is one rank's DDR_SetupDataMapping parameters for the paper's
+// running example E1 (Table I).
+type Table1Row struct {
+	Rank, NProcs, NChunks int
+	OwnDims, OwnOffsets   string
+	NeedDims, NeedOffsets string
+}
+
+// E1Geometry returns the paper's E1 layout for one rank of four: two 8x1
+// rows owned, one 4x4 quadrant needed (Figure 1 / Algorithm 1).
+func E1Geometry(rank int) (own []grid.Box, need grid.Box) {
+	own = []grid.Box{
+		grid.Box2(0, rank, 8, 1),
+		grid.Box2(0, rank+4, 8, 1),
+	}
+	right := rank % 2
+	bottom := rank / 2
+	return own, grid.Box2(4*right, 4*bottom, 4, 4)
+}
+
+// Table1 reproduces Table I: the parameter values each rank passes to
+// DDR_SetupDataMapping in example E1.
+func Table1() []Table1Row {
+	rows := make([]Table1Row, 4)
+	for rank := range rows {
+		own, need := E1Geometry(rank)
+		rows[rank] = Table1Row{
+			Rank:        rank,
+			NProcs:      4,
+			NChunks:     len(own),
+			OwnDims:     fmt.Sprintf("{[%d,%d],[%d,%d]}", own[0].Dims[0], own[0].Dims[1], own[1].Dims[0], own[1].Dims[1]),
+			OwnOffsets:  fmt.Sprintf("{[%d,%d],[%d,%d]}", own[0].Offset[0], own[0].Offset[1], own[1].Offset[0], own[1].Offset[1]),
+			NeedDims:    fmt.Sprintf("[%d,%d]", need.Dims[0], need.Dims[1]),
+			NeedOffsets: fmt.Sprintf("[%d,%d]", need.Offset[0], need.Offset[1]),
+		}
+	}
+	return rows
+}
+
+// WriteTable1 renders Table I.
+func WriteTable1(w io.Writer, rows []Table1Row) {
+	fmt.Fprintln(w, "Table I: DDR_SetupDataMapping parameter values for E1")
+	fmt.Fprintf(w, "%-7s %3s %3s %3s %-17s %-17s %-7s %-7s %s\n",
+		"", "P1", "P2", "P3", "P4 (dims)", "P5 (offsets)", "P6", "P7", "P8")
+	for _, r := range rows {
+		fmt.Fprintf(w, "Rank %-2d %3d %3d %3d %-17s %-17s %-7s %-7s desc\n",
+			r.Rank, r.Rank, r.NProcs, r.NChunks, r.OwnDims, r.OwnOffsets, r.NeedDims, r.NeedOffsets)
+	}
+}
+
+// RenderFigure2 reproduces Figure 2's volume rendering: a synthetic CT
+// volume is generated as a slice stack, bricked over `procs` ranks,
+// rendered in parallel, and composited into one frame at rank 0.
+func RenderFigure2(vw, vh, vd, procs int) (*image.RGBA, error) {
+	var (
+		mu  sync.Mutex
+		out *image.RGBA
+	)
+	nx, ny, nz := grid.Factor3(procs)
+	domain := grid.Box3(0, 0, 0, vw, vh, vd)
+	bricks := grid.Bricks3D(domain, nx, ny, nz)
+	err := mpi.Run(procs, func(c *mpi.Comm) error {
+		box := bricks[c.Rank()]
+		vals := make([]float32, box.Volume())
+		i := 0
+		for z := 0; z < box.Dims[2]; z++ {
+			img, err := tiff.GenerateSlice(vw, vh, vd, box.Offset[2]+z, 8, tiff.FormatUint)
+			if err != nil {
+				return err
+			}
+			for y := 0; y < box.Dims[1]; y++ {
+				gy := box.Offset[1] + y
+				for x := 0; x < box.Dims[0]; x++ {
+					vals[i] = float32(img.Pixels[gy*vw+box.Offset[0]+x]) / 255
+					i++
+				}
+			}
+		}
+		p, err := render.RenderBrick(render.Brick{Box: box, Values: vals}, render.CTTransfer)
+		if err != nil {
+			return err
+		}
+		img, err := render.GatherComposite(c, 0, p, vw, vh)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			out = img
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if out == nil {
+		return nil, fmt.Errorf("experiments: figure 2 produced no image")
+	}
+	return out, nil
+}
+
+// Figure5Mapping describes the slab-to-rectangle regrid of Figure 5 for
+// an M-producer, N-consumer coupling over a w×h field: the chunks each
+// consumer receives and the schedule of the DDR plan that regrids them.
+type Figure5Mapping struct {
+	ConsumerNeeds []grid.Box
+	ChunksPerCons [][]grid.Box
+	Stats         core.ScheduleStats
+}
+
+// Figure5 computes the regrid mapping without running a simulation.
+func Figure5(m, n, w, h int) (*Figure5Mapping, error) {
+	domain := grid.Box2(0, 0, w, h)
+	starts := grid.SplitEven(h, m)
+	consBlocks := grid.SplitEven(m, n)
+	out := &Figure5Mapping{}
+	rows, cols := grid.Factor2(n)
+	out.ConsumerNeeds = grid.Grid2D(domain, rows, cols)
+	allChunks := make([][]grid.Box, n)
+	for c := 0; c < n; c++ {
+		for p := consBlocks[c]; p < consBlocks[c+1]; p++ {
+			allChunks[c] = append(allChunks[c],
+				grid.Box2(0, starts[p], w, starts[p+1]-starts[p]))
+		}
+	}
+	out.ChunksPerCons = allChunks
+	plan, err := core.NewPlanFromGeometry(0, 4, allChunks, out.ConsumerNeeds)
+	if err != nil {
+		return nil, err
+	}
+	out.Stats = plan.Stats()
+	return out, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"ddr/internal/mpi"
+)
+
+// FrameStats are the per-frame scalar reductions the analysis side
+// computes in parallel — the non-visual kind of in-transit analysis the
+// paper's §II-C motivates (each consumer reduces its own rectangle, then
+// one Allreduce merges the moments).
+type FrameStats struct {
+	Step     int
+	Field    string
+	Min, Max float64
+	Mean     float64
+	RMS      float64
+	Cells    int64
+}
+
+// computeFrameStats reduces this rank's field values and merges across
+// the communicator; every rank returns the global stats.
+func computeFrameStats(c *mpi.Comm, step int, field string, vals []float32) (FrameStats, error) {
+	localMin, localMax := math.Inf(1), math.Inf(-1)
+	var sum, sumSq float64
+	for _, v := range vals {
+		f := float64(v)
+		localMin = math.Min(localMin, f)
+		localMax = math.Max(localMax, f)
+		sum += f
+		sumSq += f * f
+	}
+	mins, err := c.AllreduceFloat64([]float64{localMin}, mpi.OpMin)
+	if err != nil {
+		return FrameStats{}, err
+	}
+	maxs, err := c.AllreduceFloat64([]float64{localMax}, mpi.OpMax)
+	if err != nil {
+		return FrameStats{}, err
+	}
+	sums, err := c.AllreduceFloat64([]float64{sum, sumSq, float64(len(vals))}, mpi.OpSum)
+	if err != nil {
+		return FrameStats{}, err
+	}
+	cells := sums[2]
+	if cells == 0 {
+		return FrameStats{}, fmt.Errorf("experiments: empty frame for stats")
+	}
+	return FrameStats{
+		Step:  step,
+		Field: field,
+		Min:   mins[0],
+		Max:   maxs[0],
+		Mean:  sums[0] / cells,
+		RMS:   math.Sqrt(sums[1] / cells),
+		Cells: int64(cells),
+	}, nil
+}
+
+// WriteFrameStatsCSV renders collected frame statistics as CSV.
+func WriteFrameStatsCSV(w io.Writer, stats []FrameStats) error {
+	if _, err := fmt.Fprintln(w, "step,field,min,max,mean,rms,cells"); err != nil {
+		return err
+	}
+	for _, s := range stats {
+		if _, err := fmt.Fprintf(w, "%d,%s,%g,%g,%g,%g,%d\n",
+			s.Step, s.Field, s.Min, s.Max, s.Mean, s.RMS, s.Cells); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"image"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"ddr/internal/colormap"
+	"ddr/internal/core"
+	"ddr/internal/grid"
+	"ddr/internal/lbm3d"
+	"ddr/internal/mpi"
+	"ddr/internal/render"
+	"ddr/internal/transit"
+)
+
+// The 3D pipeline joins the paper's two use cases: an M-rank D3Q19
+// simulation streams its speed volume in-transit to N analysis ranks,
+// which use DDR to regrid the arriving z-slabs into near-cube rendering
+// bricks (use case A's layout) and volume-render each frame (Figure 2's
+// DVR) — live volumetric monitoring of a running 3D simulation.
+
+// InTransit3DConfig parameterizes the volumetric pipeline.
+type InTransit3DConfig struct {
+	M, N          int
+	W, H, D       int // simulation volume extents
+	Iterations    int
+	OutputEvery   int
+	JPEGQuality   int
+	OutDir        string // when non-empty, frames are written there
+	Viscosity     float64
+	InletVelocity float64
+}
+
+func (cfg *InTransit3DConfig) fillDefaults() {
+	if cfg.JPEGQuality == 0 {
+		cfg.JPEGQuality = 80
+	}
+	if cfg.Viscosity == 0 {
+		cfg.Viscosity = 0.03
+	}
+	if cfg.InletVelocity == 0 {
+		cfg.InletVelocity = 0.08
+	}
+}
+
+// InTransit3DResult summarizes a volumetric pipeline run.
+type InTransit3DResult struct {
+	Frames         int
+	RawBytes       int64 // float32 volume bytes that would have been written
+	ProcessedBytes int64 // JPEG bytes produced
+	ReductionPct   float64
+	LastFrame      *image.RGBA
+}
+
+// speedTransfer builds a DVR transfer function for a speed field
+// normalized around the inlet velocity u0: quiet flow is transparent,
+// the slow wake renders cool and translucent, accelerated flow renders
+// warm and denser.
+func speedTransfer(u0 float64) render.TransferFunc {
+	return func(v float64) (r, g, b, a float64) {
+		dev := (v - u0) / u0 // relative deviation from free stream
+		switch {
+		case dev < -0.15: // wake / stagnation
+			t := minF(1, (-dev-0.15)/0.85)
+			return 0.2 + 0.3*t, 0.4 + 0.4*t, 0.9, 0.02 + 0.2*t
+		case dev > 0.15: // accelerated flow around the obstacle
+			t := minF(1, (dev-0.15)/0.85)
+			return 0.9, 0.5 - 0.3*t, 0.2, 0.02 + 0.25*t
+		default: // free stream: nearly invisible
+			return 0, 0, 0, 0
+		}
+	}
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// RunInTransit3D executes the volumetric pipeline on M+N in-process ranks.
+func RunInTransit3D(cfg InTransit3DConfig) (*InTransit3DResult, error) {
+	cfg.fillDefaults()
+	if cfg.OutputEvery <= 0 || cfg.Iterations < cfg.OutputEvery {
+		return nil, fmt.Errorf("experiments: need OutputEvery in (0, Iterations]")
+	}
+	params := lbm3d.Params{
+		Width: cfg.W, Height: cfg.H, Depth: cfg.D,
+		Viscosity:     cfg.Viscosity,
+		InletVelocity: cfg.InletVelocity,
+		Barrier:       lbm3d.SphereBarrier(cfg.W/4, cfg.H/2, cfg.D/2, cfg.H/6),
+	}
+	var (
+		mu  sync.Mutex
+		res *InTransit3DResult
+	)
+	err := mpi.Run(cfg.M+cfg.N, func(world *mpi.Comm) error {
+		cp, err := transit.NewCoupling(world, cfg.M, cfg.N)
+		if err != nil {
+			return err
+		}
+		if cp.Role == transit.Producer {
+			return runProducer3D(cp, params, cfg)
+		}
+		r, err := runConsumer3D(cp, cfg)
+		if err != nil {
+			return err
+		}
+		if r != nil {
+			mu.Lock()
+			res = r
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("experiments: 3D consumer produced no result")
+	}
+	return res, nil
+}
+
+func runProducer3D(cp *transit.Coupling, params lbm3d.Params, cfg InTransit3DConfig) error {
+	sim, err := lbm3d.NewParallel(cp.Local, params)
+	if err != nil {
+		return err
+	}
+	step := 0
+	for it := 1; it <= cfg.Iterations; it++ {
+		if err := sim.Step(); err != nil {
+			return err
+		}
+		if it%cfg.OutputEvery != 0 {
+			continue
+		}
+		payload, err := transit.EncodeFields([]string{"speed"}, [][]float32{sim.Slab.SpeedField()})
+		if err != nil {
+			return err
+		}
+		if err := cp.Send(step, payload); err != nil {
+			return err
+		}
+		step++
+	}
+	return nil
+}
+
+func runConsumer3D(cp *transit.Coupling, cfg InTransit3DConfig) (*InTransit3DResult, error) {
+	local := cp.Local
+	domain := grid.Box3(0, 0, 0, cfg.W, cfg.H, cfg.D)
+	starts := grid.SplitEven(cfg.D, cfg.M)
+	slabBox := func(p int) grid.Box {
+		return grid.Box3(0, 0, starts[p], cfg.W, cfg.H, starts[p+1]-starts[p])
+	}
+	nx, ny, nz := grid.Factor3(cfg.N)
+	bricks := grid.Bricks3D(domain, nx, ny, nz)
+	need := bricks[local.Rank()]
+
+	lo, hi := cp.ProducersOf(local.Rank())
+	myChunks := make([]grid.Box, 0, hi-lo)
+	for p := lo; p < hi; p++ {
+		myChunks = append(myChunks, slabBox(p))
+	}
+	desc, err := core.NewDataDescriptor(local.Size(), core.Layout3D, core.Float32)
+	if err != nil {
+		return nil, err
+	}
+	if err := desc.SetupDataMapping(local, myChunks, need); err != nil {
+		return nil, err
+	}
+
+	tf := speedTransfer(cfg.InletVelocity)
+	res := &InTransit3DResult{}
+	needBuf := make([]float32, need.Volume())
+	steps := cfg.Iterations / cfg.OutputEvery
+	for step := 0; step < steps; step++ {
+		msgs, err := cp.Recv(step)
+		if err != nil {
+			return nil, err
+		}
+		bufs := make([][]float32, len(msgs))
+		for i, msg := range msgs {
+			names, fields, err := transit.DecodeFields(msg.Data)
+			if err != nil || len(names) != 1 || names[0] != "speed" {
+				return nil, fmt.Errorf("experiments: bad 3D frame from producer %d: %v", msg.ProducerRank, err)
+			}
+			if len(fields[0]) != myChunks[i].Volume() {
+				return nil, fmt.Errorf("experiments: slab from producer %d has %d values, want %d",
+					msg.ProducerRank, len(fields[0]), myChunks[i].Volume())
+			}
+			bufs[i] = fields[0]
+		}
+		if err := desc.ReorganizeFloat32(local, bufs, needBuf); err != nil {
+			return nil, err
+		}
+
+		partial, err := render.RenderBrick(render.Brick{Box: need, Values: needBuf}, tf)
+		if err != nil {
+			return nil, err
+		}
+		img, err := render.GatherComposite(local, 0, partial, cfg.W, cfg.H)
+		if err != nil {
+			return nil, err
+		}
+		if local.Rank() != 0 {
+			continue
+		}
+		var jbuf bytes.Buffer
+		if err := colormap.EncodeJPEG(&jbuf, img, cfg.JPEGQuality); err != nil {
+			return nil, err
+		}
+		if cfg.OutDir != "" {
+			path := filepath.Join(cfg.OutDir, fmt.Sprintf("volume_%04d.jpg", step))
+			if err := os.WriteFile(path, jbuf.Bytes(), 0o644); err != nil {
+				return nil, err
+			}
+		}
+		res.Frames++
+		res.RawBytes += int64(domain.Volume()) * 4
+		res.ProcessedBytes += int64(jbuf.Len())
+		res.LastFrame = img
+	}
+	if local.Rank() != 0 {
+		return nil, nil
+	}
+	if res.RawBytes > 0 {
+		res.ReductionPct = 100 * (1 - float64(res.ProcessedBytes)/float64(res.RawBytes))
+	}
+	return res, nil
+}

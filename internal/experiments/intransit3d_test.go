@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+// TestRunInTransit3DSmall drives the full volumetric pipeline — 3D LBM,
+// in-transit streaming, DDR slab→brick regrid, parallel DVR — at
+// miniature scale.
+func TestRunInTransit3DSmall(t *testing.T) {
+	res, err := RunInTransit3D(InTransit3DConfig{
+		M: 4, N: 2,
+		W: 20, H: 12, D: 12,
+		Iterations:  30,
+		OutputEvery: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 3 {
+		t.Errorf("frames = %d, want 3", res.Frames)
+	}
+	if res.RawBytes != int64(3)*20*12*12*4 {
+		t.Errorf("raw bytes %d", res.RawBytes)
+	}
+	if res.ProcessedBytes <= 0 || res.ProcessedBytes >= res.RawBytes {
+		t.Errorf("processed %d vs raw %d", res.ProcessedBytes, res.RawBytes)
+	}
+	if res.LastFrame == nil || res.LastFrame.Bounds().Dx() != 20 || res.LastFrame.Bounds().Dy() != 12 {
+		t.Error("missing or mis-sized final frame")
+	}
+	// The wake must be visible: some pixel must differ from the black
+	// background.
+	nonBlack := 0
+	for i := 0; i < len(res.LastFrame.Pix); i += 4 {
+		if res.LastFrame.Pix[i] != 0 || res.LastFrame.Pix[i+1] != 0 || res.LastFrame.Pix[i+2] != 0 {
+			nonBlack++
+		}
+	}
+	if nonBlack == 0 {
+		t.Error("rendered frame entirely black; wake invisible")
+	}
+}
+
+func TestRunInTransit3DValidation(t *testing.T) {
+	if _, err := RunInTransit3D(InTransit3DConfig{M: 2, N: 1, W: 8, H: 8, D: 8,
+		Iterations: 5, OutputEvery: 0}); err == nil {
+		t.Error("zero OutputEvery accepted")
+	}
+	if _, err := RunInTransit3D(InTransit3DConfig{M: 1, N: 2, W: 8, H: 8, D: 8,
+		Iterations: 10, OutputEvery: 5}); err == nil {
+		t.Error("more consumers than producers accepted")
+	}
+}
+
+func TestSpeedTransferShape(t *testing.T) {
+	tf := speedTransfer(0.1)
+	_, _, _, aFree := tf(0.1)
+	if aFree != 0 {
+		t.Errorf("free stream opacity %g, want 0", aFree)
+	}
+	_, _, bWake, aWake := tf(0.02)
+	if aWake <= 0 || bWake < 0.8 {
+		t.Errorf("wake not cool/visible: b=%g a=%g", bWake, aWake)
+	}
+	rFast, _, _, aFast := tf(0.19)
+	if aFast <= 0 || rFast < 0.8 {
+		t.Errorf("fast flow not warm/visible: r=%g a=%g", rFast, aFast)
+	}
+}

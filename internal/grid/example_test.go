@@ -1,0 +1,58 @@
+package grid_test
+
+import (
+	"fmt"
+
+	"ddr/internal/grid"
+)
+
+// ExampleSlabs shows the slab decomposition the paper's LBM simulation
+// uses: horizontal slices so each rank talks to at most two neighbors.
+func ExampleSlabs() {
+	domain := grid.Box2(0, 0, 8, 10)
+	for i, s := range grid.Slabs(domain, 1, 3) {
+		fmt.Printf("rank %d: %v\n", i, s)
+	}
+	// Output:
+	// rank 0: (0,0)+(8,4)
+	// rank 1: (0,4)+(8,3)
+	// rank 2: (0,7)+(8,3)
+}
+
+// ExampleFactor3 shows the near-cube factorizations behind the paper's
+// 3^3..6^3 process counts.
+func ExampleFactor3() {
+	for _, p := range []int{27, 64, 12} {
+		x, y, z := grid.Factor3(p)
+		fmt.Printf("%d = %dx%dx%d\n", p, x, y, z)
+	}
+	// Output:
+	// 27 = 3x3x3
+	// 64 = 4x4x4
+	// 12 = 2x2x3
+}
+
+// ExampleBox_Grow shows halo-region computation with domain clamping.
+func ExampleBox_Grow() {
+	domain := grid.Box2(0, 0, 10, 10)
+	tile := grid.Box2(0, 4, 5, 3)
+	fmt.Println(tile.Grow(1, domain))
+	// Output:
+	// (0,3)+(6,5)
+}
+
+// ExampleRCB decomposes for a rank count that does not factor nicely.
+func ExampleRCB() {
+	boxes, err := grid.RCB(grid.Box3(0, 0, 0, 8, 8, 8), 3)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	for i, b := range boxes {
+		fmt.Printf("rank %d: %v (%d cells)\n", i, b, b.Volume())
+	}
+	// Output:
+	// rank 0: (0,0,0)+(4,4,8) (128 cells)
+	// rank 1: (0,4,0)+(4,4,8) (128 cells)
+	// rank 2: (4,0,0)+(4,8,8) (256 cells)
+}

@@ -1,0 +1,86 @@
+package grid
+
+import "math/rand"
+
+// RandomTiling splits domain into exactly parts pairwise-disjoint,
+// collectively-complete boxes by recursive KD-style bisection using rng.
+// It always succeeds when domain.Volume() >= parts; otherwise it returns
+// fewer boxes (one per element). The result is suitable as a random
+// "owned data" layout for redistribution tests.
+func RandomTiling(rng *rand.Rand, domain Box, parts int) []Box {
+	if parts <= 1 || domain.Volume() <= 1 {
+		return []Box{domain}
+	}
+	if parts > domain.Volume() {
+		parts = domain.Volume()
+	}
+	// Choose a splittable axis at random.
+	axes := make([]int, 0, MaxDims)
+	for i := 0; i < domain.NDims; i++ {
+		if domain.Dims[i] > 1 {
+			axes = append(axes, i)
+		}
+	}
+	axis := axes[rng.Intn(len(axes))]
+
+	// Split parts into two loads, then find a cut so each side has enough
+	// volume for its load.
+	leftParts := 1 + rng.Intn(parts-1)
+	rightParts := parts - leftParts
+	var cut int
+	for tries := 0; ; tries++ {
+		cut = 1 + rng.Intn(domain.Dims[axis]-1)
+		left, right := domain, domain
+		left.Dims[axis] = cut
+		right.Offset[axis] += cut
+		right.Dims[axis] -= cut
+		if left.Volume() >= leftParts && right.Volume() >= rightParts {
+			return append(
+				RandomTiling(rng, left, leftParts),
+				RandomTiling(rng, right, rightParts)...)
+		}
+		if tries > 64 {
+			// Fall back to a proportional cut, which always admits both loads
+			// when domain.Volume() >= parts.
+			leftParts = parts / 2
+			rightParts = parts - leftParts
+			cut = domain.Dims[axis] * leftParts / parts
+			if cut < 1 {
+				cut = 1
+			}
+			if cut >= domain.Dims[axis] {
+				cut = domain.Dims[axis] - 1
+			}
+			left, right = domain, domain
+			left.Dims[axis] = cut
+			right.Offset[axis] += cut
+			right.Dims[axis] -= cut
+			lp, rp := leftParts, rightParts
+			if left.Volume() < lp {
+				lp = left.Volume()
+				rp = parts - lp
+			}
+			if right.Volume() < rp {
+				rp = right.Volume()
+				lp = parts - rp
+			}
+			return append(
+				RandomTiling(rng, left, lp),
+				RandomTiling(rng, right, rp)...)
+		}
+	}
+}
+
+// RandomBoxIn returns a uniformly random non-empty box contained in domain.
+func RandomBoxIn(rng *rand.Rand, domain Box) Box {
+	out := Box{NDims: domain.NDims}
+	for i := range out.Dims {
+		out.Dims[i] = 1
+	}
+	for i := 0; i < domain.NDims; i++ {
+		w := 1 + rng.Intn(domain.Dims[i])
+		out.Dims[i] = w
+		out.Offset[i] = domain.Offset[i] + rng.Intn(domain.Dims[i]-w+1)
+	}
+	return out
+}

@@ -1,0 +1,115 @@
+package lbm
+
+import (
+	"fmt"
+
+	"ddr/internal/bov"
+	"ddr/internal/fielddata"
+	"ddr/internal/grid"
+)
+
+// Checkpointing: the nine distribution planes of the D2Q9 state are the
+// complete simulation state (macroscopic fields are derived). A
+// checkpoint is one bov volume of depth 9 — plane i holds f_i — written
+// in parallel by every slab and restartable on any rank count, because
+// each restart slab reads exactly its rows from every plane.
+
+// checkpointHeader returns the bov header for a simulation of p.
+func checkpointHeader(p Params) bov.Header {
+	return bov.Header{
+		Dims:     [3]int{p.Width, p.Height, 9},
+		ElemSize: 8,
+		Kind:     "lbm-d2q9-f64",
+	}
+}
+
+// planeBox returns the file region of plane i rows [y0, y0+ny).
+func planeBox(p Params, i, y0, ny int) grid.Box {
+	return grid.Box3(0, y0, i, p.Width, ny, 1)
+}
+
+// SaveCheckpoint writes this slab's rows of all nine distribution planes
+// into the shared checkpoint file at path. The file must already exist
+// (created by CreateCheckpoint) so concurrent writers can proceed
+// independently.
+func (s *Slab) SaveCheckpoint(path string) error {
+	v, err := bov.Open(path)
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	if v.Header() != checkpointHeader(s.P) {
+		return fmt.Errorf("lbm: checkpoint %s does not match simulation geometry", path)
+	}
+	w := s.P.Width
+	for i := 0; i < 9; i++ {
+		rows := s.f[i][w : (s.NY+1)*w] // slab rows without ghosts
+		if err := v.WriteBox(planeBox(s.P, i, s.Y0, s.NY), fielddata.Float64Bytes(rows)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadCheckpoint replaces this slab's distribution rows with the state
+// stored at path. Ghost rows are not restored; the next Step's halo
+// exchange (or the fixed-edge condition) repopulates them exactly as in a
+// live run.
+func (s *Slab) LoadCheckpoint(path string) error {
+	v, err := bov.Open(path)
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	if v.Header() != checkpointHeader(s.P) {
+		return fmt.Errorf("lbm: checkpoint %s does not match simulation geometry", path)
+	}
+	w := s.P.Width
+	for i := 0; i < 9; i++ {
+		raw, err := v.ReadBox(planeBox(s.P, i, s.Y0, s.NY))
+		if err != nil {
+			return err
+		}
+		copy(s.f[i][w:(s.NY+1)*w], fielddata.BytesFloat64(raw))
+	}
+	return nil
+}
+
+// CreateCheckpoint initializes an empty checkpoint file for a simulation
+// of p, to be filled by every slab's SaveCheckpoint.
+func CreateCheckpoint(path string, p Params) error {
+	if err := p.validate(); err != nil {
+		return err
+	}
+	v, err := bov.Create(path, checkpointHeader(p))
+	if err != nil {
+		return err
+	}
+	return v.Close()
+}
+
+// SaveCheckpoint writes the parallel simulation's full state: rank 0
+// creates the file, all ranks write their slabs.
+func (ps *Parallel) SaveCheckpoint(path string) error {
+	if ps.Comm.Rank() == 0 {
+		if err := CreateCheckpoint(path, ps.Slab.P); err != nil {
+			return err
+		}
+	}
+	if err := ps.Comm.Barrier(); err != nil {
+		return err
+	}
+	if err := ps.Slab.SaveCheckpoint(path); err != nil {
+		return err
+	}
+	return ps.Comm.Barrier()
+}
+
+// LoadCheckpoint restores the parallel simulation's state from path. The
+// restart world may have a different size than the one that saved.
+func (ps *Parallel) LoadCheckpoint(path string) error {
+	if err := ps.Slab.LoadCheckpoint(path); err != nil {
+		return err
+	}
+	return ps.Comm.Barrier()
+}

@@ -1,0 +1,144 @@
+package lbm
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"ddr/internal/mpi"
+)
+
+// TestCheckpointRestartBitExact is the core guarantee: running A steps,
+// checkpointing, restarting into fresh slabs, and running B more steps
+// must equal an uninterrupted A+B-step run exactly.
+func TestCheckpointRestartBitExact(t *testing.T) {
+	p := testParams(48, 24)
+	const a, b = 37, 23
+	path := filepath.Join(t.TempDir(), "ckpt.bov")
+
+	// Uninterrupted reference.
+	ref, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a+b; i++ {
+		ref.Step()
+	}
+	refRho, refUx, refUy := ref.Macroscopic()
+
+	// Run A steps, checkpoint.
+	first, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a; i++ {
+		first.Step()
+	}
+	if err := CreateCheckpoint(path, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.SaveCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart into a brand-new slab, run B more.
+	second, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := second.LoadCheckpoint(path); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < b; i++ {
+		second.Step()
+	}
+	rho, ux, uy := second.Macroscopic()
+	for i := range rho {
+		if rho[i] != refRho[i] || ux[i] != refUx[i] || uy[i] != refUy[i] {
+			t.Fatalf("cell %d diverged after restart: (%g,%g,%g) vs (%g,%g,%g)",
+				i, rho[i], ux[i], uy[i], refRho[i], refUx[i], refUy[i])
+		}
+	}
+}
+
+// TestCheckpointAcrossRankCounts saves from a 4-rank run and restarts on
+// 6 ranks; the continued simulation must match the serial reference
+// bit-for-bit.
+func TestCheckpointAcrossRankCounts(t *testing.T) {
+	p := testParams(40, 30)
+	const a, b = 25, 15
+	path := filepath.Join(t.TempDir(), "ckpt.bov")
+
+	ref, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a+b; i++ {
+		ref.Step()
+	}
+	refRho, _, _ := ref.Macroscopic()
+
+	err = mpi.Run(4, func(c *mpi.Comm) error {
+		ps, err := NewParallel(c, p)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < a; i++ {
+			if err := ps.Step(); err != nil {
+				return err
+			}
+		}
+		return ps.SaveCheckpoint(path)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	err = mpi.Run(6, func(c *mpi.Comm) error {
+		ps, err := NewParallel(c, p)
+		if err != nil {
+			return err
+		}
+		if err := ps.LoadCheckpoint(path); err != nil {
+			return err
+		}
+		for i := 0; i < b; i++ {
+			if err := ps.Step(); err != nil {
+				return err
+			}
+		}
+		rho, _, _ := ps.Slab.Macroscopic()
+		base := ps.Slab.Y0 * p.Width
+		for i := range rho {
+			if rho[i] != refRho[base+i] {
+				return fmt.Errorf("rank %d cell %d: %g vs %g", c.Rank(), i, rho[i], refRho[base+i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckpointGeometryMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.bov")
+	p := testParams(32, 16)
+	if err := CreateCheckpoint(path, p); err != nil {
+		t.Fatal(err)
+	}
+	other := testParams(32, 20)
+	s, err := NewSlab(other, 0, other.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SaveCheckpoint(path); err == nil {
+		t.Error("geometry mismatch accepted on save")
+	}
+	if err := s.LoadCheckpoint(path); err == nil {
+		t.Error("geometry mismatch accepted on load")
+	}
+	if err := CreateCheckpoint(filepath.Join(t.TempDir(), "x.bov"), Params{Width: 1}); err == nil {
+		t.Error("invalid params accepted")
+	}
+}

@@ -1,0 +1,16 @@
+package lbm
+
+import "ddr/internal/fielddata"
+
+// floatsToBytes serializes float64s little-endian for the wire.
+func floatsToBytes(fs []float64) []byte { return fielddata.Float64Bytes(fs) }
+
+// bytesToFloats reverses floatsToBytes.
+func bytesToFloats(b []byte) []float64 { return fielddata.BytesFloat64(b) }
+
+// Float32sToBytes serializes float32 fields (vorticity frames) for
+// streaming and redistribution.
+func Float32sToBytes(fs []float32) []byte { return fielddata.Float32Bytes(fs) }
+
+// BytesToFloat32s reverses Float32sToBytes.
+func BytesToFloat32s(b []byte) []float32 { return fielddata.BytesFloat32(b) }

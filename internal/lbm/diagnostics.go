@@ -1,0 +1,125 @@
+package lbm
+
+import (
+	"fmt"
+	"math"
+
+	"ddr/internal/mpi"
+)
+
+// PlateBarrier returns a Params.Barrier placing a thin vertical plate
+// (thickness cells wide, from y0 to y1) — the other classic
+// vortex-shedding obstacle besides the cylinder.
+func PlateBarrier(x, y0, y1, thickness int) func(px, py int) bool {
+	return func(px, py int) bool {
+		return px >= x && px < x+thickness && py >= y0 && py < y1
+	}
+}
+
+// Diagnostics summarizes the macroscopic state of a slab (or, via
+// ParallelDiagnostics, the global domain): total mass, mean kinetic
+// energy density, and the extrema of the density field over fluid cells.
+type Diagnostics struct {
+	Mass          float64
+	KineticEnergy float64 // sum of rho*|u|^2/2 over fluid cells
+	MinRho        float64
+	MaxRho        float64
+	FluidCells    int
+}
+
+// Diagnostics computes the slab-local diagnostics from the last Collide.
+func (s *Slab) Diagnostics() Diagnostics {
+	d := Diagnostics{MinRho: math.Inf(1), MaxRho: math.Inf(-1)}
+	w := s.P.Width
+	for r := 0; r < s.NY; r++ {
+		for x := 0; x < w; x++ {
+			if s.barrier[(r+1)*w+x] {
+				continue
+			}
+			idx := r*w + x
+			rho := s.rho[idx]
+			if rho == 0 {
+				continue // never collided (first step not yet run)
+			}
+			d.Mass += rho
+			d.KineticEnergy += 0.5 * rho * (s.ux[idx]*s.ux[idx] + s.uy[idx]*s.uy[idx])
+			d.MinRho = math.Min(d.MinRho, rho)
+			d.MaxRho = math.Max(d.MaxRho, rho)
+			d.FluidCells++
+		}
+	}
+	if d.FluidCells == 0 {
+		d.MinRho, d.MaxRho = 0, 0
+	}
+	return d
+}
+
+// Stable reports whether the diagnostics indicate a healthy simulation:
+// finite values and density within the low-Mach validity band.
+func (d Diagnostics) Stable() bool {
+	if d.FluidCells == 0 {
+		return false
+	}
+	for _, v := range []float64{d.Mass, d.KineticEnergy, d.MinRho, d.MaxRho} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return d.MinRho > 0.2 && d.MaxRho < 5
+}
+
+func (d Diagnostics) String() string {
+	return fmt.Sprintf("mass=%.1f ke=%.4f rho=[%.3f,%.3f] cells=%d",
+		d.Mass, d.KineticEnergy, d.MinRho, d.MaxRho, d.FluidCells)
+}
+
+// Reynolds returns the Reynolds number of the configured flow for a
+// characteristic length L (e.g. the barrier diameter): Re = u*L/nu.
+func (p Params) Reynolds(L int) float64 {
+	return p.InletVelocity * float64(L) / p.Viscosity
+}
+
+// ParallelDiagnostics reduces slab diagnostics across all ranks of the
+// simulation's communicator, returning global values on every rank.
+func (ps *Parallel) ParallelDiagnostics() (Diagnostics, error) {
+	local := ps.Slab.Diagnostics()
+	sums, err := ps.Comm.AllreduceFloat64(
+		[]float64{local.Mass, local.KineticEnergy, float64(local.FluidCells)}, mpi.OpSum)
+	if err != nil {
+		return Diagnostics{}, err
+	}
+	mn, err := ps.Comm.AllreduceFloat64([]float64{local.MinRho}, mpi.OpMin)
+	if err != nil {
+		return Diagnostics{}, err
+	}
+	mx, err := ps.Comm.AllreduceFloat64([]float64{local.MaxRho}, mpi.OpMax)
+	if err != nil {
+		return Diagnostics{}, err
+	}
+	return Diagnostics{
+		Mass:          sums[0],
+		KineticEnergy: sums[1],
+		FluidCells:    int(sums[2]),
+		MinRho:        mn[0],
+		MaxRho:        mx[0],
+	}, nil
+}
+
+// SpeedField returns |u| per slab cell as float32, a second streamable
+// variable of interest besides vorticity.
+func (s *Slab) SpeedField() []float32 {
+	out := make([]float32, len(s.ux))
+	for i := range out {
+		out[i] = float32(math.Sqrt(s.ux[i]*s.ux[i] + s.uy[i]*s.uy[i]))
+	}
+	return out
+}
+
+// DensityField returns rho per slab cell as float32.
+func (s *Slab) DensityField() []float32 {
+	out := make([]float32, len(s.rho))
+	for i := range out {
+		out[i] = float32(s.rho[i])
+	}
+	return out
+}

@@ -1,0 +1,183 @@
+package lbm
+
+import (
+	"math"
+	"testing"
+
+	"ddr/internal/mpi"
+)
+
+func TestPlateBarrier(t *testing.T) {
+	b := PlateBarrier(10, 5, 15, 2)
+	if !b(10, 5) || !b(11, 14) {
+		t.Error("plate cells excluded")
+	}
+	if b(9, 10) || b(12, 10) || b(10, 4) || b(10, 15) {
+		t.Error("non-plate cells included")
+	}
+}
+
+func TestDiagnosticsUniformFlow(t *testing.T) {
+	p := Params{Width: 20, Height: 10, Viscosity: 0.05, InletVelocity: 0.08}
+	s, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	d := s.Diagnostics()
+	if d.FluidCells != 200 {
+		t.Errorf("fluid cells %d", d.FluidCells)
+	}
+	if math.Abs(d.Mass-200) > 1e-6 {
+		t.Errorf("mass %f, want 200", d.Mass)
+	}
+	// KE per cell = rho*u^2/2 = 0.5*0.08^2.
+	wantKE := 200 * 0.5 * 0.08 * 0.08
+	if math.Abs(d.KineticEnergy-wantKE) > 1e-6 {
+		t.Errorf("ke %f, want %f", d.KineticEnergy, wantKE)
+	}
+	if !d.Stable() {
+		t.Errorf("uniform flow reported unstable: %v", d)
+	}
+}
+
+func TestDiagnosticsMassBounded(t *testing.T) {
+	// With inflow boundaries mass is not exactly conserved, but over a
+	// moderate run it must stay within a few percent of the initial mass
+	// and the simulation must remain stable.
+	p := testParams(64, 32)
+	s, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	m0 := s.Diagnostics().Mass
+	for i := 0; i < 400; i++ {
+		s.Step()
+	}
+	d := s.Diagnostics()
+	if !d.Stable() {
+		t.Fatalf("unstable after 400 steps: %v", d)
+	}
+	if rel := math.Abs(d.Mass-m0) / m0; rel > 0.05 {
+		t.Errorf("mass drifted %.2f%%", 100*rel)
+	}
+}
+
+func TestPlateShedsVorticity(t *testing.T) {
+	p := Params{
+		Width: 96, Height: 48,
+		Viscosity:     0.02,
+		InletVelocity: 0.1,
+		Barrier:       PlateBarrier(24, 16, 32, 2),
+	}
+	s, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 400; i++ {
+		s.Step()
+	}
+	vort := s.VorticityInterior(nil, nil, nil, nil)
+	var maxAbs float64
+	for _, v := range vort {
+		maxAbs = math.Max(maxAbs, math.Abs(float64(v)))
+	}
+	if maxAbs < 1e-3 {
+		t.Errorf("plate produced max |vorticity| %g", maxAbs)
+	}
+}
+
+func TestUnionBarriers(t *testing.T) {
+	u := UnionBarriers(CylinderBarrier(10, 10, 2), nil, PlateBarrier(30, 5, 15, 1))
+	if !u(10, 10) || !u(30, 10) {
+		t.Error("union missing constituent cells")
+	}
+	if u(20, 20) {
+		t.Error("union includes empty space")
+	}
+	if UnionBarriers()(1, 1) {
+		t.Error("empty union marked a cell solid")
+	}
+	// Two obstacles must both shed wakes without destabilizing the flow.
+	p := Params{
+		Width: 96, Height: 48,
+		Viscosity:     0.02,
+		InletVelocity: 0.1,
+		Barrier:       UnionBarriers(CylinderBarrier(20, 16, 4), CylinderBarrier(20, 32, 4)),
+	}
+	s, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s.Step()
+	}
+	if d := s.Diagnostics(); !d.Stable() {
+		t.Errorf("two-obstacle flow unstable: %v", d)
+	}
+}
+
+func TestReynolds(t *testing.T) {
+	p := Params{Viscosity: 0.02, InletVelocity: 0.1}
+	if got := p.Reynolds(40); math.Abs(got-200) > 1e-9 {
+		t.Errorf("Re = %f, want 200", got)
+	}
+}
+
+func TestParallelDiagnosticsMatchSerial(t *testing.T) {
+	p := testParams(48, 24)
+	serial, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		serial.Step()
+	}
+	want := serial.Diagnostics()
+	err = mpi.Run(3, func(c *mpi.Comm) error {
+		ps, err := NewParallel(c, p)
+		if err != nil {
+			return err
+		}
+		for i := 0; i < 30; i++ {
+			if err := ps.Step(); err != nil {
+				return err
+			}
+		}
+		got, err := ps.ParallelDiagnostics()
+		if err != nil {
+			return err
+		}
+		if math.Abs(got.Mass-want.Mass) > 1e-9 ||
+			math.Abs(got.KineticEnergy-want.KineticEnergy) > 1e-9 ||
+			got.FluidCells != want.FluidCells ||
+			got.MinRho != want.MinRho || got.MaxRho != want.MaxRho {
+			t.Errorf("parallel %v vs serial %v", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldExtractors(t *testing.T) {
+	p := Params{Width: 8, Height: 6, Viscosity: 0.05, InletVelocity: 0.08}
+	s, err := NewSlab(p, 0, p.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Step()
+	speed := s.SpeedField()
+	dens := s.DensityField()
+	if len(speed) != 48 || len(dens) != 48 {
+		t.Fatalf("field lengths %d/%d", len(speed), len(dens))
+	}
+	if math.Abs(float64(speed[10])-0.08) > 1e-6 {
+		t.Errorf("speed %f, want 0.08", speed[10])
+	}
+	if math.Abs(float64(dens[10])-1) > 1e-6 {
+		t.Errorf("density %f, want 1", dens[10])
+	}
+}

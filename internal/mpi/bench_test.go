@@ -1,0 +1,99 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkPingPong measures round-trip latency per transport and message
+// size.
+func BenchmarkPingPong(b *testing.B) {
+	for _, tr := range transports {
+		for _, size := range []int{16, 4096, 1 << 20} {
+			b.Run(fmt.Sprintf("%s/%dB", tr.name, size), func(b *testing.B) {
+				b.SetBytes(int64(size))
+				err := tr.run(2, func(c *Comm) error {
+					msg := make([]byte, size)
+					if c.Rank() == 0 {
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							if err := c.Send(1, 0, msg); err != nil {
+								return err
+							}
+							if _, _, _, err := c.Recv(1, 1); err != nil {
+								return err
+							}
+						}
+					} else {
+						for i := 0; i < b.N; i++ {
+							if _, _, _, err := c.Recv(0, 0); err != nil {
+								return err
+							}
+							if err := c.Send(0, 1, msg); err != nil {
+								return err
+							}
+						}
+					}
+					return nil
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCollectives measures the cost of each collective at a fixed
+// world size over the in-process transport.
+func BenchmarkCollectives(b *testing.B) {
+	const n = 8
+	payload := make([]byte, 4096)
+	cases := []struct {
+		name string
+		op   func(c *Comm) error
+	}{
+		{"Barrier", func(c *Comm) error { return c.Barrier() }},
+		{"Bcast", func(c *Comm) error {
+			_, err := c.Bcast(0, payload)
+			return err
+		}},
+		{"Allgather", func(c *Comm) error {
+			_, err := c.Allgather(payload)
+			return err
+		}},
+		{"AllreduceFloat64", func(c *Comm) error {
+			_, err := c.AllreduceFloat64([]float64{1, 2, 3, 4}, OpSum)
+			return err
+		}},
+		{"Alltoallv", func(c *Comm) error {
+			send := make([][]byte, n)
+			for i := range send {
+				send[i] = payload[:512]
+			}
+			_, err := c.Alltoallv(send)
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		b.Run(tc.name, func(b *testing.B) {
+			err := Run(n, func(c *Comm) error {
+				if c.Rank() == 0 {
+					b.ResetTimer()
+				}
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+				for i := 0; i < b.N; i++ {
+					if err := tc.op(c); err != nil {
+						return err
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}

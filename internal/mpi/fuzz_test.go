@@ -1,0 +1,151 @@
+package mpi
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestCollectivesRandomized drives the collectives with randomized sizes
+// and roots over the in-process transport: the property checked is that
+// every rank observes exactly the bytes the semantics promise.
+func TestCollectivesRandomized(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		n := 1 + rng.Intn(9)
+		root := rng.Intn(n)
+		sizes := make([]int, n)
+		for i := range sizes {
+			sizes[i] = rng.Intn(5000)
+		}
+		payload := func(rank int) []byte {
+			out := make([]byte, sizes[rank])
+			for i := range out {
+				out[i] = byte(rank*31 + i)
+			}
+			return out
+		}
+		err := Run(n, func(c *Comm) error {
+			mine := payload(c.Rank())
+
+			// Bcast: everyone must end with root's payload.
+			got, err := c.Bcast(root, mine)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(got, payload(root)) {
+				return fmt.Errorf("bcast mismatch on rank %d", c.Rank())
+			}
+
+			// Allgather: rank order preserved, bytes intact.
+			all, err := c.Allgather(mine)
+			if err != nil {
+				return err
+			}
+			for r, p := range all {
+				if !bytes.Equal(p, payload(r)) {
+					return fmt.Errorf("allgather rank %d entry %d corrupt", c.Rank(), r)
+				}
+			}
+
+			// Alltoallv with asymmetric sizes: recv[j] must be what j sent us.
+			send := make([][]byte, n)
+			for dst := range send {
+				l := (c.Rank()*7 + dst*3) % 97
+				send[dst] = bytes.Repeat([]byte{byte(c.Rank()<<4 | dst&0xF)}, l)
+			}
+			recv, err := c.Alltoallv(send)
+			if err != nil {
+				return err
+			}
+			for src, p := range recv {
+				wantLen := (src*7 + c.Rank()*3) % 97
+				if len(p) != wantLen {
+					return fmt.Errorf("alltoallv from %d: %d bytes, want %d", src, len(p), wantLen)
+				}
+				for _, b := range p {
+					if b != byte(src<<4|c.Rank()&0xF) {
+						return fmt.Errorf("alltoallv from %d: corrupt byte", src)
+					}
+				}
+			}
+
+			// Scatterv: each rank gets its designated slice.
+			var parts [][]byte
+			if c.Rank() == root {
+				parts = make([][]byte, n)
+				for r := range parts {
+					parts[r] = payload(r)
+				}
+			}
+			sv, err := c.Scatterv(root, parts)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(sv, mine) {
+				return fmt.Errorf("scatterv mismatch on rank %d", c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("trial %d (n=%d root=%d): %v", trial, n, root, err)
+		}
+	}
+}
+
+// TestManyConcurrentWorlds runs several independent worlds at once to
+// shake out any accidental global state in the runtime.
+func TestManyConcurrentWorlds(t *testing.T) {
+	errs := make(chan error, 8)
+	for w := 0; w < 8; w++ {
+		go func(w int) {
+			errs <- Run(3, func(c *Comm) error {
+				sum, err := c.AllreduceInt64([]int64{int64(w)}, OpSum)
+				if err != nil {
+					return err
+				}
+				if sum[0] != int64(3*w) {
+					return fmt.Errorf("world %d sum %d", w, sum[0])
+				}
+				return c.Barrier()
+			})
+		}(w)
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestInterleavedTagsStress posts many sends with shuffled tags and
+// receives them in a different order.
+func TestInterleavedTagsStress(t *testing.T) {
+	const msgs = 200
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			order := rand.New(rand.NewSource(7)).Perm(msgs)
+			for _, tag := range order {
+				if err := c.Send(1, tag, []byte{byte(tag), byte(tag >> 8)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Receive in strictly increasing tag order regardless of arrival.
+		for tag := 0; tag < msgs; tag++ {
+			data, _, _, err := c.Recv(0, tag)
+			if err != nil {
+				return err
+			}
+			if int(data[0])|int(data[1])<<8 != tag {
+				return fmt.Errorf("tag %d payload mismatch", tag)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

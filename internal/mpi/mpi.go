@@ -1,0 +1,346 @@
+// Package mpi is a from-scratch message-passing runtime providing the
+// subset of MPI semantics the DDR library depends on: communicators,
+// tagged matched point-to-point messaging (blocking and non-blocking),
+// and the collectives used by the paper (barrier, broadcast, gather,
+// allgather, reduce, allreduce, alltoall, alltoallv, and alltoallw with
+// sub-array datatypes).
+//
+// Ranks are goroutines. Two transports are provided: an in-process
+// transport backed by per-rank mailboxes (Run) and a TCP transport that
+// exchanges the same frames over real sockets (RunTCP), usable both over
+// loopback and across machines. Message delivery is eager and buffered,
+// so a Send never blocks on the matching Recv — the same progress
+// guarantee a buffered MPI_Send provides.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Wildcards for Recv matching, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
+const (
+	AnySource = -1
+	AnyTag    = -1
+)
+
+// ErrClosed is reported by operations on a communicator whose world has
+// been shut down.
+var ErrClosed = errors.New("mpi: communicator closed")
+
+// envelope is one in-flight message. src is a world (global) rank; ctx
+// identifies the communicator (sub-communicators derived via Split get
+// their own context so their traffic cannot be confused with the
+// parent's).
+type envelope struct {
+	ctx  uint32
+	src  int
+	tag  int
+	data []byte
+}
+
+// matches reports whether the envelope satisfies a receive posted on
+// communicator context ctx for (src, tag), honouring wildcards.
+func (e *envelope) matches(ctx uint32, src, tag int) bool {
+	if e.ctx != ctx {
+		return false
+	}
+	if src != AnySource && e.src != src {
+		return false
+	}
+	if tag != AnyTag && e.tag != tag {
+		return false
+	}
+	return true
+}
+
+// mailbox holds a rank's unmatched incoming messages. put never blocks;
+// get blocks until a matching envelope arrives or the mailbox is closed.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+	err    error
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	if !m.closed {
+		m.queue = append(m.queue, e)
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) get(ctx uint32, src, tag int) (envelope, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i := range m.queue {
+			if m.queue[i].matches(ctx, src, tag) {
+				e := m.queue[i]
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return e, nil
+			}
+		}
+		if m.closed {
+			err := m.err
+			if err == nil {
+				err = ErrClosed
+			}
+			return envelope{}, err
+		}
+		m.cond.Wait()
+	}
+}
+
+// peek blocks until a matching envelope is available and returns its
+// metadata without consuming it. When wait is false it returns ok=false
+// immediately if nothing matches.
+func (m *mailbox) peek(ctx uint32, src, tag int, wait bool) (gotSrc, gotTag, size int, ok bool, err error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i := range m.queue {
+			if m.queue[i].matches(ctx, src, tag) {
+				e := &m.queue[i]
+				return e.src, e.tag, len(e.data), true, nil
+			}
+		}
+		if m.closed {
+			err := m.err
+			if err == nil {
+				err = ErrClosed
+			}
+			return 0, 0, 0, false, err
+		}
+		if !wait {
+			return 0, 0, 0, false, nil
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) close(err error) {
+	m.mu.Lock()
+	m.closed = true
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// transport moves envelopes between world ranks. Implementations must be
+// safe for concurrent Sends and must preserve per-(sender,receiver) order.
+type transport interface {
+	send(dst int, e envelope) error
+	close() error
+}
+
+// Comm is a communicator: a group of ranks that can exchange point-to-
+// point messages and participate in collectives. The zero value is not
+// usable; communicators are obtained from Run, RunTCP, or Comm.Split.
+type Comm struct {
+	rank  int   // rank within this communicator
+	group []int // communicator rank -> world rank
+	ctx   uint32
+
+	world *Comm // root communicator (self for the world)
+	tr    transport
+	box   *mailbox
+
+	collSeq  int // per-rank collective sequence number
+	splitSeq int // per-rank Split sequence number
+
+	counters *traffic // shared across communicators derived from one rank
+}
+
+// Rank returns the calling process's rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank returns the world (root communicator) rank of the given rank
+// in this communicator.
+func (c *Comm) WorldRank(rank int) int { return c.group[rank] }
+
+func (c *Comm) checkRank(rank int) error {
+	if rank < 0 || rank >= len(c.group) {
+		return fmt.Errorf("mpi: rank %d out of range [0,%d)", rank, len(c.group))
+	}
+	return nil
+}
+
+// Send delivers data to dst with the given tag. The tag must be
+// non-negative (negative tags are reserved for collectives). The data is
+// copied before Send returns, so the caller may immediately reuse the
+// buffer.
+func (c *Comm) Send(dst, tag int, data []byte) error {
+	if err := c.checkRank(dst); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d is reserved", tag)
+	}
+	return c.sendInternal(dst, tag, data)
+}
+
+// sendInternal performs the delivery without the user-tag restriction.
+func (c *Comm) sendInternal(dst, tag int, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	c.counters.countSend(len(cp))
+	return c.tr.send(c.group[dst], envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp})
+}
+
+// Recv blocks until a message matching (src, tag) arrives and returns its
+// payload along with the sender's communicator rank and tag. src may be
+// AnySource and tag may be AnyTag.
+func (c *Comm) Recv(src, tag int) (data []byte, from, gotTag int, err error) {
+	worldSrc := AnySource
+	if src != AnySource {
+		if err := c.checkRank(src); err != nil {
+			return nil, 0, 0, err
+		}
+		worldSrc = c.group[src]
+	}
+	e, err := c.box.get(c.ctx, worldSrc, tag)
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	c.counters.countRecv(len(e.data))
+	return e.data, c.localRank(e.src), e.tag, nil
+}
+
+// Probe blocks until a message matching (src, tag) is available and
+// returns its origin, tag, and payload size without consuming it — the
+// analogue of MPI_Probe, used to size receive buffers or dispatch on
+// message identity before a Recv.
+func (c *Comm) Probe(src, tag int) (from, gotTag, size int, err error) {
+	worldSrc, err := c.resolveSrc(src)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	s, tg, n, _, err := c.box.peek(c.ctx, worldSrc, tag, true)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return c.localRank(s), tg, n, nil
+}
+
+// Iprobe is the non-blocking Probe: ok reports whether a matching message
+// is currently available (MPI_Iprobe).
+func (c *Comm) Iprobe(src, tag int) (from, gotTag, size int, ok bool, err error) {
+	worldSrc, err := c.resolveSrc(src)
+	if err != nil {
+		return 0, 0, 0, false, err
+	}
+	s, tg, n, ok, err := c.box.peek(c.ctx, worldSrc, tag, false)
+	if err != nil || !ok {
+		return 0, 0, 0, ok, err
+	}
+	return c.localRank(s), tg, n, true, nil
+}
+
+// resolveSrc maps a communicator-relative source (or AnySource) to a
+// world rank for mailbox matching.
+func (c *Comm) resolveSrc(src int) (int, error) {
+	if src == AnySource {
+		return AnySource, nil
+	}
+	if err := c.checkRank(src); err != nil {
+		return 0, err
+	}
+	return c.group[src], nil
+}
+
+// localRank translates a world rank into this communicator's numbering.
+func (c *Comm) localRank(worldRank int) int {
+	for i, g := range c.group {
+		if g == worldRank {
+			return i
+		}
+	}
+	return -1
+}
+
+// identityGroup returns [0,1,...,n).
+func identityGroup(n int) []int {
+	g := make([]int, n)
+	for i := range g {
+		g[i] = i
+	}
+	return g
+}
+
+// inprocWorld is the channel-free shared-memory transport: sending is an
+// append to the destination mailbox.
+type inprocWorld struct {
+	boxes []*mailbox
+}
+
+type inprocTransport struct {
+	w *inprocWorld
+}
+
+func (t *inprocTransport) send(dst int, e envelope) error {
+	if dst < 0 || dst >= len(t.w.boxes) {
+		return fmt.Errorf("mpi: world rank %d out of range", dst)
+	}
+	t.w.boxes[dst].put(e)
+	return nil
+}
+
+func (t *inprocTransport) close() error { return nil }
+
+// Run executes body on n in-process ranks (one goroutine per rank) and
+// blocks until all return. It returns the first non-nil error any rank
+// produced; when a rank fails the remaining ranks' pending operations are
+// unblocked with ErrClosed so the world can drain.
+func Run(n int, body func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: world size %d must be positive", n)
+	}
+	w := &inprocWorld{boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{
+				rank:     rank,
+				group:    identityGroup(n),
+				tr:       &inprocTransport{w: w},
+				box:      w.boxes[rank],
+				counters: &traffic{},
+			}
+			c.world = c
+			if err := body(c); err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+				// Unblock everyone so surviving ranks do not hang forever.
+				for _, b := range w.boxes {
+					b.close(fmt.Errorf("mpi: rank %d failed: %w", rank, err))
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for _, b := range w.boxes {
+		b.close(nil)
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,51 @@
+package mpi
+
+// Request is a handle for a non-blocking operation. Wait blocks until the
+// operation completes and returns its outcome. A Request must be waited
+// on exactly once.
+type Request struct {
+	done chan struct{}
+	data []byte
+	from int
+	tag  int
+	err  error
+}
+
+// Wait blocks until the operation completes. For receives, the returned
+// slice is the message payload and from/tag identify the sender.
+func (r *Request) Wait() (data []byte, from, tag int, err error) {
+	<-r.done
+	return r.data, r.from, r.tag, r.err
+}
+
+// Isend starts a non-blocking send. Because delivery is eager the data is
+// copied immediately and the caller may reuse the buffer as soon as Isend
+// returns; Wait only reports the delivery status.
+func (c *Comm) Isend(dst, tag int, data []byte) *Request {
+	r := &Request{done: make(chan struct{})}
+	err := c.Send(dst, tag, data)
+	r.err = err
+	close(r.done)
+	return r
+}
+
+// Irecv starts a non-blocking receive for a message matching (src, tag).
+func (c *Comm) Irecv(src, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.data, r.from, r.tag, r.err = c.Recv(src, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll waits on every request and returns the first error encountered.
+func WaitAll(reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, _, _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,220 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// tcpFrameHeader is ctx(u32) src(u32) tag(i32) len(u32), little endian.
+const tcpFrameHeader = 16
+
+// TCPEndpoint is one rank's attachment point to a TCP-transported world.
+// Create an endpoint per rank, distribute all endpoint addresses (for
+// example through a hostfile or a parent process), then call Join.
+type TCPEndpoint struct {
+	listener net.Listener
+	box      *mailbox
+
+	mu     sync.Mutex
+	conns  map[int]*tcpConn
+	closed bool
+}
+
+type tcpConn struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// NewTCPEndpoint binds a listener on bind (e.g. "127.0.0.1:0") and starts
+// accepting peer connections.
+func NewTCPEndpoint(bind string) (*TCPEndpoint, error) {
+	l, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: tcp listen: %w", err)
+	}
+	ep := &TCPEndpoint{
+		listener: l,
+		box:      newMailbox(),
+		conns:    map[int]*tcpConn{},
+	}
+	go ep.acceptLoop()
+	return ep, nil
+}
+
+// Addr returns the endpoint's listen address to share with peers.
+func (ep *TCPEndpoint) Addr() string { return ep.listener.Addr().String() }
+
+func (ep *TCPEndpoint) acceptLoop() {
+	for {
+		conn, err := ep.listener.Accept()
+		if err != nil {
+			return
+		}
+		go ep.readLoop(conn)
+	}
+}
+
+func (ep *TCPEndpoint) readLoop(conn net.Conn) {
+	defer conn.Close()
+	var hdr [tcpFrameHeader]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		ctx := binary.LittleEndian.Uint32(hdr[0:])
+		src := int(binary.LittleEndian.Uint32(hdr[4:]))
+		tag := int(int32(binary.LittleEndian.Uint32(hdr[8:])))
+		n := binary.LittleEndian.Uint32(hdr[12:])
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		ep.box.put(envelope{ctx: ctx, src: src, tag: tag, data: data})
+	}
+}
+
+// Join assembles the world communicator for this endpoint. rank is this
+// endpoint's world rank and addrs lists every rank's endpoint address in
+// rank order (addrs[rank] should be this endpoint's own address).
+func (ep *TCPEndpoint) Join(rank int, addrs []string) (*Comm, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("mpi: tcp rank %d out of range for %d addresses", rank, len(addrs))
+	}
+	c := &Comm{
+		rank:     rank,
+		group:    identityGroup(len(addrs)),
+		tr:       &tcpTransport{ep: ep, addrs: addrs},
+		box:      ep.box,
+		counters: &traffic{},
+	}
+	c.world = c
+	return c, nil
+}
+
+// Close shuts the endpoint down, releasing its listener and connections
+// and failing any receive still blocked on it.
+func (ep *TCPEndpoint) Close() error {
+	ep.mu.Lock()
+	if ep.closed {
+		ep.mu.Unlock()
+		return nil
+	}
+	ep.closed = true
+	conns := ep.conns
+	ep.conns = map[int]*tcpConn{}
+	ep.mu.Unlock()
+
+	err := ep.listener.Close()
+	for _, tc := range conns {
+		tc.conn.Close()
+	}
+	ep.box.close(nil)
+	return err
+}
+
+type tcpTransport struct {
+	ep    *TCPEndpoint
+	addrs []string
+}
+
+func (t *tcpTransport) send(dst int, e envelope) error {
+	if dst < 0 || dst >= len(t.addrs) {
+		return fmt.Errorf("mpi: tcp world rank %d out of range", dst)
+	}
+	if len(e.data) > 1<<31-1 {
+		return fmt.Errorf("mpi: tcp message of %d bytes exceeds frame limit", len(e.data))
+	}
+	tc, err := t.ep.dial(dst, t.addrs[dst])
+	if err != nil {
+		return err
+	}
+	var hdr [tcpFrameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], e.ctx)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.src))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(e.tag)))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(e.data)))
+
+	tc.mu.Lock()
+	defer tc.mu.Unlock()
+	if _, err := tc.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("mpi: tcp send header: %w", err)
+	}
+	if _, err := tc.conn.Write(e.data); err != nil {
+		return fmt.Errorf("mpi: tcp send payload: %w", err)
+	}
+	return nil
+}
+
+func (t *tcpTransport) close() error { return t.ep.Close() }
+
+// dial returns the cached write connection to dst, establishing it on
+// first use. Messages to self also travel through the loopback socket so
+// the TCP path is exercised uniformly.
+func (ep *TCPEndpoint) dial(dst int, addr string) (*tcpConn, error) {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	if ep.closed {
+		return nil, ErrClosed
+	}
+	if tc, ok := ep.conns[dst]; ok {
+		return tc, nil
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("mpi: tcp dial rank %d (%s): %w", dst, addr, err)
+	}
+	tc := &tcpConn{conn: conn}
+	ep.conns[dst] = tc
+	return tc, nil
+}
+
+// RunTCP executes body on n ranks, one goroutine per rank, with all
+// inter-rank traffic carried over loopback TCP sockets. It is the
+// socket-transport twin of Run and is used to validate that DDR behaves
+// identically when messages cross a real network stack.
+func RunTCP(n int, body func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: world size %d must be positive", n)
+	}
+	eps := make([]*TCPEndpoint, n)
+	addrs := make([]string, n)
+	for i := range eps {
+		ep, err := NewTCPEndpoint("127.0.0.1:0")
+		if err != nil {
+			for _, prev := range eps[:i] {
+				prev.Close()
+			}
+			return err
+		}
+		eps[i] = ep
+		addrs[i] = ep.Addr()
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for rank := 0; rank < n; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := eps[rank].Join(rank, addrs)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			if err := body(c); err != nil {
+				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
+				for _, ep := range eps {
+					ep.box.close(fmt.Errorf("mpi: rank %d failed: %w", rank, err))
+				}
+			}
+		}(rank)
+	}
+	wg.Wait()
+	for _, ep := range eps {
+		ep.Close()
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,67 @@
+package mpi
+
+import "sync/atomic"
+
+// TrafficStats is a snapshot of one rank's traffic through its transport,
+// accumulated across the world communicator and everything split from it.
+// Self-deliveries through the transport are counted; purely local
+// pack/unpack shortcuts (the alltoallw self exchange) are not.
+type TrafficStats struct {
+	MessagesSent int64
+	BytesSent    int64
+	MessagesRecv int64
+	BytesRecv    int64
+}
+
+// traffic holds the live counters shared by a rank's communicators.
+type traffic struct {
+	msgsSent  atomic.Int64
+	bytesSent atomic.Int64
+	msgsRecv  atomic.Int64
+	bytesRecv atomic.Int64
+}
+
+func (t *traffic) countSend(n int) {
+	if t == nil {
+		return
+	}
+	t.msgsSent.Add(1)
+	t.bytesSent.Add(int64(n))
+}
+
+func (t *traffic) countRecv(n int) {
+	if t == nil {
+		return
+	}
+	t.msgsRecv.Add(1)
+	t.bytesRecv.Add(int64(n))
+}
+
+// Traffic returns a snapshot of this rank's cumulative transport traffic.
+// Collective operations are included (they are built from point-to-point
+// messages), so the counters measure real wire load, not call counts.
+func (c *Comm) Traffic() TrafficStats {
+	t := c.counters
+	if t == nil {
+		return TrafficStats{}
+	}
+	return TrafficStats{
+		MessagesSent: t.msgsSent.Load(),
+		BytesSent:    t.bytesSent.Load(),
+		MessagesRecv: t.msgsRecv.Load(),
+		BytesRecv:    t.bytesRecv.Load(),
+	}
+}
+
+// ResetTraffic zeroes the rank's traffic counters (e.g. between phases of
+// a study).
+func (c *Comm) ResetTraffic() {
+	t := c.counters
+	if t == nil {
+		return
+	}
+	t.msgsSent.Store(0)
+	t.bytesSent.Store(0)
+	t.msgsRecv.Store(0)
+	t.bytesRecv.Store(0)
+}

@@ -1,0 +1,85 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTrafficCountsP2P(t *testing.T) {
+	forEachTransport(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			if err := c.Send(1, 1, make([]byte, 100)); err != nil {
+				return err
+			}
+			if err := c.Send(1, 2, make([]byte, 50)); err != nil {
+				return err
+			}
+			s := c.Traffic()
+			if s.MessagesSent != 2 || s.BytesSent != 150 {
+				return fmt.Errorf("sender stats %+v", s)
+			}
+			return nil
+		}
+		if _, _, _, err := c.Recv(0, 1); err != nil {
+			return err
+		}
+		if _, _, _, err := c.Recv(0, 2); err != nil {
+			return err
+		}
+		s := c.Traffic()
+		if s.MessagesRecv != 2 || s.BytesRecv != 150 {
+			return fmt.Errorf("receiver stats %+v", s)
+		}
+		return nil
+	})
+}
+
+func TestTrafficSharedAcrossSplit(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		sub, err := c.Split(0, c.Rank())
+		if err != nil {
+			return err
+		}
+		c.ResetTraffic()
+		if c.Rank() == 0 {
+			if err := sub.Send(1, 3, make([]byte, 64)); err != nil {
+				return err
+			}
+			// The parent sees the sub-communicator's send.
+			if s := c.Traffic(); s.BytesSent != 64 {
+				return fmt.Errorf("parent stats %+v", s)
+			}
+			return nil
+		}
+		_, _, _, err = sub.Recv(0, 3)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficCollectivesCounted(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		c.ResetTraffic()
+		if _, err := c.Allgather(make([]byte, 10)); err != nil {
+			return err
+		}
+		s := c.Traffic()
+		if s.MessagesSent == 0 && s.MessagesRecv == 0 {
+			return fmt.Errorf("collective produced no counted traffic on rank %d", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrafficNilSafe(t *testing.T) {
+	var c Comm
+	if s := c.Traffic(); s != (TrafficStats{}) {
+		t.Errorf("zero comm stats %+v", s)
+	}
+	c.ResetTraffic() // must not panic
+}

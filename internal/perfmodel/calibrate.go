@@ -1,0 +1,92 @@
+package perfmodel
+
+import "math"
+
+// Observation is one measured row of a TIFF-loading study (the shape of
+// the paper's Table II): wall-clock seconds for the baseline and both DDR
+// techniques at one scale, together with the exact schedule quantities the
+// library computes for that scale.
+type Observation struct {
+	Procs int
+	NZ    int // brick layers along the slice axis (baseline read divisor)
+
+	RRRounds   int
+	RRBytes    float64 // wire bytes per rank per round, round-robin
+	ConsRounds int
+	ConsBytes  float64 // wire bytes per rank per round, consecutive
+
+	NoDDRSec, RRSec, ConsSec float64 // measured seconds
+}
+
+// Loss returns the mean squared relative error of the model against the
+// observations (lower is better; 0 is a perfect fit).
+func Loss(m Machine, w TIFFWorkload, obs []Observation) float64 {
+	if m.Validate() != nil {
+		return math.Inf(1)
+	}
+	var sum float64
+	var n int
+	for _, o := range obs {
+		pairs := [][2]float64{
+			{m.LoadNoDDR(w, o.Procs, o.NZ), o.NoDDRSec},
+			{m.LoadDDR(w, o.Procs, o.RRRounds, o.RRBytes), o.RRSec},
+			{m.LoadDDR(w, o.Procs, o.ConsRounds, o.ConsBytes), o.ConsSec},
+		}
+		for _, p := range pairs {
+			if p[1] <= 0 {
+				continue
+			}
+			e := (p[0] - p[1]) / p[1]
+			sum += e * e
+			n++
+		}
+	}
+	if n == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(n)
+}
+
+// Calibrate fits the machine parameters to the observations by
+// multiplicative coordinate descent from start: each sweep tries scaling
+// every parameter up and down by a factor that shrinks over the sweeps,
+// keeping any change that lowers the loss. It is deterministic and needs
+// no gradients; the model is smooth and low-dimensional enough that this
+// converges in a few dozen sweeps.
+func Calibrate(w TIFFWorkload, obs []Observation, start Machine, sweeps int) Machine {
+	best := start
+	bestLoss := Loss(best, w, obs)
+	params := []*float64{
+		&best.FileOpenLatency,
+		&best.FSProcBandwidth,
+		&best.FSContentionProcs,
+		&best.A2ALatencyBase,
+		&best.A2ALatencyPerRank,
+		&best.A2ABandwidthMax,
+		&best.A2AVolumeHalf,
+	}
+	step := 1.5
+	for s := 0; s < sweeps; s++ {
+		improved := false
+		for _, p := range params {
+			orig := *p
+			for _, factor := range [2]float64{step, 1 / step} {
+				*p = orig * factor
+				if l := Loss(best, w, obs); l < bestLoss {
+					bestLoss = l
+					improved = true
+					orig = *p
+				} else {
+					*p = orig
+				}
+			}
+		}
+		if !improved {
+			step = math.Sqrt(step)
+			if step < 1.001 {
+				break
+			}
+		}
+	}
+	return best
+}

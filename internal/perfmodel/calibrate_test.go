@@ -1,0 +1,87 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+// paperObservations encodes the paper's Table II measurements with the
+// Table III schedules (MiB converted to bytes).
+func paperObservations() []Observation {
+	const mib = 1 << 20
+	return []Observation{
+		{Procs: 27, NZ: 3, RRRounds: 152, RRBytes: 30.81 * mib, ConsRounds: 1, ConsBytes: 4315.12 * mib,
+			NoDDRSec: 283.0, RRSec: 39.3, ConsSec: 49.2},
+		{Procs: 64, NZ: 4, RRRounds: 64, RRBytes: 31.50 * mib, ConsRounds: 1, ConsBytes: 1920.00 * mib,
+			NoDDRSec: 204.6, RRSec: 18.9, ConsSec: 18.9},
+		{Procs: 125, NZ: 5, RRRounds: 33, RRBytes: 31.74 * mib, ConsRounds: 1, ConsBytes: 1006.63 * mib,
+			NoDDRSec: 188.2, RRSec: 11.1, ConsSec: 10.4},
+		{Procs: 216, NZ: 6, RRRounds: 19, RRBytes: 31.85 * mib, ConsRounds: 1, ConsBytes: 589.95 * mib,
+			NoDDRSec: 165.3, RRSec: 9.7, ConsSec: 6.6},
+	}
+}
+
+func paperWorkload() TIFFWorkload {
+	return TIFFWorkload{NumImages: 4096, ImageBytes: 4096 * 2048 * 4}
+}
+
+func TestCooleyLossIsSmall(t *testing.T) {
+	l := Loss(Cooley(), paperWorkload(), paperObservations())
+	// Mean squared relative error under 0.05 means a typical row is within
+	// ~22% of the paper.
+	if l > 0.05 {
+		t.Errorf("Cooley loss %.4f exceeds 0.05", l)
+	}
+}
+
+func TestLossDegenerateCases(t *testing.T) {
+	m := Cooley()
+	m.A2ABandwidthMax = -1
+	if !math.IsInf(Loss(m, paperWorkload(), paperObservations()), 1) {
+		t.Error("invalid machine did not yield infinite loss")
+	}
+	if !math.IsInf(Loss(Cooley(), paperWorkload(), nil), 1) {
+		t.Error("no observations did not yield infinite loss")
+	}
+	// Zero-time observations are skipped, not divided by.
+	obs := []Observation{{Procs: 8, NZ: 2, RRRounds: 1, ConsRounds: 1}}
+	if !math.IsInf(Loss(Cooley(), paperWorkload(), obs), 1) {
+		t.Error("all-zero observation should contribute nothing")
+	}
+}
+
+// TestCalibrateRecoversFromPerturbation starts from a badly perturbed
+// machine and must descend back to a fit at least as good as the shipped
+// calibration (within slack).
+func TestCalibrateRecoversFromPerturbation(t *testing.T) {
+	w := paperWorkload()
+	obs := paperObservations()
+	start := Cooley()
+	start.FSProcBandwidth *= 4
+	start.A2ABandwidthMax /= 5
+	start.A2ALatencyPerRank *= 10
+	startLoss := Loss(start, w, obs)
+
+	fitted := Calibrate(w, obs, start, 200)
+	fittedLoss := Loss(fitted, w, obs)
+	if fittedLoss >= startLoss {
+		t.Fatalf("calibration did not improve: %.4f -> %.4f", startLoss, fittedLoss)
+	}
+	cooleyLoss := Loss(Cooley(), w, obs)
+	if fittedLoss > cooleyLoss*1.5 {
+		t.Errorf("fitted loss %.4f much worse than shipped calibration %.4f", fittedLoss, cooleyLoss)
+	}
+	if err := fitted.Validate(); err != nil {
+		t.Errorf("fitted machine invalid: %v", err)
+	}
+}
+
+func TestCalibrateIsDeterministic(t *testing.T) {
+	w := paperWorkload()
+	obs := paperObservations()
+	a := Calibrate(w, obs, Cooley(), 50)
+	b := Calibrate(w, obs, Cooley(), 50)
+	if a != b {
+		t.Error("calibration is not deterministic")
+	}
+}

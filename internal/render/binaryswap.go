@@ -1,0 +1,143 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+	"math/bits"
+
+	"ddr/internal/fielddata"
+	"ddr/internal/mpi"
+)
+
+// BinarySwapComposite is the classic sort-last compositing algorithm
+// (Ma et al.): in log2(P) rounds, each rank pairs with a partner, swaps
+// half of its current image region, and composites the received half, so
+// compositing work and traffic are spread over all ranks instead of
+// funneling into one gather. It requires a power-of-two communicator.
+//
+// mine is this rank's brick partial; depth ordering between partials that
+// share a footprint follows their Z0 (front = smaller). The assembled
+// frame is returned at root, nil elsewhere.
+func BinarySwapComposite(c *mpi.Comm, root int, mine *Partial, width, height int) (*image.RGBA, error) {
+	p := c.Size()
+	if p&(p-1) != 0 {
+		return nil, fmt.Errorf("render: binary-swap needs a power-of-two rank count, got %d", p)
+	}
+	// Expand the brick partial to a full frame (transparent outside the
+	// footprint), premultiplied RGBA as float64.
+	frame := make([]float64, 4*width*height)
+	for y := 0; y < mine.H; y++ {
+		fy := mine.Y0 + y
+		if fy < 0 || fy >= height {
+			return nil, fmt.Errorf("render: partial row %d outside frame height %d", fy, height)
+		}
+		for x := 0; x < mine.W; x++ {
+			fx := mine.X0 + x
+			if fx < 0 || fx >= width {
+				return nil, fmt.Errorf("render: partial column %d outside frame width %d", fx, width)
+			}
+			src := 4 * (y*mine.W + x)
+			dst := 4 * (fy*width + fx)
+			copy(frame[dst:dst+4], mine.RGBA[src:src+4])
+		}
+	}
+
+	lo, hi := 0, width*height // current region, in pixels
+	z := mine.Z0
+	rounds := bits.TrailingZeros(uint(p))
+	const tagBase = 7100
+	for r := 0; r < rounds; r++ {
+		partner := c.Rank() ^ (1 << r)
+		mid := lo + (hi-lo)/2
+		keepLo, keepHi := lo, mid
+		sendLo, sendHi := mid, hi
+		if c.Rank()&(1<<r) != 0 {
+			keepLo, keepHi = mid, hi
+			sendLo, sendHi = lo, mid
+		}
+		payload := encodeSwap(z, frame[4*sendLo:4*sendHi])
+		got, err := c.Sendrecv(partner, partner, tagBase+r, payload)
+		if err != nil {
+			return nil, err
+		}
+		theirZ, theirPix, err := decodeSwap(got)
+		if err != nil {
+			return nil, fmt.Errorf("render: swap round %d from rank %d: %w", r, partner, err)
+		}
+		if len(theirPix) != 4*(keepHi-keepLo) {
+			return nil, fmt.Errorf("render: swap round %d: got %d floats, want %d",
+				r, len(theirPix), 4*(keepHi-keepLo))
+		}
+		compositeRegion(frame[4*keepLo:4*keepHi], theirPix, z <= theirZ)
+		if theirZ < z {
+			z = theirZ
+		}
+		lo, hi = keepLo, keepHi
+	}
+
+	// Gather the P region strips at root and assemble.
+	final := encodeSwap(lo, frame[4*lo:4*hi])
+	parts, err := c.Gather(root, final)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != root {
+		return nil, nil
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	for rk, part := range parts {
+		start, pix, err := decodeSwap(part)
+		if err != nil {
+			return nil, fmt.Errorf("render: final strip from rank %d: %w", rk, err)
+		}
+		for i := 0; i < len(pix)/4; i++ {
+			px := start + i
+			img.SetRGBA(px%width, px/width, color.RGBA{
+				R: uint8(255*math.Min(1, pix[4*i]) + 0.5),
+				G: uint8(255*math.Min(1, pix[4*i+1]) + 0.5),
+				B: uint8(255*math.Min(1, pix[4*i+2]) + 0.5),
+				A: 255,
+			})
+		}
+	}
+	return img, nil
+}
+
+// compositeRegion merges theirs into ours in place. When oursInFront,
+// ours is the front operand of the over operator; otherwise theirs is.
+func compositeRegion(ours, theirs []float64, oursInFront bool) {
+	for i := 0; i < len(ours); i += 4 {
+		var f, b []float64
+		if oursInFront {
+			f, b = ours[i:i+4], theirs[i:i+4]
+		} else {
+			f, b = theirs[i:i+4], ours[i:i+4]
+		}
+		t := 1 - f[3]
+		ours[i] = f[0] + t*b[0]
+		ours[i+1] = f[1] + t*b[1]
+		ours[i+2] = f[2] + t*b[2]
+		ours[i+3] = f[3] + t*b[3]
+	}
+}
+
+// encodeSwap frames an int key (Z0 or strip start) and a float64 payload.
+func encodeSwap(key int, pix []float64) []byte {
+	out := make([]byte, 8, 8+8*len(pix))
+	out[0] = byte(key)
+	out[1] = byte(key >> 8)
+	out[2] = byte(key >> 16)
+	out[3] = byte(key >> 24)
+	return append(out, fielddata.Float64Bytes(pix)...)
+}
+
+// decodeSwap reverses encodeSwap.
+func decodeSwap(buf []byte) (int, []float64, error) {
+	if len(buf) < 8 || (len(buf)-8)%8 != 0 {
+		return 0, nil, fmt.Errorf("render: malformed swap payload of %d bytes", len(buf))
+	}
+	key := int(int32(uint32(buf[0]) | uint32(buf[1])<<8 | uint32(buf[2])<<16 | uint32(buf[3])<<24))
+	return key, fielddata.BytesFloat64(buf[8:]), nil
+}

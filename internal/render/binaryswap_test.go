@@ -1,0 +1,179 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"sync"
+	"testing"
+
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+// TestBinarySwapMatchesGatherComposite is the correctness anchor: for a
+// synthetic volume bricked over 8 ranks, binary-swap must produce the
+// same frame (within rounding) as the serial gather-composite path.
+func TestBinarySwapMatchesGatherComposite(t *testing.T) {
+	const vw, vh, vd = 16, 16, 16
+	x, y, z := grid.Factor3(8)
+	boxes := grid.Bricks3D(grid.Box3(0, 0, 0, vw, vh, vd), x, y, z)
+
+	var (
+		mu            sync.Mutex
+		gather, bswap *image.RGBA
+	)
+	err := mpi.Run(8, func(c *mpi.Comm) error {
+		p, err := RenderBrick(syntheticBrick(boxes[c.Rank()], vw, vh, vd), CTTransfer)
+		if err != nil {
+			return err
+		}
+		g, err := GatherComposite(c, 0, p, vw, vh)
+		if err != nil {
+			return err
+		}
+		bs, err := BinarySwapComposite(c, 0, p, vw, vh)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			gather, bswap = g, bs
+			mu.Unlock()
+		} else if bs != nil {
+			return fmt.Errorf("non-root rank %d received a frame", c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gather == nil || bswap == nil {
+		t.Fatal("missing frames")
+	}
+	for i := range gather.Pix {
+		d := int(gather.Pix[i]) - int(bswap.Pix[i])
+		if d < -2 || d > 2 {
+			t.Fatalf("pixel byte %d: gather %d vs binary-swap %d", i, gather.Pix[i], bswap.Pix[i])
+		}
+	}
+}
+
+func TestBinarySwapDepthOrdering(t *testing.T) {
+	// Two ranks along z: the front brick is opaque white, the back opaque
+	// red. Binary-swap must keep white regardless of rank order.
+	tf := func(v float64) (float64, float64, float64, float64) {
+		if v > 0.75 {
+			return 1, 0, 0, 1
+		}
+		return 1, 1, 1, 1
+	}
+	var (
+		mu    sync.Mutex
+		frame *image.RGBA
+	)
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		// Rank 0 gets the BACK brick (z=1), rank 1 the front (z=0): rank
+		// order deliberately disagrees with depth order.
+		box := grid.Box3(0, 0, 1, 2, 2, 1)
+		val := float32(1.0) // red
+		if c.Rank() == 1 {
+			box = grid.Box3(0, 0, 0, 2, 2, 1)
+			val = 0.5 // white
+		}
+		vals := []float32{val, val, val, val}
+		p, err := RenderBrick(Brick{Box: box, Values: vals}, tf)
+		if err != nil {
+			return err
+		}
+		img, err := BinarySwapComposite(c, 0, p, 2, 2)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			mu.Lock()
+			frame = img
+			mu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := frame.RGBAAt(0, 0)
+	if c.R != 255 || c.G != 255 || c.B != 255 {
+		t.Errorf("front brick not dominant: %v", c)
+	}
+}
+
+func TestBinarySwapRejectsNonPowerOfTwo(t *testing.T) {
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		p := &Partial{W: 1, H: 1, RGBA: make([]float64, 4)}
+		if _, err := BinarySwapComposite(c, 0, p, 1, 1); err == nil {
+			return fmt.Errorf("3 ranks accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinarySwapRejectsOutOfFramePartial(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		p := &Partial{X0: 5, Y0: 0, W: 2, H: 1, RGBA: make([]float64, 8)}
+		if _, err := BinarySwapComposite(c, 0, p, 4, 4); err == nil {
+			return fmt.Errorf("out-of-frame partial accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSwapEncoding(t *testing.T) {
+	key, pix, err := decodeSwap(encodeSwap(42, []float64{1, 2, 3, 4}))
+	if err != nil || key != 42 || len(pix) != 4 || pix[2] != 3 {
+		t.Fatalf("roundtrip: key=%d pix=%v err=%v", key, pix, err)
+	}
+	if _, _, err := decodeSwap([]byte{1, 2, 3}); err == nil {
+		t.Error("short payload accepted")
+	}
+	if _, _, err := decodeSwap(make([]byte, 13)); err == nil {
+		t.Error("misaligned payload accepted")
+	}
+}
+
+func BenchmarkBinarySwapVsGather(b *testing.B) {
+	const vw, vh, vd = 32, 32, 32
+	x, y, z := grid.Factor3(8)
+	boxes := grid.Bricks3D(grid.Box3(0, 0, 0, vw, vh, vd), x, y, z)
+	for _, algo := range []struct {
+		name string
+		run  func(c *mpi.Comm, p *Partial) error
+	}{
+		{"gather", func(c *mpi.Comm, p *Partial) error {
+			_, err := GatherComposite(c, 0, p, vw, vh)
+			return err
+		}},
+		{"binary-swap", func(c *mpi.Comm, p *Partial) error {
+			_, err := BinarySwapComposite(c, 0, p, vw, vh)
+			return err
+		}},
+	} {
+		b.Run(algo.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				err := mpi.Run(8, func(c *mpi.Comm) error {
+					p, err := RenderBrick(syntheticBrick(boxes[c.Rank()], vw, vh, vd), CTTransfer)
+					if err != nil {
+						return err
+					}
+					return algo.run(c, p)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,136 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+
+	"ddr/internal/fielddata"
+	"ddr/internal/mpi"
+)
+
+// Maximum intensity projection (MIP): the other standard volume
+// visualization mode besides compositing DVR — each pixel shows the
+// largest sample along its ray. Because max is commutative and
+// associative, parallel MIP needs no depth ordering at all: partial
+// projections merge in any order, which makes it the cheapest possible
+// sort-last pipeline.
+
+// MIPPartial is a per-brick maximum projection of the brick's footprint.
+type MIPPartial struct {
+	X0, Y0 int
+	W, H   int
+	Max    []float32 // W*H per-pixel maxima
+}
+
+// RenderBrickMIP projects the brick along +z, keeping each pixel's
+// maximum sample.
+func RenderBrickMIP(b Brick) (*MIPPartial, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	w, h, d := b.Box.Dims[0], b.Box.Dims[1], b.Box.Dims[2]
+	p := &MIPPartial{
+		X0: b.Box.Offset[0], Y0: b.Box.Offset[1],
+		W: w, H: h,
+		Max: make([]float32, w*h),
+	}
+	for i := range p.Max {
+		p.Max[i] = float32(math.Inf(-1))
+	}
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			row := ((z * h) + y) * w
+			out := y * w
+			for x := 0; x < w; x++ {
+				if v := b.Values[row+x]; v > p.Max[out+x] {
+					p.Max[out+x] = v
+				}
+			}
+		}
+	}
+	return p, nil
+}
+
+// MIPComposite merges per-brick projections into a full-frame grayscale
+// image: pixel intensity is the global maximum mapped through [lo, hi].
+// Partial order is irrelevant.
+func MIPComposite(partials []*MIPPartial, width, height int, lo, hi float64) (*image.RGBA, error) {
+	if hi <= lo {
+		return nil, fmt.Errorf("render: empty MIP range [%g,%g]", lo, hi)
+	}
+	acc := make([]float32, width*height)
+	for i := range acc {
+		acc[i] = float32(math.Inf(-1))
+	}
+	for _, p := range partials {
+		for y := 0; y < p.H; y++ {
+			fy := p.Y0 + y
+			if fy < 0 || fy >= height {
+				return nil, fmt.Errorf("render: MIP partial row %d outside frame", fy)
+			}
+			for x := 0; x < p.W; x++ {
+				fx := p.X0 + x
+				if fx < 0 || fx >= width {
+					return nil, fmt.Errorf("render: MIP partial column %d outside frame", fx)
+				}
+				if v := p.Max[y*p.W+x]; v > acc[fy*width+fx] {
+					acc[fy*width+fx] = v
+				}
+			}
+		}
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	scale := 1 / (hi - lo)
+	for i, v := range acc {
+		t := (float64(v) - lo) * scale
+		if math.IsInf(float64(v), -1) {
+			t = 0
+		}
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		g := uint8(255*t + 0.5)
+		img.SetRGBA(i%width, i/width, color.RGBA{R: g, G: g, B: g, A: 255})
+	}
+	return img, nil
+}
+
+// GatherMIP collects every rank's MIP partial at root and composites the
+// frame there; non-root ranks return nil. Because max is commutative, the
+// gather needs no ordering metadata.
+func GatherMIP(c *mpi.Comm, root int, mine *MIPPartial, width, height int, lo, hi float64) (*image.RGBA, error) {
+	hdr := []byte{byte(mine.X0), byte(mine.X0 >> 8), byte(mine.Y0), byte(mine.Y0 >> 8),
+		byte(mine.W), byte(mine.W >> 8), byte(mine.H), byte(mine.H >> 8)}
+	payload := append(hdr, fielddata.Float32Bytes(mine.Max)...)
+	parts, err := c.Gather(root, payload)
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != root {
+		return nil, nil
+	}
+	partials := make([]*MIPPartial, len(parts))
+	for i, buf := range parts {
+		if len(buf) < 8 {
+			return nil, fmt.Errorf("render: truncated MIP partial from rank %d", i)
+		}
+		p := &MIPPartial{
+			X0: int(buf[0]) | int(buf[1])<<8,
+			Y0: int(buf[2]) | int(buf[3])<<8,
+			W:  int(buf[4]) | int(buf[5])<<8,
+			H:  int(buf[6]) | int(buf[7])<<8,
+		}
+		p.Max = fielddata.BytesFloat32(buf[8:])
+		if len(p.Max) != p.W*p.H {
+			return nil, fmt.Errorf("render: MIP partial from rank %d has %d values for %dx%d",
+				i, len(p.Max), p.W, p.H)
+		}
+		partials[i] = p
+	}
+	return MIPComposite(partials, width, height, lo, hi)
+}

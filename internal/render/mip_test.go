@@ -1,0 +1,131 @@
+package render
+
+import (
+	"fmt"
+	"image"
+	"sync"
+	"testing"
+
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+func TestRenderBrickMIP(t *testing.T) {
+	// 1x1x3 column: the middle sample is largest.
+	b := Brick{Box: grid.Box3(0, 0, 0, 1, 1, 3), Values: []float32{0.1, 0.9, 0.4}}
+	p, err := RenderBrickMIP(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Max[0] != 0.9 {
+		t.Errorf("max %f", p.Max[0])
+	}
+	if _, err := RenderBrickMIP(Brick{Box: grid.Box3(0, 0, 0, 2, 2, 2), Values: make([]float32, 3)}); err == nil {
+		t.Error("short brick accepted")
+	}
+}
+
+// TestMIPParallelMatchesSerial: MIP is order-independent, so any brick
+// decomposition must produce the exact serial image.
+func TestMIPParallelMatchesSerial(t *testing.T) {
+	const vw, vh, vd = 14, 10, 12
+	full := syntheticBrick(grid.Box3(0, 0, 0, vw, vh, vd), vw, vh, vd)
+	pFull, err := RenderBrickMIP(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := MIPComposite([]*MIPPartial{pFull}, vw, vh, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	x, y, z := grid.Factor3(8)
+	boxes := grid.Bricks3D(grid.Box3(0, 0, 0, vw, vh, vd), x, y, z)
+	var partials []*MIPPartial
+	for _, b := range boxes {
+		p, err := RenderBrickMIP(syntheticBrick(b, vw, vh, vd))
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	split, err := MIPComposite(partials, vw, vh, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Pix {
+		if serial.Pix[i] != split.Pix[i] {
+			t.Fatalf("pixel byte %d: %d vs %d (MIP must be exact)", i, serial.Pix[i], split.Pix[i])
+		}
+	}
+}
+
+func TestMIPCompositeValidation(t *testing.T) {
+	if _, err := MIPComposite(nil, 4, 4, 1, 1); err == nil {
+		t.Error("empty range accepted")
+	}
+	bad := &MIPPartial{X0: 3, Y0: 0, W: 2, H: 1, Max: []float32{1, 2}}
+	if _, err := MIPComposite([]*MIPPartial{bad}, 4, 4, 0, 1); err == nil {
+		t.Error("out-of-frame partial accepted")
+	}
+	// Uncovered pixels render as the low end, not -inf garbage.
+	p := &MIPPartial{X0: 0, Y0: 0, W: 1, H: 1, Max: []float32{1}}
+	img, err := MIPComposite([]*MIPPartial{p}, 2, 1, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.RGBAAt(1, 0).R != 0 {
+		t.Errorf("uncovered pixel %v", img.RGBAAt(1, 0))
+	}
+	if img.RGBAAt(0, 0).R != 255 {
+		t.Errorf("covered pixel %v", img.RGBAAt(0, 0))
+	}
+}
+
+func TestGatherMIP(t *testing.T) {
+	const vw, vh, vd = 12, 12, 12
+	x, y, z := grid.Factor3(8)
+	boxes := grid.Bricks3D(grid.Box3(0, 0, 0, vw, vh, vd), x, y, z)
+	var (
+		mu    sync.Mutex
+		frame *image.RGBA
+	)
+	err := mpi.Run(8, func(c *mpi.Comm) error {
+		p, err := RenderBrickMIP(syntheticBrick(boxes[c.Rank()], vw, vh, vd))
+		if err != nil {
+			return err
+		}
+		img, err := GatherMIP(c, 0, p, vw, vh, 0, 1)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if img == nil {
+				return fmt.Errorf("root missing frame")
+			}
+			mu.Lock()
+			frame = img
+			mu.Unlock()
+		} else if img != nil {
+			return fmt.Errorf("non-root got frame")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare against serial.
+	full, err := RenderBrickMIP(syntheticBrick(grid.Box3(0, 0, 0, vw, vh, vd), vw, vh, vd))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := MIPComposite([]*MIPPartial{full}, vw, vh, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range serial.Pix {
+		if serial.Pix[i] != frame.Pix[i] {
+			t.Fatalf("pixel byte %d differs", i)
+		}
+	}
+}

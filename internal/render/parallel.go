@@ -1,0 +1,71 @@
+package render
+
+import (
+	"encoding/binary"
+	"fmt"
+	"image"
+	"math"
+
+	"ddr/internal/mpi"
+)
+
+// encodePartial serializes a Partial for the compositing gather.
+func encodePartial(p *Partial) []byte {
+	hdr := 5 * 4
+	out := make([]byte, hdr+8*len(p.RGBA))
+	le := binary.LittleEndian
+	le.PutUint32(out[0:], uint32(int32(p.X0)))
+	le.PutUint32(out[4:], uint32(int32(p.Y0)))
+	le.PutUint32(out[8:], uint32(int32(p.W)))
+	le.PutUint32(out[12:], uint32(int32(p.H)))
+	le.PutUint32(out[16:], uint32(int32(p.Z0)))
+	for i, v := range p.RGBA {
+		le.PutUint64(out[hdr+8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// decodePartial reverses encodePartial.
+func decodePartial(buf []byte) (*Partial, error) {
+	const hdr = 5 * 4
+	if len(buf) < hdr {
+		return nil, fmt.Errorf("render: truncated partial header")
+	}
+	le := binary.LittleEndian
+	p := &Partial{
+		X0: int(int32(le.Uint32(buf[0:]))),
+		Y0: int(int32(le.Uint32(buf[4:]))),
+		W:  int(int32(le.Uint32(buf[8:]))),
+		H:  int(int32(le.Uint32(buf[12:]))),
+		Z0: int(int32(le.Uint32(buf[16:]))),
+	}
+	body := buf[hdr:]
+	if p.W <= 0 || p.H <= 0 || len(body) != 8*4*p.W*p.H {
+		return nil, fmt.Errorf("render: partial body has %d bytes for %dx%d", len(body), p.W, p.H)
+	}
+	p.RGBA = make([]float64, 4*p.W*p.H)
+	for i := range p.RGBA {
+		p.RGBA[i] = math.Float64frombits(le.Uint64(body[8*i:]))
+	}
+	return p, nil
+}
+
+// GatherComposite renders nothing itself: it collects every rank's partial
+// at root and assembles the final width×height frame there (sort-last
+// compositing). Non-root ranks return nil.
+func GatherComposite(c *mpi.Comm, root int, mine *Partial, width, height int) (*image.RGBA, error) {
+	parts, err := c.Gather(root, encodePartial(mine))
+	if err != nil {
+		return nil, err
+	}
+	if c.Rank() != root {
+		return nil, nil
+	}
+	partials := make([]*Partial, len(parts))
+	for i, buf := range parts {
+		if partials[i], err = decodePartial(buf); err != nil {
+			return nil, fmt.Errorf("render: partial from rank %d: %w", i, err)
+		}
+	}
+	return Composite(partials, width, height)
+}

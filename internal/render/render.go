@@ -1,0 +1,197 @@
+// Package render implements a software direct-volume renderer (DVR) over
+// the brick decomposition DDR produces in the paper's medical-imaging use
+// case: orthographic ray casting along +z with front-to-back compositing,
+// a transfer function, and sort-last parallel compositing of per-brick
+// partial images. It stands in for the GPU renderers (vl3, ParaView) the
+// paper feeds — the point here is to consume and verify the redistributed
+// bricks, not to race a GPU.
+package render
+
+import (
+	"encoding/binary"
+	"fmt"
+	"image"
+	"image/color"
+	"math"
+
+	"ddr/internal/grid"
+	"ddr/internal/tiff"
+)
+
+// Brick is a box-shaped sub-volume with normalized samples in [0,1],
+// x-fastest, matching the layout DDR delivers.
+type Brick struct {
+	Box    grid.Box
+	Values []float32
+}
+
+// Validate checks the sample count matches the box.
+func (b Brick) Validate() error {
+	if b.Box.NDims != 3 {
+		return fmt.Errorf("render: brick box %v is not 3D", b.Box)
+	}
+	if len(b.Values) != b.Box.Volume() {
+		return fmt.Errorf("render: brick has %d samples for box %v (%d)", len(b.Values), b.Box, b.Box.Volume())
+	}
+	return nil
+}
+
+// NormalizeSamples converts raw TIFF-format samples to normalized
+// float32s in [0,1]. Unsigned integers are scaled by their type range;
+// floats are clamped.
+func NormalizeSamples(raw []byte, bitsPerSample int, format tiff.SampleFormat) ([]float32, error) {
+	bps := bitsPerSample / 8
+	switch bitsPerSample {
+	case 8, 16, 32:
+	default:
+		return nil, fmt.Errorf("render: unsupported bits per sample %d", bitsPerSample)
+	}
+	if len(raw)%bps != 0 {
+		return nil, fmt.Errorf("render: %d raw bytes not a multiple of sample size %d", len(raw), bps)
+	}
+	out := make([]float32, len(raw)/bps)
+	for i := range out {
+		switch {
+		case format == tiff.FormatFloat:
+			v := math.Float32frombits(binary.LittleEndian.Uint32(raw[i*4:]))
+			out[i] = float32(math.Max(0, math.Min(1, float64(v))))
+		case bitsPerSample == 8:
+			out[i] = float32(raw[i]) / 255
+		case bitsPerSample == 16:
+			out[i] = float32(binary.LittleEndian.Uint16(raw[i*2:])) / 65535
+		default:
+			out[i] = float32(float64(binary.LittleEndian.Uint32(raw[i*4:])) / float64(math.MaxUint32))
+		}
+	}
+	return out, nil
+}
+
+// TransferFunc maps a normalized density to premultipliable color and
+// opacity, all in [0,1].
+type TransferFunc func(v float64) (r, g, b, a float64)
+
+// CTTransfer is a transfer function tuned for the synthetic CT volume:
+// air is transparent, soft medium faintly blue, dentin warm, enamel white
+// and nearly opaque.
+func CTTransfer(v float64) (r, g, b, a float64) {
+	switch {
+	case v < 0.12:
+		return 0, 0, 0, 0
+	case v < 0.35:
+		t := (v - 0.12) / 0.23
+		return 0.3 * t, 0.4 * t, 0.6 * t, 0.02 * t
+	case v < 0.7:
+		t := (v - 0.35) / 0.35
+		return 0.7 + 0.2*t, 0.5 + 0.2*t, 0.3 + 0.1*t, 0.04 + 0.25*t
+	default:
+		t := math.Min(1, (v-0.7)/0.3)
+		return 0.9 + 0.1*t, 0.9 + 0.1*t, 0.85 + 0.15*t, 0.3 + 0.6*t
+	}
+}
+
+// Partial is a per-brick partial rendering: a premultiplied RGBA image of
+// the brick's x-y footprint, accumulated front-to-back, plus the z range
+// it covers so partials can be depth-ordered during compositing.
+type Partial struct {
+	X0, Y0 int // footprint offset in the full image
+	W, H   int
+	Z0     int       // front depth of the brick (smaller = closer)
+	RGBA   []float64 // 4 floats per pixel, premultiplied by alpha
+}
+
+// At returns the premultiplied RGBA at footprint pixel (x, y).
+func (p *Partial) At(x, y int) (r, g, b, a float64) {
+	i := 4 * (y*p.W + x)
+	return p.RGBA[i], p.RGBA[i+1], p.RGBA[i+2], p.RGBA[i+3]
+}
+
+// RenderBrick ray-casts the brick orthographically along +z (the viewer
+// looks at the x-y plane from z = -inf) with unit sampling distance and
+// front-to-back compositing.
+func RenderBrick(b Brick, tf TransferFunc) (*Partial, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	w, h, d := b.Box.Dims[0], b.Box.Dims[1], b.Box.Dims[2]
+	p := &Partial{
+		X0: b.Box.Offset[0], Y0: b.Box.Offset[1],
+		W: w, H: h, Z0: b.Box.Offset[2],
+		RGBA: make([]float64, 4*w*h),
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var cr, cg, cb, ca float64
+			for z := 0; z < d && ca < 0.995; z++ {
+				v := float64(b.Values[((z*h)+y)*w+x])
+				r, g, bl, a := tf(v)
+				t := (1 - ca) * a
+				cr += t * r
+				cg += t * g
+				cb += t * bl
+				ca += t
+			}
+			i := 4 * (y*w + x)
+			p.RGBA[i], p.RGBA[i+1], p.RGBA[i+2], p.RGBA[i+3] = cr, cg, cb, ca
+		}
+	}
+	return p, nil
+}
+
+// compositeInto merges back (further from the viewer) behind front,
+// writing into front. Both must share the same footprint.
+func compositeInto(front, back *Partial) error {
+	if front.X0 != back.X0 || front.Y0 != back.Y0 || front.W != back.W || front.H != back.H {
+		return fmt.Errorf("render: composite footprint mismatch (%d,%d %dx%d vs %d,%d %dx%d)",
+			front.X0, front.Y0, front.W, front.H, back.X0, back.Y0, back.W, back.H)
+	}
+	for i := 0; i < len(front.RGBA); i += 4 {
+		t := 1 - front.RGBA[i+3]
+		front.RGBA[i] += t * back.RGBA[i]
+		front.RGBA[i+1] += t * back.RGBA[i+1]
+		front.RGBA[i+2] += t * back.RGBA[i+2]
+		front.RGBA[i+3] += t * back.RGBA[i+3]
+	}
+	return nil
+}
+
+// Composite depth-sorts the partials, merges those sharing a footprint
+// front-to-back, and assembles the final full-frame image over a black
+// background. Partials must tile the image in x-y (each footprint column
+// covered by one or more partials at distinct depths).
+func Composite(partials []*Partial, width, height int) (*image.RGBA, error) {
+	// Group by footprint.
+	type key struct{ x0, y0, w, h int }
+	groups := map[key][]*Partial{}
+	for _, p := range partials {
+		k := key{p.X0, p.Y0, p.W, p.H}
+		groups[k] = append(groups[k], p)
+	}
+	img := image.NewRGBA(image.Rect(0, 0, width, height))
+	for k, ps := range groups {
+		// Insertion sort by Z0 ascending (front first); groups are small.
+		for i := 1; i < len(ps); i++ {
+			for j := i; j > 0 && ps[j].Z0 < ps[j-1].Z0; j-- {
+				ps[j], ps[j-1] = ps[j-1], ps[j]
+			}
+		}
+		acc := &Partial{X0: ps[0].X0, Y0: ps[0].Y0, W: ps[0].W, H: ps[0].H, Z0: ps[0].Z0,
+			RGBA: append([]float64(nil), ps[0].RGBA...)}
+		for _, p := range ps[1:] {
+			if err := compositeInto(acc, p); err != nil {
+				return nil, err
+			}
+		}
+		for y := 0; y < k.h; y++ {
+			for x := 0; x < k.w; x++ {
+				r, g, b, _ := acc.At(x, y)
+				img.SetRGBA(k.x0+x, k.y0+y, color.RGBA{
+					R: uint8(255*math.Min(1, r) + 0.5),
+					G: uint8(255*math.Min(1, g) + 0.5),
+					B: uint8(255*math.Min(1, b) + 0.5),
+					A: 255,
+				})
+			}
+		}
+	}
+	return img, nil
+}

@@ -1,0 +1,260 @@
+package render
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+	"ddr/internal/tiff"
+)
+
+// syntheticBrick fills a brick with the tiff synthetic density sampled at
+// its global coordinates within a vw×vh×vd volume.
+func syntheticBrick(box grid.Box, vw, vh, vd int) Brick {
+	vals := make([]float32, box.Volume())
+	i := 0
+	for z := 0; z < box.Dims[2]; z++ {
+		for y := 0; y < box.Dims[1]; y++ {
+			for x := 0; x < box.Dims[0]; x++ {
+				gx, gy, gz := box.Offset[0]+x, box.Offset[1]+y, box.Offset[2]+z
+				vals[i] = float32(tiff.SyntheticDensity(
+					float64(gx)/float64(vw-1),
+					float64(gy)/float64(vh-1),
+					float64(gz)/float64(vd-1)))
+				i++
+			}
+		}
+	}
+	return Brick{Box: box, Values: vals}
+}
+
+func TestNormalizeSamples(t *testing.T) {
+	got, err := NormalizeSamples([]byte{0, 128, 255}, 8, tiff.FormatUint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[2] != 1 || math.Abs(float64(got[1])-128.0/255) > 1e-6 {
+		t.Errorf("8-bit: %v", got)
+	}
+	buf16 := make([]byte, 4)
+	binary.LittleEndian.PutUint16(buf16, 0)
+	binary.LittleEndian.PutUint16(buf16[2:], 65535)
+	got, err = NormalizeSamples(buf16, 16, tiff.FormatUint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("16-bit: %v", got)
+	}
+	buf32 := make([]byte, 8)
+	binary.LittleEndian.PutUint32(buf32, math.MaxUint32)
+	got, err = NormalizeSamples(buf32, 32, tiff.FormatUint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 0 {
+		t.Errorf("32-bit: %v", got)
+	}
+	bufF := make([]byte, 8)
+	binary.LittleEndian.PutUint32(bufF, math.Float32bits(0.5))
+	binary.LittleEndian.PutUint32(bufF[4:], math.Float32bits(2.5)) // clamped
+	got, err = NormalizeSamples(bufF, 32, tiff.FormatFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0.5 || got[1] != 1 {
+		t.Errorf("float: %v", got)
+	}
+	if _, err := NormalizeSamples(make([]byte, 3), 16, tiff.FormatUint); err == nil {
+		t.Error("odd byte count accepted")
+	}
+	if _, err := NormalizeSamples(nil, 12, tiff.FormatUint); err == nil {
+		t.Error("12-bit accepted")
+	}
+}
+
+func TestCTTransferShape(t *testing.T) {
+	_, _, _, aAir := CTTransfer(0.05)
+	if aAir != 0 {
+		t.Errorf("air opacity %f", aAir)
+	}
+	_, _, _, aDentin := CTTransfer(0.5)
+	_, _, _, aEnamel := CTTransfer(0.9)
+	if !(aEnamel > aDentin && aDentin > aAir) {
+		t.Errorf("opacity not increasing: %f %f %f", aAir, aDentin, aEnamel)
+	}
+	r, g, b, a := CTTransfer(1.0)
+	for _, v := range []float64{r, g, b, a} {
+		if v < 0 || v > 1 {
+			t.Errorf("transfer out of range: %f %f %f %f", r, g, b, a)
+		}
+	}
+}
+
+func TestRenderBrickValidation(t *testing.T) {
+	if _, err := RenderBrick(Brick{Box: grid.Box2(0, 0, 2, 2)}, CTTransfer); err == nil {
+		t.Error("2D brick accepted")
+	}
+	if _, err := RenderBrick(Brick{Box: grid.Box3(0, 0, 0, 2, 2, 2), Values: make([]float32, 7)}, CTTransfer); err == nil {
+		t.Error("short samples accepted")
+	}
+}
+
+func TestRenderOpaqueFrontHidesBack(t *testing.T) {
+	// Two-sample ray: an opaque white front must hide an opaque red back.
+	tf := func(v float64) (float64, float64, float64, float64) {
+		if v > 0.75 {
+			return 1, 0, 0, 1 // red
+		}
+		if v > 0.25 {
+			return 1, 1, 1, 1 // white
+		}
+		return 0, 0, 0, 0
+	}
+	b := Brick{Box: grid.Box3(0, 0, 0, 1, 1, 2), Values: []float32{0.5, 1.0}}
+	p, err := RenderBrick(b, tf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, g, _, a := p.At(0, 0)
+	if r != 1 || g != 1 || a != 1 {
+		t.Errorf("front not dominant: r=%f g=%f a=%f", r, g, a)
+	}
+}
+
+func TestCompositeAssociativity(t *testing.T) {
+	// Rendering a full column must match rendering it as two sub-bricks
+	// composited front-to-back.
+	const vw, vh, vd = 8, 6, 10
+	full := syntheticBrick(grid.Box3(0, 0, 0, vw, vh, vd), vw, vh, vd)
+	pFull, err := RenderBrick(full, CTTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := syntheticBrick(grid.Box3(0, 0, 0, vw, vh, 4), vw, vh, vd)
+	back := syntheticBrick(grid.Box3(0, 0, 4, vw, vh, vd-4), vw, vh, vd)
+	pf, err := RenderBrick(front, CTTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := RenderBrick(back, CTTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := compositeInto(pf, pb); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pFull.RGBA {
+		// Early-ray termination makes split rendering integrate slightly
+		// deeper than the fused ray; allow a small tolerance.
+		if math.Abs(pFull.RGBA[i]-pf.RGBA[i]) > 1e-2 {
+			t.Fatalf("component %d: full %f vs composited %f", i, pFull.RGBA[i], pf.RGBA[i])
+		}
+	}
+}
+
+func TestCompositeFootprintMismatch(t *testing.T) {
+	a := &Partial{X0: 0, Y0: 0, W: 2, H: 2, RGBA: make([]float64, 16)}
+	b := &Partial{X0: 2, Y0: 0, W: 2, H: 2, RGBA: make([]float64, 16)}
+	if err := compositeInto(a, b); err == nil {
+		t.Error("footprint mismatch accepted")
+	}
+}
+
+func TestCompositeFullFrame(t *testing.T) {
+	const vw, vh, vd = 12, 12, 12
+	x, y, z := grid.Factor3(8)
+	boxes := grid.Bricks3D(grid.Box3(0, 0, 0, vw, vh, vd), x, y, z)
+	var partials []*Partial
+	for _, b := range boxes {
+		p, err := RenderBrick(syntheticBrick(b, vw, vh, vd), CTTransfer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		partials = append(partials, p)
+	}
+	img, err := Composite(partials, vw, vh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Bounds().Dx() != vw || img.Bounds().Dy() != vh {
+		t.Fatalf("bounds %v", img.Bounds())
+	}
+	// Compare against a single-brick serial rendering.
+	serialPartial, err := RenderBrick(syntheticBrick(grid.Box3(0, 0, 0, vw, vh, vd), vw, vh, vd), CTTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Composite([]*Partial{serialPartial}, vw, vh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range img.Pix {
+		d := int(img.Pix[i]) - int(serial.Pix[i])
+		if d < -3 || d > 3 {
+			t.Fatalf("pixel byte %d differs: %d vs %d", i, img.Pix[i], serial.Pix[i])
+		}
+	}
+}
+
+func TestPartialEncodeDecode(t *testing.T) {
+	p := &Partial{X0: 3, Y0: 4, W: 2, H: 1, Z0: 7, RGBA: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}}
+	got, err := decodePartial(encodePartial(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.X0 != 3 || got.Y0 != 4 || got.W != 2 || got.H != 1 || got.Z0 != 7 {
+		t.Fatalf("header: %+v", got)
+	}
+	for i := range p.RGBA {
+		if got.RGBA[i] != p.RGBA[i] {
+			t.Fatalf("RGBA[%d] = %f", i, got.RGBA[i])
+		}
+	}
+	if _, err := decodePartial([]byte{1, 2}); err == nil {
+		t.Error("truncated partial accepted")
+	}
+	if _, err := decodePartial(encodePartial(p)[:25]); err == nil {
+		t.Error("short body accepted")
+	}
+}
+
+func TestGatherComposite(t *testing.T) {
+	const vw, vh, vd = 12, 12, 12
+	x, y, z := grid.Factor3(8)
+	boxes := grid.Bricks3D(grid.Box3(0, 0, 0, vw, vh, vd), x, y, z)
+	err := mpi.Run(8, func(c *mpi.Comm) error {
+		p, err := RenderBrick(syntheticBrick(boxes[c.Rank()], vw, vh, vd), CTTransfer)
+		if err != nil {
+			return err
+		}
+		img, err := GatherComposite(c, 0, p, vw, vh)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if img == nil || img.Bounds().Dx() != vw {
+				return fmt.Errorf("root image missing or wrong size")
+			}
+		} else if img != nil {
+			return fmt.Errorf("non-root got an image")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRenderBrick(b *testing.B) {
+	brick := syntheticBrick(grid.Box3(0, 0, 0, 64, 64, 64), 64, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RenderBrick(brick, CTTransfer); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

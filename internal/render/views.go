@@ -1,0 +1,131 @@
+package render
+
+import "fmt"
+
+// ViewAxis selects the orthographic viewing direction for RenderBrickAxis.
+// "Plus" views look along the positive axis (the plane nearest the origin
+// is in front); "Minus" views look along the negative axis.
+type ViewAxis int
+
+// Supported viewing directions.
+const (
+	ViewZPlus ViewAxis = iota
+	ViewZMinus
+	ViewXPlus
+	ViewXMinus
+	ViewYPlus
+	ViewYMinus
+)
+
+func (v ViewAxis) String() string {
+	switch v {
+	case ViewZPlus:
+		return "+z"
+	case ViewZMinus:
+		return "-z"
+	case ViewXPlus:
+		return "+x"
+	case ViewXMinus:
+		return "-x"
+	case ViewYPlus:
+		return "+y"
+	case ViewYMinus:
+		return "-y"
+	}
+	return fmt.Sprintf("ViewAxis(%d)", int(v))
+}
+
+// axis returns the marching axis index (0=x,1=y,2=z) and whether the view
+// is along the negative direction.
+func (v ViewAxis) axis() (int, bool) {
+	switch v {
+	case ViewXPlus:
+		return 0, false
+	case ViewXMinus:
+		return 0, true
+	case ViewYPlus:
+		return 1, false
+	case ViewYMinus:
+		return 1, true
+	case ViewZMinus:
+		return 2, true
+	default:
+		return 2, false
+	}
+}
+
+// FrameDims returns the full-frame width and height for rendering the
+// given volume extents under this view.
+func (v ViewAxis) FrameDims(vw, vh, vd int) (w, h int) {
+	switch a, _ := v.axis(); a {
+	case 0:
+		return vh, vd
+	case 1:
+		return vw, vd
+	default:
+		return vw, vh
+	}
+}
+
+// RenderBrickAxis ray-casts the brick orthographically along the given
+// view axis with front-to-back compositing. The partial's footprint lies
+// in the view's image plane: +x/-x views map (y,z) to (screen-x,
+// screen-y), +y/-y views map (x,z), and +z/-z views map (x,y).
+// RenderBrick is RenderBrickAxis with ViewZPlus.
+func RenderBrickAxis(b Brick, tf TransferFunc, view ViewAxis) (*Partial, error) {
+	if err := b.Validate(); err != nil {
+		return nil, err
+	}
+	march, negative := view.axis()
+	// u and v are the image-plane axes in volume coordinates.
+	var uAxis, vAxis int
+	switch march {
+	case 0:
+		uAxis, vAxis = 1, 2
+	case 1:
+		uAxis, vAxis = 0, 2
+	default:
+		uAxis, vAxis = 0, 1
+	}
+	w, h := b.Box.Dims[uAxis], b.Box.Dims[vAxis]
+	d := b.Box.Dims[march]
+	z0 := b.Box.Offset[march]
+	if negative {
+		// Depth keys must order front-first: for a negative view the far
+		// end of the axis is in front, so negate the key.
+		z0 = -(b.Box.Offset[march] + d)
+	}
+	p := &Partial{
+		X0: b.Box.Offset[uAxis], Y0: b.Box.Offset[vAxis],
+		W: w, H: h, Z0: z0,
+		RGBA: make([]float64, 4*w*h),
+	}
+	bw, bh := b.Box.Dims[0], b.Box.Dims[1]
+	sample := func(coord [3]int) float64 {
+		return float64(b.Values[((coord[2]*bh)+coord[1])*bw+coord[0]])
+	}
+	for v := 0; v < h; v++ {
+		for u := 0; u < w; u++ {
+			var cr, cg, cb, ca float64
+			for s := 0; s < d && ca < 0.995; s++ {
+				var coord [3]int
+				coord[uAxis] = u
+				coord[vAxis] = v
+				if negative {
+					coord[march] = d - 1 - s
+				} else {
+					coord[march] = s
+				}
+				r, g, bl, a := tf(sample(coord))
+				t := (1 - ca) * a
+				cr += t * r
+				cg += t * g
+				cb += t * bl
+				ca += t
+			}
+			i := 4 * (v*w + u)
+			p.RGBA[i], p.RGBA[i+1], p.RGBA[i+2], p.RGBA[i+3] = cr, cg, cb, ca
+		}
+	}
+	return p, nil
+}

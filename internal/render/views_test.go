@@ -1,0 +1,150 @@
+package render
+
+import (
+	"math"
+	"testing"
+
+	"ddr/internal/grid"
+)
+
+func TestViewAxisFrameDims(t *testing.T) {
+	cases := []struct {
+		v    ViewAxis
+		w, h int
+	}{
+		{ViewZPlus, 10, 20}, {ViewZMinus, 10, 20},
+		{ViewXPlus, 20, 30}, {ViewXMinus, 20, 30},
+		{ViewYPlus, 10, 30}, {ViewYMinus, 10, 30},
+	}
+	for _, c := range cases {
+		w, h := c.v.FrameDims(10, 20, 30)
+		if w != c.w || h != c.h {
+			t.Errorf("%v: %dx%d, want %dx%d", c.v, w, h, c.w, c.h)
+		}
+	}
+	if ViewXMinus.String() != "-x" || ViewZPlus.String() != "+z" {
+		t.Error("view names")
+	}
+}
+
+func TestRenderBrickAxisZPlusMatchesRenderBrick(t *testing.T) {
+	b := syntheticBrick(grid.Box3(0, 0, 0, 9, 7, 5), 9, 7, 5)
+	a, err := RenderBrick(b, CTTransfer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := RenderBrickAxis(b, CTTransfer, ViewZPlus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.X0 != z.X0 || a.Y0 != z.Y0 || a.W != z.W || a.H != z.H || a.Z0 != z.Z0 {
+		t.Fatalf("geometry differs: %+v vs %+v", a, z)
+	}
+	for i := range a.RGBA {
+		if a.RGBA[i] != z.RGBA[i] {
+			t.Fatalf("pixel component %d differs", i)
+		}
+	}
+}
+
+// opaqueAt builds a 2x1x1-style brick with distinct opaque colors at the
+// two ends of the given axis, for occlusion checks.
+func twoCellBrick(axis int) Brick {
+	dims := [3]int{1, 1, 1}
+	dims[axis] = 2
+	box := grid.Box3(0, 0, 0, dims[0], dims[1], dims[2])
+	// Values 0.5 (white) at low coordinate, 1.0 (red) at high coordinate.
+	return Brick{Box: box, Values: []float32{0.5, 1.0}}
+}
+
+func redWhiteTF(v float64) (float64, float64, float64, float64) {
+	if v > 0.75 {
+		return 1, 0, 0, 1
+	}
+	return 1, 1, 1, 1
+}
+
+func TestRenderBrickAxisOcclusion(t *testing.T) {
+	cases := []struct {
+		view      ViewAxis
+		axis      int
+		wantWhite bool // low-coordinate cell (white) should win on Plus views
+	}{
+		{ViewXPlus, 0, true}, {ViewXMinus, 0, false},
+		{ViewYPlus, 1, true}, {ViewYMinus, 1, false},
+		{ViewZPlus, 2, true}, {ViewZMinus, 2, false},
+	}
+	for _, c := range cases {
+		p, err := RenderBrickAxis(twoCellBrick(c.axis), redWhiteTF, c.view)
+		if err != nil {
+			t.Fatalf("%v: %v", c.view, err)
+		}
+		r, g, _, _ := p.At(0, 0)
+		isWhite := r == 1 && g == 1
+		if isWhite != c.wantWhite {
+			t.Errorf("%v: white=%v, want %v", c.view, isWhite, c.wantWhite)
+		}
+	}
+}
+
+// TestAxisCompositeAcrossBricks verifies that two bricks split along the
+// viewing axis composite to the same image as the fused brick, for every
+// view, including the negative ones whose depth keys are negated.
+func TestAxisCompositeAcrossBricks(t *testing.T) {
+	const vw, vh, vd = 8, 8, 8
+	full := syntheticBrick(grid.Box3(0, 0, 0, vw, vh, vd), vw, vh, vd)
+	for _, view := range []ViewAxis{ViewXPlus, ViewXMinus, ViewYPlus, ViewYMinus, ViewZPlus, ViewZMinus} {
+		axis, _ := view.axis()
+		dimsA := [3]int{vw, vh, vd}
+		dimsA[axis] = 4
+		offB := [3]int{0, 0, 0}
+		offB[axis] = 4
+		dimsB := [3]int{vw, vh, vd}
+		dimsB[axis] -= 4
+		brickA := syntheticBrick(grid.Box3(0, 0, 0, dimsA[0], dimsA[1], dimsA[2]), vw, vh, vd)
+		brickB := syntheticBrick(grid.Box3(offB[0], offB[1], offB[2], dimsB[0], dimsB[1], dimsB[2]), vw, vh, vd)
+
+		pFull, err := RenderBrickAxis(full, CTTransfer, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pA, err := RenderBrickAxis(brickA, CTTransfer, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pB, err := RenderBrickAxis(brickB, CTTransfer, view)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fw, fh := view.FrameDims(vw, vh, vd)
+		imgSplit, err := Composite([]*Partial{pA, pB}, fw, fh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		imgFull, err := Composite([]*Partial{pFull}, fw, fh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range imgFull.Pix {
+			d := int(imgFull.Pix[i]) - int(imgSplit.Pix[i])
+			if d < -3 || d > 3 {
+				t.Fatalf("%v: pixel byte %d differs: %d vs %d", view, i, imgFull.Pix[i], imgSplit.Pix[i])
+			}
+		}
+	}
+}
+
+func TestRenderBrickAxisValidation(t *testing.T) {
+	if _, err := RenderBrickAxis(Brick{Box: grid.Box3(0, 0, 0, 2, 2, 2), Values: make([]float32, 3)}, CTTransfer, ViewXPlus); err == nil {
+		t.Error("short brick accepted")
+	}
+}
+
+// mathSanity keeps the math import honest in case the occlusion helpers
+// change; it also documents the opacity convention.
+func TestTransferOpacityCap(t *testing.T) {
+	_, _, _, a := CTTransfer(math.Inf(1))
+	if a < 0 || a > 1 {
+		t.Errorf("opacity %f out of range", a)
+	}
+}

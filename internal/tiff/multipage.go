@@ -1,0 +1,132 @@
+package tiff
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Multi-page TIFF support: CT acquisitions frequently store the whole
+// slice stack as one file with a chain of IFDs rather than thousands of
+// single-image files. DecodeAll walks the chain; EncodeMulti writes one.
+// The paper's cost argument is unchanged — each page still decodes in
+// full even when only a few pixels are needed.
+
+// DecodeAll parses every page of a TIFF file in IFD-chain order. Files
+// written by Encode contain exactly one page.
+func DecodeAll(data []byte) ([]*Image, error) {
+	if len(data) < 8 {
+		return nil, fmt.Errorf("tiff: file too short")
+	}
+	var bo binary.ByteOrder
+	switch {
+	case data[0] == 'I' && data[1] == 'I':
+		bo = binary.LittleEndian
+	case data[0] == 'M' && data[1] == 'M':
+		bo = binary.BigEndian
+	default:
+		return nil, fmt.Errorf("tiff: bad byte-order mark %q", data[:2])
+	}
+	if bo.Uint16(data[2:]) != 42 {
+		return nil, fmt.Errorf("tiff: bad magic")
+	}
+	var pages []*Image
+	seen := map[uint32]bool{}
+	off := bo.Uint32(data[4:])
+	for off != 0 {
+		if seen[off] {
+			return nil, fmt.Errorf("tiff: IFD cycle at offset %d", off)
+		}
+		seen[off] = true
+		if len(pages) > 1<<16 {
+			return nil, fmt.Errorf("tiff: more than %d pages", 1<<16)
+		}
+		img, next, err := decodeIFD(data, bo, off)
+		if err != nil {
+			return nil, fmt.Errorf("tiff: page %d: %w", len(pages), err)
+		}
+		pages = append(pages, img)
+		off = next
+	}
+	if len(pages) == 0 {
+		return nil, fmt.Errorf("tiff: no pages")
+	}
+	return pages, nil
+}
+
+// EncodeMulti writes pages as one little-endian multi-page TIFF. All
+// pages are written uncompressed with a single strip each (the layout is
+// simple because offsets must be known up front).
+func EncodeMulti(w io.Writer, pages []*Image) error {
+	if len(pages) == 0 {
+		return fmt.Errorf("tiff: no pages to encode")
+	}
+	for i, img := range pages {
+		if err := img.Validate(); err != nil {
+			return fmt.Errorf("tiff: page %d: %w", i, err)
+		}
+	}
+	le := binary.LittleEndian
+	const nEntries = 9
+	ifdBytes := uint32(2 + nEntries*12 + 4)
+
+	// Layout: header, then per page [pixels, IFD].
+	offsets := make([]uint32, len(pages))   // pixel data offset per page
+	ifdOffset := make([]uint32, len(pages)) // IFD offset per page
+	pos := uint32(8)
+	for i, img := range pages {
+		offsets[i] = pos
+		pos += uint32(len(img.Pixels))
+		ifdOffset[i] = pos
+		pos += ifdBytes
+	}
+
+	hdr := make([]byte, 8)
+	hdr[0], hdr[1] = 'I', 'I'
+	le.PutUint16(hdr[2:], 42)
+	le.PutUint32(hdr[4:], ifdOffset[0])
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	for i, img := range pages {
+		if _, err := w.Write(img.Pixels); err != nil {
+			return err
+		}
+		next := uint32(0)
+		if i+1 < len(pages) {
+			next = ifdOffset[i+1]
+		}
+		ifd := make([]byte, ifdBytes)
+		le.PutUint16(ifd, nEntries)
+		entries := []struct {
+			tag, typ uint16
+			value    uint32
+		}{
+			{tagImageWidth, typeLong, uint32(img.Width)},
+			{tagImageLength, typeLong, uint32(img.Height)},
+			{tagBitsPerSample, typeShort, uint32(img.BitsPerSample)},
+			{tagCompression, typeShort, 1},
+			{tagPhotometric, typeShort, 1},
+			{tagStripOffsets, typeLong, offsets[i]},
+			{tagRowsPerStrip, typeLong, uint32(img.Height)},
+			{tagStripCounts, typeLong, uint32(len(img.Pixels))},
+			{tagSampleFormat, typeShort, uint32(img.SampleFormat)},
+		}
+		for j, e := range entries {
+			base := 2 + j*12
+			le.PutUint16(ifd[base:], e.tag)
+			le.PutUint16(ifd[base+2:], e.typ)
+			le.PutUint32(ifd[base+4:], 1)
+			if e.typ == typeShort {
+				le.PutUint16(ifd[base+8:], uint16(e.value))
+			} else {
+				le.PutUint32(ifd[base+8:], e.value)
+			}
+		}
+		le.PutUint32(ifd[2+nEntries*12:], next)
+		if _, err := w.Write(ifd); err != nil {
+			return err
+		}
+	}
+	return nil
+}

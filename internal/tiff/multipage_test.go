@@ -1,0 +1,110 @@
+package tiff
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+func TestMultiPageRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	pages := []*Image{
+		randomImage(rng, 12, 7, 8, FormatUint),
+		randomImage(rng, 12, 7, 8, FormatUint),
+		randomImage(rng, 12, 7, 8, FormatUint),
+	}
+	var buf bytes.Buffer
+	if err := EncodeMulti(&buf, pages); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAll(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("%d pages", len(got))
+	}
+	for i := range pages {
+		if !bytes.Equal(got[i].Pixels, pages[i].Pixels) {
+			t.Errorf("page %d pixels differ", i)
+		}
+	}
+	// The first page must also be readable through the single-image API.
+	first, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Pixels, pages[0].Pixels) {
+		t.Error("Decode does not return page 0")
+	}
+}
+
+func TestMultiPageHeterogeneousPages(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	pages := []*Image{
+		randomImage(rng, 6, 4, 16, FormatUint),
+		randomImage(rng, 10, 3, 32, FormatFloat),
+	}
+	var buf bytes.Buffer
+	if err := EncodeMulti(&buf, pages); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeAll(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].BitsPerSample != 16 || got[1].SampleFormat != FormatFloat {
+		t.Errorf("page metadata lost: %+v %+v", got[0], got[1])
+	}
+}
+
+func TestDecodeAllSinglePageFiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	img := randomImage(rng, 20, 9, 16, FormatUint)
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		t.Fatal(err)
+	}
+	pages, err := DecodeAll(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pages) != 1 || !bytes.Equal(pages[0].Pixels, img.Pixels) {
+		t.Error("single-page file mishandled by DecodeAll")
+	}
+}
+
+func TestDecodeAllRejectsCycles(t *testing.T) {
+	// Build a two-page file, then patch page 1's next pointer back to
+	// page 0's IFD to form a cycle.
+	rng := rand.New(rand.NewSource(12))
+	pages := []*Image{
+		randomImage(rng, 4, 4, 8, FormatUint),
+		randomImage(rng, 4, 4, 8, FormatUint),
+	}
+	var buf bytes.Buffer
+	if err := EncodeMulti(&buf, pages); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	le := binary.LittleEndian
+	firstIFD := le.Uint32(data[4:])
+	// Page layout: [hdr][pix0][ifd0][pix1][ifd1]; ifd1's next pointer is the
+	// last 4 bytes of the file.
+	le.PutUint32(data[len(data)-4:], firstIFD)
+	if _, err := DecodeAll(data); err == nil {
+		t.Error("IFD cycle accepted")
+	}
+}
+
+func TestEncodeMultiValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeMulti(&buf, nil); err == nil {
+		t.Error("empty page list accepted")
+	}
+	bad := &Image{Width: 2, Height: 2, BitsPerSample: 8, SampleFormat: FormatUint, Pixels: make([]byte, 1)}
+	if err := EncodeMulti(&buf, []*Image{bad}); err == nil {
+		t.Error("invalid page accepted")
+	}
+}

@@ -1,0 +1,90 @@
+package tiff
+
+import "fmt"
+
+// PackBits is the byte-oriented run-length scheme of TIFF compression
+// type 32773 (Apple PackBits). TIFF requires the encoder to restart
+// compression at every row boundary; packBitsEncode therefore operates on
+// one row at a time and strips concatenate encoded rows.
+
+// packBitsEncodeRow compresses one row, appending to dst.
+func packBitsEncodeRow(dst, row []byte) []byte {
+	i := 0
+	for i < len(row) {
+		// Find a run of equal bytes.
+		run := 1
+		for i+run < len(row) && run < 128 && row[i+run] == row[i] {
+			run++
+		}
+		if run >= 2 {
+			dst = append(dst, byte(257-run), row[i])
+			i += run
+			continue
+		}
+		// Literal segment: until the next run of >= 3 (runs of 2 are not
+		// worth breaking a literal for) or 128 bytes.
+		start := i
+		i++
+		for i < len(row) && i-start < 128 {
+			if i+2 < len(row) && row[i] == row[i+1] && row[i] == row[i+2] {
+				break
+			}
+			// A trailing pair at the very end is cheaper inside the literal.
+			if i+2 == len(row) && row[i] == row[i+1] {
+				i += 2
+				if i-start > 128 {
+					i = start + 128
+				}
+				break
+			}
+			i++
+		}
+		n := i - start
+		dst = append(dst, byte(n-1))
+		dst = append(dst, row[start:start+n]...)
+	}
+	return dst
+}
+
+// packBitsDecode expands src into dst, which must be exactly the expected
+// decompressed size. It returns an error on malformed or overlong input.
+func packBitsDecode(dst, src []byte) error {
+	d := 0
+	for i := 0; i < len(src); {
+		ctrl := int8(src[i])
+		i++
+		switch {
+		case ctrl >= 0:
+			n := int(ctrl) + 1
+			if i+n > len(src) {
+				return fmt.Errorf("tiff: packbits literal of %d bytes overruns input", n)
+			}
+			if d+n > len(dst) {
+				return fmt.Errorf("tiff: packbits output overflow at byte %d", d)
+			}
+			copy(dst[d:], src[i:i+n])
+			i += n
+			d += n
+		case ctrl == -128:
+			// No-op per spec.
+		default:
+			n := 1 - int(ctrl)
+			if i >= len(src) {
+				return fmt.Errorf("tiff: packbits run missing value byte")
+			}
+			if d+n > len(dst) {
+				return fmt.Errorf("tiff: packbits output overflow at byte %d", d)
+			}
+			v := src[i]
+			i++
+			for k := 0; k < n; k++ {
+				dst[d+k] = v
+			}
+			d += n
+		}
+	}
+	if d != len(dst) {
+		return fmt.Errorf("tiff: packbits produced %d of %d bytes", d, len(dst))
+	}
+	return nil
+}

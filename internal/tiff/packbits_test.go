@@ -1,0 +1,179 @@
+package tiff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func packBitsRoundTrip(row []byte) ([]byte, error) {
+	enc := packBitsEncodeRow(nil, row)
+	dec := make([]byte, len(row))
+	if err := packBitsDecode(dec, enc); err != nil {
+		return nil, err
+	}
+	return dec, nil
+}
+
+func TestPackBitsKnownVectors(t *testing.T) {
+	// The classic Apple TN1023 example.
+	src := []byte{
+		0xAA, 0xAA, 0xAA, 0x80, 0x00, 0x2A, 0xAA, 0xAA, 0xAA, 0xAA,
+		0x80, 0x00, 0x2A, 0x22, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA,
+		0xAA, 0xAA, 0xAA, 0xAA,
+	}
+	dec, err := packBitsRoundTrip(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Errorf("roundtrip mismatch:\n got %x\nwant %x", dec, src)
+	}
+}
+
+func TestPackBitsRunsCompress(t *testing.T) {
+	row := bytes.Repeat([]byte{7}, 300)
+	enc := packBitsEncodeRow(nil, row)
+	if len(enc) > 8 {
+		t.Errorf("300-byte run encoded to %d bytes", len(enc))
+	}
+	dec := make([]byte, 300)
+	if err := packBitsDecode(dec, enc); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, row) {
+		t.Error("run roundtrip mismatch")
+	}
+}
+
+func TestPackBitsLiteralWorstCase(t *testing.T) {
+	row := make([]byte, 257)
+	for i := range row {
+		row[i] = byte(i * 37)
+	}
+	enc := packBitsEncodeRow(nil, row)
+	// Worst case adds one control byte per 128 literals.
+	if len(enc) > len(row)+3 {
+		t.Errorf("literal row of %d encoded to %d bytes", len(row), len(enc))
+	}
+	dec, err := packBitsRoundTrip(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, row) {
+		t.Error("literal roundtrip mismatch")
+	}
+}
+
+func TestPackBitsRoundTripProperty(t *testing.T) {
+	f := func(seed int64, mode uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(1000)
+		row := make([]byte, n)
+		switch mode % 3 {
+		case 0: // random
+			rng.Read(row)
+		case 1: // runs
+			for i := 0; i < n; {
+				v := byte(rng.Intn(4))
+				l := 1 + rng.Intn(200)
+				for j := 0; j < l && i < n; j++ {
+					row[i] = v
+					i++
+				}
+			}
+		default: // alternating pairs (stress literal/run boundary logic)
+			for i := range row {
+				row[i] = byte((i / 2) % 3)
+			}
+		}
+		dec, err := packBitsRoundTrip(row)
+		if err != nil {
+			t.Logf("seed %d mode %d: %v", seed, mode, err)
+			return false
+		}
+		return bytes.Equal(dec, row)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackBitsDecodeRejectsMalformed(t *testing.T) {
+	// Literal overruns input.
+	if err := packBitsDecode(make([]byte, 10), []byte{5, 1, 2}); err == nil {
+		t.Error("truncated literal accepted")
+	}
+	// Run missing value byte.
+	if err := packBitsDecode(make([]byte, 10), []byte{0xFE}); err == nil {
+		t.Error("truncated run accepted")
+	}
+	// Output overflow.
+	if err := packBitsDecode(make([]byte, 2), []byte{0xFD, 9}); err == nil {
+		t.Error("overflow accepted")
+	}
+	// Short output.
+	if err := packBitsDecode(make([]byte, 10), []byte{0x00, 9}); err == nil {
+		t.Error("underfull output accepted")
+	}
+	// No-op control byte is skipped harmlessly.
+	if err := packBitsDecode(make([]byte, 1), []byte{0x80, 0x00, 7}); err != nil {
+		t.Errorf("no-op byte: %v", err)
+	}
+}
+
+func TestEncodePackBitsTIFF(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// A smooth-ish image with long runs compresses well and exercises the
+	// full encode/decode path.
+	img := &Image{Width: 200, Height: 90, BitsPerSample: 8, SampleFormat: FormatUint,
+		Pixels: make([]byte, 200*90)}
+	for y := 0; y < 90; y++ {
+		for x := 0; x < 200; x++ {
+			img.Pixels[y*200+x] = byte(y / 8)
+		}
+	}
+	var plain, packed bytes.Buffer
+	if err := Encode(&plain, img); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeWithOptions(&packed, img, EncodeOptions{Compression: CompressionPackBits}); err != nil {
+		t.Fatal(err)
+	}
+	if packed.Len() >= plain.Len()/10 {
+		t.Errorf("packbits %d bytes vs plain %d: expected >10x on runs", packed.Len(), plain.Len())
+	}
+	got, err := Decode(packed.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pixels, img.Pixels) {
+		t.Error("packbits TIFF roundtrip mismatch")
+	}
+
+	// Random 16-bit data (incompressible) must still roundtrip.
+	img2 := randomImage(rng, 63, 41, 16, FormatUint)
+	var buf2 bytes.Buffer
+	if err := EncodeWithOptions(&buf2, img2, EncodeOptions{Compression: CompressionPackBits, RowsPerStrip: 7}); err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Decode(buf2.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2.Pixels, img2.Pixels) {
+		t.Error("random packbits roundtrip mismatch")
+	}
+}
+
+func TestEncodeWithOptionsValidation(t *testing.T) {
+	img := &Image{Width: 2, Height: 2, BitsPerSample: 8, SampleFormat: FormatUint, Pixels: make([]byte, 4)}
+	var buf bytes.Buffer
+	if err := EncodeWithOptions(&buf, img, EncodeOptions{Compression: Compression(5)}); err == nil {
+		t.Error("unknown compression accepted")
+	}
+	if CompressionNone.String() != "none" || CompressionPackBits.String() != "packbits" {
+		t.Error("compression names")
+	}
+}

@@ -1,0 +1,259 @@
+package tiff
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func randomImage(rng *rand.Rand, w, h, bits int, format SampleFormat) *Image {
+	img := &Image{
+		Width:         w,
+		Height:        h,
+		BitsPerSample: bits,
+		SampleFormat:  format,
+		Pixels:        make([]byte, w*h*bits/8),
+	}
+	rng.Read(img.Pixels)
+	if format == FormatFloat {
+		// Keep floats finite so value-level comparisons are meaningful.
+		for i := 0; i < len(img.Pixels); i += 4 {
+			binary.LittleEndian.PutUint32(img.Pixels[i:], math.Float32bits(rng.Float32()))
+		}
+	}
+	return img
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := []struct {
+		w, h, bits int
+		format     SampleFormat
+	}{
+		{1, 1, 8, FormatUint},
+		{17, 9, 8, FormatUint},
+		{64, 64, 16, FormatUint},
+		{33, 200, 32, FormatUint}, // multiple strips (64 rows each)
+		{40, 70, 32, FormatFloat},
+		{128, 65, 8, FormatUint},
+	}
+	for _, c := range cases {
+		img := randomImage(rng, c.w, c.h, c.bits, c.format)
+		var buf bytes.Buffer
+		if err := Encode(&buf, img); err != nil {
+			t.Fatalf("%dx%d/%d: encode: %v", c.w, c.h, c.bits, err)
+		}
+		got, err := Decode(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%dx%d/%d: decode: %v", c.w, c.h, c.bits, err)
+		}
+		if got.Width != c.w || got.Height != c.h || got.BitsPerSample != c.bits || got.SampleFormat != c.format {
+			t.Fatalf("%dx%d/%d: header mismatch: %+v", c.w, c.h, c.bits, got)
+		}
+		if !bytes.Equal(got.Pixels, img.Pixels) {
+			t.Fatalf("%dx%d/%d: pixels differ", c.w, c.h, c.bits)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := 1 + rng.Intn(80)
+		h := 1 + rng.Intn(150)
+		bits := []int{8, 16, 32}[rng.Intn(3)]
+		format := FormatUint
+		if bits == 32 && rng.Intn(2) == 1 {
+			format = FormatFloat
+		}
+		img := randomImage(rng, w, h, bits, format)
+		var buf bytes.Buffer
+		if err := Encode(&buf, img); err != nil {
+			return false
+		}
+		got, err := Decode(buf.Bytes())
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got.Pixels, img.Pixels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeBigEndian(t *testing.T) {
+	// Hand-build a minimal big-endian TIFF: 2x2, 16-bit gray, one strip.
+	pixels := []byte{0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0} // BE samples
+	be := binary.BigEndian
+	var buf bytes.Buffer
+	hdr := make([]byte, 8)
+	hdr[0], hdr[1] = 'M', 'M'
+	be.PutUint16(hdr[2:], 42)
+	be.PutUint32(hdr[4:], 16) // IFD after header+pixels
+	buf.Write(hdr)
+	buf.Write(pixels)
+	type entry struct {
+		tag, typ uint16
+		count    uint32
+		value    uint32
+		short    bool
+	}
+	entries := []entry{
+		{256, 3, 1, 2, true},
+		{257, 3, 1, 2, true},
+		{258, 3, 1, 16, true},
+		{259, 3, 1, 1, true},
+		{262, 3, 1, 1, true},
+		{273, 4, 1, 8, false},
+		{278, 3, 1, 2, true},
+		{279, 4, 1, 8, false},
+	}
+	ifd := make([]byte, 2+len(entries)*12+4)
+	be.PutUint16(ifd, uint16(len(entries)))
+	for i, e := range entries {
+		base := 2 + i*12
+		be.PutUint16(ifd[base:], e.tag)
+		be.PutUint16(ifd[base+2:], e.typ)
+		be.PutUint32(ifd[base+4:], e.count)
+		if e.short {
+			be.PutUint16(ifd[base+8:], uint16(e.value))
+		} else {
+			be.PutUint32(ifd[base+8:], e.value)
+		}
+	}
+	buf.Write(ifd)
+
+	img, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.Width != 2 || img.Height != 2 || img.BitsPerSample != 16 {
+		t.Fatalf("header: %+v", img)
+	}
+	// Samples must be normalized to little-endian.
+	want := []uint16{0x1234, 0x5678, 0x9ABC, 0xDEF0}
+	for i, w := range want {
+		if got := binary.LittleEndian.Uint16(img.Pixels[i*2:]); got != w {
+			t.Errorf("sample %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("short"),
+		[]byte("XX\x2a\x00\x08\x00\x00\x00"), // bad byte order
+		[]byte{'I', 'I', 41, 0, 8, 0, 0, 0},  // bad magic
+		[]byte{'I', 'I', 42, 0, 0xFF, 0xFF, 0xFF, 0x7F},    // IFD out of range
+		append([]byte{'I', 'I', 42, 0, 8, 0, 0, 0}, 99, 0), // IFD count beyond EOF
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	img := &Image{Width: 2, Height: 2, BitsPerSample: 12, SampleFormat: FormatUint, Pixels: make([]byte, 6)}
+	if err := img.Validate(); err == nil {
+		t.Error("12-bit accepted")
+	}
+	img = &Image{Width: 2, Height: 2, BitsPerSample: 16, SampleFormat: FormatFloat, Pixels: make([]byte, 8)}
+	if err := img.Validate(); err == nil {
+		t.Error("16-bit float accepted")
+	}
+	img = &Image{Width: 2, Height: 2, BitsPerSample: 8, SampleFormat: FormatUint, Pixels: make([]byte, 3)}
+	if err := img.Validate(); err == nil {
+		t.Error("short pixel buffer accepted")
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	dir := t.TempDir()
+	rng := rand.New(rand.NewSource(1))
+	img := randomImage(rng, 31, 17, 32, FormatUint)
+	path := filepath.Join(dir, "x.tif")
+	if err := WriteFile(path, img); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Pixels, img.Pixels) {
+		t.Error("file round trip lost pixels")
+	}
+	if _, err := ReadFile(filepath.Join(dir, "missing.tif")); err == nil {
+		t.Error("missing file read succeeded")
+	}
+}
+
+func TestSyntheticDensityRange(t *testing.T) {
+	for _, p := range [][3]float64{{0, 0, 0}, {0.5, 0.5, 0.5}, {1, 1, 1}, {0.42, 0.5, 0.45}} {
+		v := SyntheticDensity(p[0], p[1], p[2])
+		if v < 0 || v > 1 {
+			t.Errorf("density(%v) = %f out of range", p, v)
+		}
+	}
+	// The core must be denser than the background corner.
+	if SyntheticDensity(0.42, 0.5, 0.45) <= SyntheticDensity(0.02, 0.02, 0.02) {
+		t.Error("core not denser than background")
+	}
+}
+
+func TestGenerateSliceAndStack(t *testing.T) {
+	img, err := GenerateSlice(16, 12, 8, 3, 32, FormatUint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := img.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateSlice(4, 4, 4, 0, 12, FormatUint); err == nil {
+		t.Error("12-bit slice accepted")
+	}
+
+	dir := t.TempDir()
+	if err := WriteStack(dir, 8, 6, 5, 8, FormatUint); err != nil {
+		t.Fatal(err)
+	}
+	info, err := ProbeStack(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Width != 8 || info.Height != 6 || info.Depth != 5 || info.BitsPerSample != 8 {
+		t.Errorf("probe: %+v", info)
+	}
+	if info.BytesPerSample() != 1 {
+		t.Errorf("bytes per sample %d", info.BytesPerSample())
+	}
+	if _, err := ProbeStack(t.TempDir()); err == nil {
+		t.Error("empty stack probed successfully")
+	}
+}
+
+func BenchmarkDecode32bit(b *testing.B) {
+	img, err := GenerateSlice(512, 256, 4, 1, 32, FormatUint)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Encode(&buf, img); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(img.Pixels)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

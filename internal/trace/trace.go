@@ -1,0 +1,145 @@
+// Package trace records timestamped spans from concurrent ranks and
+// renders per-rank timelines — the lightweight observability layer used
+// to inspect where redistribution time goes (mapping setup vs rounds vs
+// waiting) without attaching a profiler.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one completed span.
+type Event struct {
+	Rank  int
+	Name  string
+	Start time.Duration // offset from the recorder's origin
+	Dur   time.Duration
+	Bytes int64 // payload attributed to the span (0 if not applicable)
+}
+
+// Recorder collects events from any number of goroutines.
+type Recorder struct {
+	mu     sync.Mutex
+	origin time.Time
+	events []Event
+}
+
+// NewRecorder starts a recorder whose origin is now.
+func NewRecorder() *Recorder {
+	return &Recorder{origin: time.Now()}
+}
+
+// Span begins a span and returns its completion function; call it when
+// the work finishes. Safe for concurrent use.
+func (r *Recorder) Span(rank int, name string, bytes int64) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		end := time.Now()
+		r.mu.Lock()
+		r.events = append(r.events, Event{
+			Rank:  rank,
+			Name:  name,
+			Start: start.Sub(r.origin),
+			Dur:   end.Sub(start),
+			Bytes: bytes,
+		})
+		r.mu.Unlock()
+	}
+}
+
+// Add records an already-measured span.
+func (r *Recorder) Add(e Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.events = append(r.events, e)
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events sorted by (rank, start).
+func (r *Recorder) Events() []Event {
+	r.mu.Lock()
+	out := append([]Event(nil), r.events...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// WriteTimeline renders the events as one ASCII lane per rank, scaled to
+// the given width in characters.
+func (r *Recorder) WriteTimeline(w io.Writer, width int) {
+	events := r.Events()
+	if len(events) == 0 {
+		fmt.Fprintln(w, "trace: no events")
+		return
+	}
+	if width < 20 {
+		width = 20
+	}
+	var horizon time.Duration
+	maxRank := 0
+	for _, e := range events {
+		if end := e.Start + e.Dur; end > horizon {
+			horizon = end
+		}
+		if e.Rank > maxRank {
+			maxRank = e.Rank
+		}
+	}
+	if horizon <= 0 {
+		horizon = time.Nanosecond
+	}
+	scale := func(d time.Duration) int {
+		return int(int64(d) * int64(width) / int64(horizon))
+	}
+	fmt.Fprintf(w, "timeline over %v (1 char = %v)\n", horizon, horizon/time.Duration(width))
+	for rank := 0; rank <= maxRank; rank++ {
+		lane := []byte(strings.Repeat(".", width))
+		for _, e := range events {
+			if e.Rank != rank {
+				continue
+			}
+			lo, hi := scale(e.Start), scale(e.Start+e.Dur)
+			if hi <= lo {
+				hi = lo + 1
+			}
+			mark := byte('#')
+			if len(e.Name) > 0 {
+				mark = e.Name[0]
+			}
+			for i := lo; i < hi && i < width; i++ {
+				lane[i] = mark
+			}
+		}
+		fmt.Fprintf(w, "rank %-3d |%s|\n", rank, lane)
+	}
+	// Legend with aggregate durations per span name.
+	agg := map[string]time.Duration{}
+	bytes := map[string]int64{}
+	for _, e := range events {
+		agg[e.Name] += e.Dur
+		bytes[e.Name] += e.Bytes
+	}
+	names := make([]string, 0, len(agg))
+	for n := range agg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "  %c = %-20s total %-12v %d bytes\n", n[0], n, agg[n], bytes[n])
+	}
+}

@@ -1,0 +1,86 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanRecordsEvents(t *testing.T) {
+	r := NewRecorder()
+	end := r.Span(2, "work", 128)
+	time.Sleep(time.Millisecond)
+	end()
+	events := r.Events()
+	if len(events) != 1 {
+		t.Fatalf("%d events", len(events))
+	}
+	e := events[0]
+	if e.Rank != 2 || e.Name != "work" || e.Bytes != 128 {
+		t.Errorf("event %+v", e)
+	}
+	if e.Dur < time.Millisecond/2 {
+		t.Errorf("duration %v too short", e.Dur)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	end := r.Span(0, "noop", 0)
+	end()
+	r.Add(Event{})
+}
+
+func TestEventsSorted(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{Rank: 1, Name: "b", Start: 5})
+	r.Add(Event{Rank: 0, Name: "a", Start: 9})
+	r.Add(Event{Rank: 1, Name: "c", Start: 2})
+	ev := r.Events()
+	if ev[0].Rank != 0 || ev[1].Name != "c" || ev[2].Name != "b" {
+		t.Errorf("order: %+v", ev)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	for rank := 0; rank < 8; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				r.Span(rank, "s", 1)()
+			}
+		}(rank)
+	}
+	wg.Wait()
+	if got := len(r.Events()); got != 400 {
+		t.Errorf("%d events, want 400", got)
+	}
+}
+
+func TestWriteTimeline(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Event{Rank: 0, Name: "mapping", Start: 0, Dur: 10 * time.Millisecond})
+	r.Add(Event{Rank: 1, Name: "round-0", Start: 10 * time.Millisecond, Dur: 20 * time.Millisecond, Bytes: 4096})
+	var sb strings.Builder
+	r.WriteTimeline(&sb, 40)
+	out := sb.String()
+	if !strings.Contains(out, "rank 0") || !strings.Contains(out, "rank 1") {
+		t.Errorf("missing lanes:\n%s", out)
+	}
+	if !strings.Contains(out, "m") || !strings.Contains(out, "r") {
+		t.Errorf("missing span marks:\n%s", out)
+	}
+	if !strings.Contains(out, "4096 bytes") {
+		t.Errorf("missing byte legend:\n%s", out)
+	}
+
+	var empty strings.Builder
+	NewRecorder().WriteTimeline(&empty, 40)
+	if !strings.Contains(empty.String(), "no events") {
+		t.Error("empty recorder timeline")
+	}
+}

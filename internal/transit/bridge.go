@@ -1,0 +1,166 @@
+package transit
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// The Coupling type couples producer and consumer groups inside one
+// world. Real deployments of the paper's use case B run the simulation
+// and the analysis as two separate applications, with data crossing
+// between them over the network (the GLEAN/ADIOS role, or the
+// socket-level redistribution of Esnard et al. in §II-B). The bridge
+// implements that: each analysis rank listens on a socket, each
+// simulation rank dials its assigned analysis rank, and framed steps flow
+// producer → consumer with no shared communicator at all.
+
+// bridgeFrame header: producer u32, step u32, len u32 (little endian).
+const bridgeHeader = 12
+
+// BridgeListener is one analysis rank's receiving endpoint.
+type BridgeListener struct {
+	ln net.Listener
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  map[[2]int][]byte // (step, producer) -> payload
+	closed bool
+	err    error
+}
+
+// ListenBridge binds a listener (e.g. "127.0.0.1:0") for one analysis
+// rank and starts accepting producer connections.
+func ListenBridge(bind string) (*BridgeListener, error) {
+	ln, err := net.Listen("tcp", bind)
+	if err != nil {
+		return nil, fmt.Errorf("transit: bridge listen: %w", err)
+	}
+	l := &BridgeListener{ln: ln, queue: map[[2]int][]byte{}}
+	l.cond = sync.NewCond(&l.mu)
+	go l.acceptLoop()
+	return l, nil
+}
+
+// Addr returns the address producers should dial.
+func (l *BridgeListener) Addr() string { return l.ln.Addr().String() }
+
+func (l *BridgeListener) acceptLoop() {
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		go l.readLoop(conn)
+	}
+}
+
+func (l *BridgeListener) readLoop(conn net.Conn) {
+	defer conn.Close()
+	var hdr [bridgeHeader]byte
+	for {
+		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+			return
+		}
+		producer := int(binary.LittleEndian.Uint32(hdr[0:]))
+		step := int(binary.LittleEndian.Uint32(hdr[4:]))
+		n := binary.LittleEndian.Uint32(hdr[8:])
+		if n > 1<<30 {
+			l.fail(fmt.Errorf("transit: bridge frame of %d bytes exceeds limit", n))
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			return
+		}
+		l.mu.Lock()
+		if !l.closed {
+			l.queue[[2]int{step, producer}] = data
+		}
+		l.mu.Unlock()
+		l.cond.Broadcast()
+	}
+}
+
+func (l *BridgeListener) fail(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
+	l.cond.Broadcast()
+}
+
+// Recv blocks until the payload for (step, producer) arrives and returns
+// it. Each payload is delivered exactly once.
+func (l *BridgeListener) Recv(step, producer int) ([]byte, error) {
+	key := [2]int{step, producer}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if data, ok := l.queue[key]; ok {
+			delete(l.queue, key)
+			return data, nil
+		}
+		if l.err != nil {
+			return nil, l.err
+		}
+		if l.closed {
+			return nil, errors.New("transit: bridge listener closed")
+		}
+		l.cond.Wait()
+	}
+}
+
+// Close shuts the listener down; pending and future Recv calls fail.
+func (l *BridgeListener) Close() error {
+	l.mu.Lock()
+	l.closed = true
+	l.mu.Unlock()
+	l.cond.Broadcast()
+	return l.ln.Close()
+}
+
+// BridgeSender is one simulation rank's connection to its assigned
+// analysis rank.
+type BridgeSender struct {
+	producer int
+	mu       sync.Mutex
+	conn     net.Conn
+}
+
+// DialBridge connects producer `producerRank` to the analysis rank
+// listening at addr.
+func DialBridge(addr string, producerRank int) (*BridgeSender, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transit: bridge dial %s: %w", addr, err)
+	}
+	return &BridgeSender{producer: producerRank, conn: conn}, nil
+}
+
+// Send streams one step's payload.
+func (s *BridgeSender) Send(step int, payload []byte) error {
+	if step < 0 {
+		return fmt.Errorf("transit: negative step %d", step)
+	}
+	var hdr [bridgeHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(s.producer))
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(step))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(payload)))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.conn.Write(hdr[:]); err != nil {
+		return fmt.Errorf("transit: bridge send header: %w", err)
+	}
+	if _, err := s.conn.Write(payload); err != nil {
+		return fmt.Errorf("transit: bridge send payload: %w", err)
+	}
+	return nil
+}
+
+// Close closes the producer's connection.
+func (s *BridgeSender) Close() error { return s.conn.Close() }

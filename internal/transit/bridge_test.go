@@ -1,0 +1,207 @@
+package transit
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"ddr/internal/core"
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+func TestBridgeBasic(t *testing.T) {
+	l, err := ListenBridge("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	s0, err := DialBridge(l.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s0.Close()
+	s1, err := DialBridge(l.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+
+	// Out-of-order arrival across steps and producers.
+	if err := s1.Send(1, []byte("p1s1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s0.Send(0, []byte("p0s0")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.Send(0, []byte("p1s0")); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct {
+		step, prod int
+		want       string
+	}{{0, 0, "p0s0"}, {0, 1, "p1s0"}, {1, 1, "p1s1"}} {
+		got, err := l.Recv(c.step, c.prod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != c.want {
+			t.Errorf("step %d producer %d: %q", c.step, c.prod, got)
+		}
+	}
+	if err := s0.Send(-1, nil); err == nil {
+		t.Error("negative step accepted")
+	}
+}
+
+func TestBridgeCloseUnblocksRecv(t *testing.T) {
+	l, err := ListenBridge("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.Recv(0, 0)
+		done <- err
+	}()
+	l.Close()
+	if err := <-done; err == nil {
+		t.Error("Recv returned without error after Close")
+	}
+}
+
+// TestBridgeTwoApplications is the real two-application scenario: a
+// 4-rank simulation world and a 2-rank analysis world run as separate
+// mpi.Run worlds (no shared communicator) connected only by the bridge.
+// The analysis world regrids the arriving slabs with DDR and verifies
+// every element.
+func TestBridgeTwoApplications(t *testing.T) {
+	const m, n, steps = 4, 2, 3
+	domain := grid.Box2(0, 0, 16, 12)
+	slabs := grid.Slabs(domain, 1, m)
+	rows, cols := grid.Factor2(n)
+	squares := grid.Grid2D(domain, rows, cols)
+	blocks := grid.SplitEven(m, n)
+	consumerOf := func(p int) int {
+		for c := 0; c < n; c++ {
+			if p >= blocks[c] && p < blocks[c+1] {
+				return c
+			}
+		}
+		return -1
+	}
+	value := func(x, y, step int) byte { return byte(x + 5*y + 31*step) }
+
+	// Analysis world publishes its listener addresses here.
+	addrs := make(chan []string, 1)
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+
+	// Analysis application.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		listeners := make([]*BridgeListener, n)
+		list := make([]string, n)
+		for i := range listeners {
+			l, err := ListenBridge("127.0.0.1:0")
+			if err != nil {
+				errs <- err
+				addrs <- nil
+				return
+			}
+			listeners[i] = l
+			list[i] = l.Addr()
+		}
+		addrs <- list
+		defer func() {
+			for _, l := range listeners {
+				l.Close()
+			}
+		}()
+		errs <- mpi.Run(n, func(c *mpi.Comm) error {
+			me := c.Rank()
+			lo, hi := blocks[me], blocks[me+1]
+			myChunks := make([]grid.Box, 0, hi-lo)
+			for p := lo; p < hi; p++ {
+				myChunks = append(myChunks, slabs[p])
+			}
+			desc, err := core.NewDataDescriptorBytes(n, core.Layout2D, core.Uint8, 1)
+			if err != nil {
+				return err
+			}
+			need := squares[me]
+			if err := desc.SetupDataMapping(c, myChunks, need); err != nil {
+				return err
+			}
+			needBuf := make([]byte, need.Volume())
+			for step := 0; step < steps; step++ {
+				bufs := make([][]byte, len(myChunks))
+				for i, p := 0, lo; p < hi; i, p = i+1, p+1 {
+					data, err := listeners[me].Recv(step, p)
+					if err != nil {
+						return err
+					}
+					bufs[i] = data
+				}
+				if err := desc.ReorganizeData(c, bufs, needBuf); err != nil {
+					return err
+				}
+				i := 0
+				for y := 0; y < need.Dims[1]; y++ {
+					for x := 0; x < need.Dims[0]; x++ {
+						want := value(need.Offset[0]+x, need.Offset[1]+y, step)
+						if needBuf[i] != want {
+							return fmt.Errorf("analysis rank %d step %d (%d,%d): %d != %d",
+								me, step, x, y, needBuf[i], want)
+						}
+						i++
+					}
+				}
+			}
+			return nil
+		})
+	}()
+
+	// Simulation application.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		list := <-addrs
+		if list == nil {
+			errs <- fmt.Errorf("no listener addresses")
+			return
+		}
+		errs <- mpi.Run(m, func(c *mpi.Comm) error {
+			me := c.Rank()
+			sender, err := DialBridge(list[consumerOf(me)], me)
+			if err != nil {
+				return err
+			}
+			defer sender.Close()
+			slab := slabs[me]
+			for step := 0; step < steps; step++ {
+				buf := make([]byte, slab.Volume())
+				i := 0
+				for y := 0; y < slab.Dims[1]; y++ {
+					for x := 0; x < slab.Dims[0]; x++ {
+						buf[i] = value(slab.Offset[0]+x, slab.Offset[1]+y, step)
+						i++
+					}
+				}
+				if err := sender.Send(step, buf); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

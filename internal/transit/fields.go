@@ -1,0 +1,89 @@
+package transit
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"ddr/internal/fielddata"
+)
+
+// Field framing: in-transit messages often carry several variables of the
+// same spatial extent per step (the paper names velocity and density
+// alongside vorticity). EncodeFields packs named float32 fields into one
+// payload so a step costs one message regardless of variable count.
+
+// EncodeFields packs the named fields (parallel slices) into one buffer.
+// Field names must be non-empty, at most 255 bytes, and unique.
+func EncodeFields(names []string, fields [][]float32) ([]byte, error) {
+	if len(names) != len(fields) {
+		return nil, fmt.Errorf("transit: %d names for %d fields", len(names), len(fields))
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("transit: no fields")
+	}
+	seen := map[string]bool{}
+	size := 4
+	for i, n := range names {
+		if n == "" || len(n) > 255 {
+			return nil, fmt.Errorf("transit: invalid field name %q", n)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("transit: duplicate field %q", n)
+		}
+		seen[n] = true
+		size += 1 + len(n) + 4 + 4*len(fields[i])
+	}
+	out := make([]byte, 0, size)
+	var tmp [4]byte
+	binary.LittleEndian.PutUint32(tmp[:], uint32(len(names)))
+	out = append(out, tmp[:]...)
+	for i, n := range names {
+		out = append(out, byte(len(n)))
+		out = append(out, n...)
+		binary.LittleEndian.PutUint32(tmp[:], uint32(len(fields[i])))
+		out = append(out, tmp[:]...)
+		out = append(out, fielddata.Float32Bytes(fields[i])...)
+	}
+	return out, nil
+}
+
+// DecodeFields reverses EncodeFields.
+func DecodeFields(buf []byte) (names []string, fields [][]float32, err error) {
+	if len(buf) < 4 {
+		return nil, nil, fmt.Errorf("transit: truncated field frame")
+	}
+	n := int(binary.LittleEndian.Uint32(buf))
+	buf = buf[4:]
+	if n < 1 || n > 1024 {
+		return nil, nil, fmt.Errorf("transit: implausible field count %d", n)
+	}
+	names = make([]string, 0, n)
+	fields = make([][]float32, 0, n)
+	for i := 0; i < n; i++ {
+		if len(buf) < 1 {
+			return nil, nil, fmt.Errorf("transit: truncated name length")
+		}
+		nl := int(buf[0])
+		buf = buf[1:]
+		if nl == 0 {
+			return nil, nil, fmt.Errorf("transit: empty field name")
+		}
+		if len(buf) < nl+4 {
+			return nil, nil, fmt.Errorf("transit: truncated field %d header", i)
+		}
+		name := string(buf[:nl])
+		buf = buf[nl:]
+		fl := int(binary.LittleEndian.Uint32(buf))
+		buf = buf[4:]
+		if len(buf) < 4*fl {
+			return nil, nil, fmt.Errorf("transit: truncated field %q data", name)
+		}
+		names = append(names, name)
+		fields = append(fields, fielddata.BytesFloat32(buf[:4*fl]))
+		buf = buf[4*fl:]
+	}
+	if len(buf) != 0 {
+		return nil, nil, fmt.Errorf("transit: %d trailing bytes", len(buf))
+	}
+	return names, fields, nil
+}

@@ -1,0 +1,80 @@
+package transit
+
+import (
+	"testing"
+)
+
+func TestEncodeDecodeFields(t *testing.T) {
+	names := []string{"vorticity", "speed"}
+	fields := [][]float32{{1, 2, 3}, {0.5, -0.5, 0}}
+	buf, err := EncodeFields(names, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotNames, gotFields, err := DecodeFields(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotNames) != 2 || gotNames[0] != "vorticity" || gotNames[1] != "speed" {
+		t.Fatalf("names %v", gotNames)
+	}
+	for i := range fields {
+		for j := range fields[i] {
+			if gotFields[i][j] != fields[i][j] {
+				t.Fatalf("field %d[%d] = %f", i, j, gotFields[i][j])
+			}
+		}
+	}
+}
+
+func TestEncodeFieldsValidation(t *testing.T) {
+	if _, err := EncodeFields([]string{"a"}, nil); err == nil {
+		t.Error("count mismatch accepted")
+	}
+	if _, err := EncodeFields(nil, nil); err == nil {
+		t.Error("empty accepted")
+	}
+	if _, err := EncodeFields([]string{""}, [][]float32{{1}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := EncodeFields([]string{"a", "a"}, [][]float32{{1}, {2}}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestDecodeFieldsRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{1, 0, 0, 0},                     // truncated name length
+		{1, 0, 0, 0, 3, 'a'},             // truncated name
+		{1, 0, 0, 0, 1, 'a', 9, 0, 0, 0}, // truncated data
+		{0, 0, 0, 0},                     // zero fields
+	}
+	for i, c := range cases {
+		if _, _, err := DecodeFields(c); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Trailing bytes rejected.
+	good, err := EncodeFields([]string{"x"}, [][]float32{{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeFields(append(good, 0)); err == nil {
+		t.Error("trailing byte accepted")
+	}
+}
+
+func TestFieldsEmptyData(t *testing.T) {
+	buf, err := EncodeFields([]string{"empty"}, [][]float32{nil})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names, fields, err := DecodeFields(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names[0] != "empty" || len(fields[0]) != 0 {
+		t.Errorf("got %v %v", names, fields)
+	}
+}

@@ -1,0 +1,40 @@
+package transit
+
+import "testing"
+
+// FuzzDecodeFields asserts the field-frame parser never panics and that
+// accepted frames round-trip.
+func FuzzDecodeFields(f *testing.F) {
+	good, err := EncodeFields([]string{"vorticity", "speed"}, [][]float32{{1, 2}, {3}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{1, 0, 0, 0, 1, 'x', 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		names, fields, err := DecodeFields(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeFields(names, fields)
+		if err != nil {
+			// Duplicate names can decode but not re-encode; that is the
+			// only admissible reason.
+			seen := map[string]bool{}
+			for _, n := range names {
+				if seen[n] {
+					return
+				}
+				seen[n] = true
+			}
+			t.Fatalf("accepted frame fails to re-encode: %v", err)
+		}
+		names2, fields2, err := DecodeFields(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame fails to decode: %v", err)
+		}
+		if len(names2) != len(names) || len(fields2) != len(fields) {
+			t.Fatal("shape changed across round trip")
+		}
+	})
+}

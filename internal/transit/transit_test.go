@@ -1,0 +1,218 @@
+package transit
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"ddr/internal/core"
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+func TestNewCouplingValidation(t *testing.T) {
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		if _, err := NewCoupling(c, 3, 2); err == nil {
+			return errors.New("m+n != world accepted")
+		}
+		if _, err := NewCoupling(c, 1, 3); err == nil {
+			return errors.New("more consumers than producers accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignmentFigure4(t *testing.T) {
+	// The paper's Figure 4: 10 producers to 4 consumers means blocks of
+	// 3,3,2,2.
+	cp := &Coupling{M: 10, N: 4, blocks: grid.SplitEven(10, 4)}
+	wantCounts := []int{3, 3, 2, 2}
+	for c := 0; c < 4; c++ {
+		lo, hi := cp.ProducersOf(c)
+		if hi-lo != wantCounts[c] {
+			t.Errorf("consumer %d serves %d producers, want %d", c, hi-lo, wantCounts[c])
+		}
+		for p := lo; p < hi; p++ {
+			if cp.ConsumerOf(p) != c {
+				t.Errorf("producer %d mapped to %d, want %d", p, cp.ConsumerOf(p), c)
+			}
+		}
+	}
+	if cp.ConsumerOf(99) != -1 {
+		t.Error("out-of-range producer mapped")
+	}
+}
+
+func TestStreamRoundTrip(t *testing.T) {
+	const m, n = 5, 2
+	err := mpi.Run(m+n, func(world *mpi.Comm) error {
+		cp, err := NewCoupling(world, m, n)
+		if err != nil {
+			return err
+		}
+		const steps = 3
+		if cp.Role == Producer {
+			if cp.Local.Size() != m {
+				return fmt.Errorf("producer group size %d", cp.Local.Size())
+			}
+			for s := 0; s < steps; s++ {
+				payload := []byte{byte(cp.Local.Rank()), byte(s)}
+				if err := cp.Send(s, payload); err != nil {
+					return err
+				}
+			}
+			// Role misuse must fail.
+			if _, err := cp.Recv(0); err == nil {
+				return errors.New("producer Recv accepted")
+			}
+			return nil
+		}
+		if cp.Local.Size() != n {
+			return fmt.Errorf("consumer group size %d", cp.Local.Size())
+		}
+		for s := 0; s < steps; s++ {
+			msgs, err := cp.Recv(s)
+			if err != nil {
+				return err
+			}
+			lo, hi := cp.ProducersOf(cp.Local.Rank())
+			if len(msgs) != hi-lo {
+				return fmt.Errorf("step %d: %d messages, want %d", s, len(msgs), hi-lo)
+			}
+			for i, msg := range msgs {
+				if msg.ProducerRank != lo+i {
+					return fmt.Errorf("step %d: message %d from producer %d", s, i, msg.ProducerRank)
+				}
+				if msg.Data[0] != byte(lo+i) || msg.Data[1] != byte(s) {
+					return fmt.Errorf("step %d: payload %v", s, msg.Data)
+				}
+			}
+		}
+		if err := cp.Send(0, nil); err == nil {
+			return errors.New("consumer Send accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInTransitRegrid is the full use-case-B pipeline in miniature:
+// producers own horizontal slabs of a 2D field, stream them to consumers,
+// and the consumers use DDR inside their own group to regrid the received
+// slabs into near-square rectangles (the paper's Figure 5).
+func TestInTransitRegrid(t *testing.T) {
+	const m, n = 6, 2
+	domain := grid.Box2(0, 0, 24, 18)
+	slabs := grid.Slabs(domain, 1, m)
+	rows, cols := grid.Factor2(n)
+	squares := grid.Grid2D(domain, rows, cols)
+
+	value := func(x, y int) byte { return byte(3*x + 7*y) }
+
+	err := mpi.Run(m+n, func(world *mpi.Comm) error {
+		cp, err := NewCoupling(world, m, n)
+		if err != nil {
+			return err
+		}
+		if cp.Role == Producer {
+			slab := slabs[cp.Local.Rank()]
+			buf := make([]byte, slab.Volume())
+			i := 0
+			for y := 0; y < slab.Dims[1]; y++ {
+				for x := 0; x < slab.Dims[0]; x++ {
+					buf[i] = value(slab.Offset[0]+x, slab.Offset[1]+y)
+					i++
+				}
+			}
+			return cp.Send(0, buf)
+		}
+
+		msgs, err := cp.Recv(0)
+		if err != nil {
+			return err
+		}
+		own := make([]core.Chunk, len(msgs))
+		for i, msg := range msgs {
+			own[i] = core.Chunk{Box: slabs[msg.ProducerRank], Data: msg.Data}
+		}
+		need := squares[cp.Local.Rank()]
+		out, err := core.Redistribute(cp.Local, core.Layout2D, core.Uint8, own, need,
+			core.WithValidation())
+		if err != nil {
+			return err
+		}
+		i := 0
+		for y := 0; y < need.Dims[1]; y++ {
+			for x := 0; x < need.Dims[0]; x++ {
+				want := value(need.Offset[0]+x, need.Offset[1]+y)
+				if out[i] != want {
+					return fmt.Errorf("consumer %d element (%d,%d) = %d, want %d",
+						cp.Local.Rank(), need.Offset[0]+x, need.Offset[1]+y, out[i], want)
+				}
+				i++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestProducerRunsAhead verifies the coupling's buffering: producers may
+// stream many steps before the consumer starts draining (eager delivery
+// queues in the consumer's mailbox; nothing deadlocks or reorders).
+func TestProducerRunsAhead(t *testing.T) {
+	const m, n, steps = 2, 1, 50
+	err := mpi.Run(m+n, func(world *mpi.Comm) error {
+		cp, err := NewCoupling(world, m, n)
+		if err != nil {
+			return err
+		}
+		if cp.Role == Producer {
+			// Blast everything without waiting for the consumer.
+			for s := 0; s < steps; s++ {
+				if err := cp.Send(s, []byte{byte(s), byte(cp.Local.Rank())}); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		// Drain in order after all sends are likely queued.
+		for s := 0; s < steps; s++ {
+			msgs, err := cp.Recv(s)
+			if err != nil {
+				return err
+			}
+			if len(msgs) != m {
+				return fmt.Errorf("step %d: %d messages", s, len(msgs))
+			}
+			for _, msg := range msgs {
+				if msg.Data[0] != byte(s) || int(msg.Data[1]) != msg.ProducerRank {
+					return fmt.Errorf("step %d: payload %v from %d", s, msg.Data, msg.ProducerRank)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStepTagWraps(t *testing.T) {
+	if stepTag(0) != stepTag(transitTagMod) {
+		t.Error("tag does not wrap at modulus")
+	}
+	if stepTag(-3) != stepTag(3) {
+		t.Error("negative step not normalized")
+	}
+	if stepTag(5) == stepTag(6) {
+		t.Error("adjacent steps share a tag")
+	}
+}

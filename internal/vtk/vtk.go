@@ -1,0 +1,132 @@
+// Package vtk writes legacy VTK structured-points files, the lingua
+// franca of ParaView and VisIt. The paper's introduction motivates DDR
+// with exactly this hand-off: data arrives in a layout the rendering
+// package cannot ingest directly and must be converted. Together with
+// bov and the stackconvert tool this closes the loop — TIFF stacks or
+// simulation fields become directly loadable volumes.
+package vtk
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+
+	"ddr/internal/bov"
+)
+
+// ScalarType identifies the VTK scalar type of the payload.
+type ScalarType string
+
+// Supported scalar types (legacy VTK names).
+const (
+	UnsignedChar  ScalarType = "unsigned_char"
+	UnsignedShort ScalarType = "unsigned_short"
+	Float         ScalarType = "float"
+)
+
+// elemSize returns the byte size of one scalar.
+func (t ScalarType) elemSize() int {
+	switch t {
+	case UnsignedChar:
+		return 1
+	case UnsignedShort:
+		return 2
+	case Float:
+		return 4
+	}
+	return 0
+}
+
+// WriteStructuredPoints writes a legacy binary VTK structured-points
+// dataset: dims is the volume extent, name labels the scalar array, and
+// data holds dims[0]*dims[1]*dims[2] samples of typ in little-endian byte
+// order (the in-memory convention everywhere in this repository). Legacy
+// VTK binary payloads are big-endian; samples are byte-swapped on the
+// way out.
+func WriteStructuredPoints(w io.Writer, name string, dims [3]int, typ ScalarType, data []byte) error {
+	es := typ.elemSize()
+	if es == 0 {
+		return fmt.Errorf("vtk: unsupported scalar type %q", typ)
+	}
+	n := dims[0] * dims[1] * dims[2]
+	if dims[0] < 1 || dims[1] < 1 || dims[2] < 1 {
+		return fmt.Errorf("vtk: invalid dimensions %v", dims)
+	}
+	if len(data) != n*es {
+		return fmt.Errorf("vtk: %d data bytes for %d %s samples", len(data), n, typ)
+	}
+	if name == "" {
+		name = "scalars"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# vtk DataFile Version 3.0\n")
+	fmt.Fprintf(bw, "ddr volume export\n")
+	fmt.Fprintf(bw, "BINARY\n")
+	fmt.Fprintf(bw, "DATASET STRUCTURED_POINTS\n")
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", dims[0], dims[1], dims[2])
+	fmt.Fprintf(bw, "ORIGIN 0 0 0\n")
+	fmt.Fprintf(bw, "SPACING 1 1 1\n")
+	fmt.Fprintf(bw, "POINT_DATA %d\n", n)
+	fmt.Fprintf(bw, "SCALARS %s %s 1\n", name, typ)
+	fmt.Fprintf(bw, "LOOKUP_TABLE default\n")
+	if es == 1 {
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+	} else {
+		// Swap each sample to big-endian.
+		tmp := make([]byte, es)
+		for i := 0; i < len(data); i += es {
+			for b := 0; b < es; b++ {
+				tmp[b] = data[i+es-1-b]
+			}
+			if _, err := bw.Write(tmp); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// scalarTypeFor guesses the VTK scalar type from a bov element size.
+func scalarTypeFor(elemSize int) (ScalarType, error) {
+	switch elemSize {
+	case 1:
+		return UnsignedChar, nil
+	case 2:
+		return UnsignedShort, nil
+	case 4:
+		return Float, nil
+	}
+	return "", fmt.Errorf("vtk: no scalar type for %d-byte elements", elemSize)
+}
+
+// ExportBOV converts a bov volume file into a legacy VTK structured-points
+// file. 4-byte elements are exported as float (the convention of this
+// repository's float32 fields).
+func ExportBOV(bovPath, vtkPath, name string) error {
+	v, err := bov.Open(bovPath)
+	if err != nil {
+		return err
+	}
+	defer v.Close()
+	h := v.Header()
+	typ, err := scalarTypeFor(h.ElemSize)
+	if err != nil {
+		return err
+	}
+	data, err := v.ReadBox(h.Domain())
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(vtkPath)
+	if err != nil {
+		return err
+	}
+	if err := WriteStructuredPoints(f, name, h.Dims, typ, data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,130 @@
+package vtk
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"ddr/internal/bov"
+	"ddr/internal/fielddata"
+)
+
+func TestWriteStructuredPointsHeader(t *testing.T) {
+	var buf bytes.Buffer
+	data := []byte{1, 2, 3, 4, 5, 6}
+	if err := WriteStructuredPoints(&buf, "density", [3]int{3, 2, 1}, UnsignedChar, data); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"BINARY",
+		"DATASET STRUCTURED_POINTS",
+		"DIMENSIONS 3 2 1",
+		"POINT_DATA 6",
+		"SCALARS density unsigned_char 1",
+		"LOOKUP_TABLE default",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in header", want)
+		}
+	}
+	// The payload is the last 6 bytes, unswapped for 1-byte samples.
+	if !bytes.Equal(buf.Bytes()[buf.Len()-6:], data) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestWriteStructuredPointsByteSwap(t *testing.T) {
+	var buf bytes.Buffer
+	// One float32 sample: 1.0 little-endian.
+	data := make([]byte, 4)
+	binary.LittleEndian.PutUint32(data, math.Float32bits(1.0))
+	if err := WriteStructuredPoints(&buf, "f", [3]int{1, 1, 1}, Float, data); err != nil {
+		t.Fatal(err)
+	}
+	payload := buf.Bytes()[buf.Len()-4:]
+	if got := binary.BigEndian.Uint32(payload); math.Float32frombits(got) != 1.0 {
+		t.Errorf("payload not big-endian: % x", payload)
+	}
+}
+
+func TestWriteStructuredPointsValidation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStructuredPoints(&buf, "x", [3]int{2, 2, 1}, UnsignedChar, []byte{1}); err == nil {
+		t.Error("short data accepted")
+	}
+	if err := WriteStructuredPoints(&buf, "x", [3]int{0, 2, 1}, UnsignedChar, nil); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if err := WriteStructuredPoints(&buf, "x", [3]int{1, 1, 1}, ScalarType("double"), make([]byte, 8)); err == nil {
+		t.Error("unsupported type accepted")
+	}
+	// Empty name defaults.
+	if err := WriteStructuredPoints(&buf, "", [3]int{1, 1, 1}, UnsignedChar, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "SCALARS scalars") {
+		t.Error("default name missing")
+	}
+}
+
+func TestExportBOV(t *testing.T) {
+	dir := t.TempDir()
+	bovPath := filepath.Join(dir, "v.bov")
+	h := bov.Header{Dims: [3]int{4, 3, 2}, ElemSize: 4}
+	v, err := bov.Create(bovPath, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := make([]float32, 4*3*2)
+	for i := range vals {
+		vals[i] = float32(i) / 10
+	}
+	if err := v.WriteBox(h.Domain(), fielddata.Float32Bytes(vals)); err != nil {
+		t.Fatal(err)
+	}
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	vtkPath := filepath.Join(dir, "v.vtk")
+	if err := ExportBOV(bovPath, vtkPath, "field"); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFile(vtkPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "SCALARS field float 1") {
+		t.Error("scalar declaration missing")
+	}
+	// Verify the last sample survives the byte swap.
+	last := out[len(out)-4:]
+	want := float32(23) / 10
+	if got := math.Float32frombits(binary.BigEndian.Uint32(last)); got != want {
+		t.Errorf("last sample %g, want %g", got, want)
+	}
+
+	if err := ExportBOV(filepath.Join(dir, "missing.bov"), vtkPath, "x"); err == nil {
+		t.Error("missing input accepted")
+	}
+	// Unsupported element size.
+	bad := filepath.Join(dir, "bad.bov")
+	vb, err := bov.Create(bad, bov.Header{Dims: [3]int{1, 1, 1}, ElemSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vb.Close()
+	if err := ExportBOV(bad, vtkPath, "x"); err == nil {
+		t.Error("3-byte elements accepted")
+	}
+}
+
+func readFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}
