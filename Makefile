@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test verify bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# verify is the pre-merge gate for the telemetry layer: static analysis
+# over the whole module plus the race detector on the packages with
+# concurrent instrumentation (lock-free counters, mailbox gauges, TCP
+# wire counters).
+verify:
+	$(GO) vet ./...
+	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/...
+
+bench:
+	$(GO) test -run XXX -bench BenchmarkReorganizeTelemetry -benchmem ./internal/core/

@@ -11,6 +11,11 @@
 //	ddrbench -figure 5       Figure 5  (slab-to-rectangle regrid mapping)
 //	ddrbench -real           laptop-scale real-execution TIFF study
 //	ddrbench -all            everything above
+//
+// The real-execution experiments (-ablation, -figure 4) can emit their
+// telemetry: -trace-out writes a Perfetto-loadable timeline, -metrics-out
+// a Prometheus text file, and -pprof-addr serves live /metrics and
+// /debug/pprof while the run is in flight.
 package main
 
 import (
@@ -39,19 +44,31 @@ func main() {
 		t4h      = flag.Int("t4height", 260, "grid height for the Table IV JPEG density measurement")
 		t4fr     = flag.Int("t4frames", 5, "frames for the Table IV measurement")
 		quality  = flag.Int("quality", 75, "JPEG quality")
+		traceOut = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the instrumented runs to this JSON file")
+		metrics  = flag.String("metrics-out", "", "write Prometheus text-format metrics of the instrumented runs to this file")
+		pprof    = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	flag.Parse()
 	if !*all && *table == 0 && *figure == 0 && !*real && !*ablation && !*vol3d {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := run(*table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
+	tel, flush, err := experiments.TelemetryFromFlags(*traceOut, *metrics, *pprof)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddrbench:", err)
+		os.Exit(1)
+	}
+	if err := run(tel, *table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
+		fmt.Fprintln(os.Stderr, "ddrbench:", err)
+		os.Exit(1)
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "ddrbench: telemetry:", err)
 		os.Exit(1)
 	}
 }
 
-func run(table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
+func run(tel *experiments.Telemetry, table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
 	machine := perfmodel.Cooley()
 	want := func(t, f int) bool {
 		return all || (t != 0 && table == t) || (f != 0 && figure == f)
@@ -141,6 +158,7 @@ func run(table, figure int, all, real, ablation, vol3d bool, outDir string, t4w,
 			OutputEvery: 200,
 			JPEGQuality: quality,
 			OutDir:      outDir,
+			Telemetry:   tel,
 		})
 		if err != nil {
 			return err
@@ -165,7 +183,7 @@ func run(table, figure int, all, real, ablation, vol3d bool, outDir string, t4w,
 		const reps = 20
 		fmt.Println("running the exchange-mode ablation (real execution, 8 ranks)...")
 		rows, err := experiments.ExchangeModeAblation(8,
-			grid.Box3(0, 0, 0, 64, 64, 128), []int{1, 2, 4, 8, 16}, reps)
+			grid.Box3(0, 0, 0, 64, 64, 128), []int{1, 2, 4, 8, 16}, reps, tel)
 		if err != nil {
 			return err
 		}

@@ -39,8 +39,16 @@ func main() {
 		bind    = flag.String("bind", "127.0.0.1:0", "listener bind address (role=viz)")
 		gifOut  = flag.String("gif", "", "also write an animated GIF of the first field to this path")
 		stats   = flag.String("stats", "", "write per-frame field statistics (min/max/mean/rms) as CSV to this path")
+		trace   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the pipeline to this JSON file")
+		metrics = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file")
+		pprof   = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	flag.Parse()
+	tel, flush, err := experiments.TelemetryFromFlags(*trace, *metrics, *pprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbmsim:", err)
+		os.Exit(1)
+	}
 	cfg := experiments.InTransitConfig{
 		M: *sim, N: *viz,
 		GridW: *width, GridH: *height,
@@ -50,9 +58,14 @@ func main() {
 		Fields:      strings.Split(*fields, ","),
 		GIFPath:     *gifOut,
 		StatsPath:   *stats,
+		Telemetry:   tel,
 	}
 	if err := run(cfg, *role, *connect, *bind, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)
+		os.Exit(1)
+	}
+	if err := flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbmsim: telemetry:", err)
 		os.Exit(1)
 	}
 }

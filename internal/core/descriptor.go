@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"ddr/internal/grid"
+	"ddr/internal/obs"
 	"ddr/internal/trace"
 )
 
@@ -135,9 +136,60 @@ type Descriptor struct {
 	mode     ExchangeMode
 	validate bool
 	tracer   *trace.Recorder
+	metrics  *obs.Registry
 
 	plan    *Plan // nil until SetupDataMapping
 	timings []RoundTiming
+	obsv    *exchObs // nil unless a tracer or registry is attached
+}
+
+// exchObs is the observation context threaded through the exchange
+// helpers: the trace recorder plus the registry handles for this
+// descriptor's rank and mode. It is nil when neither a tracer nor a
+// metrics registry is attached, which keeps the hot paths free of
+// timestamping and formatting.
+type exchObs struct {
+	rec  *trace.Recorder
+	rank int // world rank, so all comms of a process share one lane
+
+	planCompile   *obs.Histogram
+	exchangeLat   *obs.Histogram
+	roundLat      *obs.Histogram
+	exchangeBytes *obs.Counter
+	packLat       *obs.Histogram
+	unpackLat     *obs.Histogram
+}
+
+// on reports whether observation is attached; helpers gate every
+// time.Now and name formatting behind it.
+func (o *exchObs) on() bool { return o != nil }
+
+// buildObs derives the observation context for the communicator the
+// mapping is being set up on. Ranks are labeled with the world rank so
+// spans and series line up across sub-communicators of one process.
+func (d *Descriptor) buildObs(rank int) {
+	if d.tracer == nil && d.metrics == nil {
+		d.obsv = nil
+		return
+	}
+	rl := obs.RankLabel(rank)
+	ml := obs.Label{Key: "mode", Value: d.mode.String()}
+	d.obsv = &exchObs{
+		rec:  d.tracer,
+		rank: rank,
+		planCompile: d.metrics.Histogram("ddr_plan_compile_seconds",
+			"Time to gather geometry and compile the communication plan.", obs.LatencyBuckets, rl),
+		exchangeLat: d.metrics.Histogram("ddr_exchange_seconds",
+			"Wall time of one complete ReorganizeData exchange.", obs.LatencyBuckets, rl, ml),
+		roundLat: d.metrics.Histogram("ddr_exchange_round_seconds",
+			"Wall time of one exchange round.", obs.LatencyBuckets, rl, ml),
+		exchangeBytes: d.metrics.Counter("ddr_exchange_bytes_total",
+			"Bytes this rank sent across ranks during exchanges.", rl, ml),
+		packLat: d.metrics.Histogram("ddr_pack_seconds",
+			"Time spent packing sub-arrays into wire buffers.", obs.LatencyBuckets, rl),
+		unpackLat: d.metrics.Histogram("ddr_unpack_seconds",
+			"Time spent scattering wire buffers into the need box.", obs.LatencyBuckets, rl),
+	}
 }
 
 // Option configures a Descriptor.
@@ -149,10 +201,18 @@ func WithExchangeMode(m ExchangeMode) Option {
 }
 
 // WithTracer attaches a trace recorder: SetupDataMapping and every
-// exchange round of ReorganizeData record spans into it, enabling
-// per-rank timeline inspection of where redistribution time goes.
+// exchange round of ReorganizeData record spans into it (down to
+// per-peer pack/unpack), enabling per-rank timeline inspection of where
+// redistribution time goes. Export with obs.WriteTrace for Perfetto.
 func WithTracer(r *trace.Recorder) Option {
 	return func(d *Descriptor) { d.tracer = r }
+}
+
+// WithMetrics attaches a metrics registry: plan-compile and exchange
+// latencies, per-round timings, and exchanged bytes are recorded as
+// per-rank, per-mode series exportable in Prometheus text format.
+func WithMetrics(reg *obs.Registry) Option {
+	return func(d *Descriptor) { d.metrics = reg }
 }
 
 // WithValidation makes SetupDataMapping verify collectively that the owned

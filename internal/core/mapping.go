@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ddr/internal/datatype"
 	"ddr/internal/grid"
@@ -67,7 +68,13 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 		}
 	}
 
-	endSpan := d.tracer.Span(c.Rank(), "mapping", 0)
+	d.buildObs(c.WorldRank(c.Rank()))
+	o := d.obsv
+	var mapStart time.Time
+	if o.on() {
+		mapStart = time.Now()
+	}
+	endSpan := d.tracer.Span(o.Rank(c), "mapping", 0)
 	defer endSpan()
 	packed, err := c.Allgather(encodeGeometry(need, own))
 	if err != nil {
@@ -88,12 +95,31 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 		}
 	}
 
+	var compileStart time.Time
+	if o.on() {
+		compileStart = time.Now()
+	}
 	plan, err := compilePlan(c.Rank(), d.elemSize, allChunks, allNeeds)
 	if err != nil {
 		return err
 	}
+	if o.on() {
+		now := time.Now()
+		o.rec.AddSpan(o.rank, "compile", compileStart, now, 0)
+		o.planCompile.Observe(now.Sub(mapStart).Seconds())
+	}
 	d.plan = plan
 	return nil
+}
+
+// Rank returns the trace lane for spans recorded against the
+// communicator: the world rank when observation is attached, the local
+// rank otherwise (matching the pre-telemetry behaviour).
+func (o *exchObs) Rank(c *mpi.Comm) int {
+	if o == nil {
+		return c.Rank()
+	}
+	return o.rank
 }
 
 // validateOwnership enforces the paper's sending-side precondition: the

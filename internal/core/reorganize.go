@@ -59,31 +59,43 @@ func (d *Descriptor) ReorganizeData(c *mpi.Comm, own [][]byte, need []byte) erro
 	}
 
 	d.timings = d.timings[:0]
-	endAll := d.tracer.Span(c.Rank(), "exchange", 0)
+	o := d.obsv
+	endAll := d.tracer.Span(o.Rank(c), "exchange", 0)
 	defer endAll()
 	if d.mode == ModePointToPointFused {
 		start := time.Now()
-		if err := p.exchangeFused(c, own, need); err != nil {
+		if err := p.exchangeFused(o, c, own, need); err != nil {
 			return fmt.Errorf("core: fused exchange: %w", err)
 		}
+		elapsed := time.Since(start)
 		var wire int64
 		for r := 0; r < p.rounds; r++ {
 			wire += p.RankRoundSendBytes(p.rank, r)
 		}
-		d.timings = append(d.timings, RoundTiming{Round: 0, Duration: time.Since(start), WireBytes: wire})
+		d.timings = append(d.timings, RoundTiming{Round: 0, Duration: elapsed, WireBytes: wire})
+		if o.on() {
+			o.exchangeLat.Observe(elapsed.Seconds())
+			o.roundLat.Observe(elapsed.Seconds())
+			o.exchangeBytes.Add(wire)
+		}
 		return nil
+	}
+	var exchangeStart time.Time
+	if o.on() {
+		exchangeStart = time.Now()
 	}
 	for r := 0; r < p.rounds; r++ {
 		var sendBuf []byte
 		if r < len(own) {
 			sendBuf = own[r]
 		}
+		roundBytes := p.RankRoundSendBytes(p.rank, r)
 		start := time.Now()
-		endRound := d.tracer.Span(c.Rank(), fmt.Sprintf("round-%d", r), p.RankRoundSendBytes(p.rank, r))
+		endRound := d.tracer.Span(o.Rank(c), fmt.Sprintf("round-%d", r), roundBytes)
 		var err error
 		switch d.mode {
 		case ModePointToPoint:
-			err = p.exchangeP2P(c, r, sendBuf, need)
+			err = p.exchangeP2P(o, c, r, sendBuf, need)
 		default:
 			err = c.Alltoallw(sendBuf, p.send[r], need, p.recv[r])
 		}
@@ -91,11 +103,19 @@ func (d *Descriptor) ReorganizeData(c *mpi.Comm, own [][]byte, need []byte) erro
 		if err != nil {
 			return fmt.Errorf("core: exchange round %d: %w", r, err)
 		}
+		elapsed := time.Since(start)
+		if o.on() {
+			o.roundLat.Observe(elapsed.Seconds())
+			o.exchangeBytes.Add(roundBytes)
+		}
 		d.timings = append(d.timings, RoundTiming{
 			Round:     r,
-			Duration:  time.Since(start),
-			WireBytes: p.RankRoundSendBytes(p.rank, r),
+			Duration:  elapsed,
+			WireBytes: roundBytes,
 		})
+	}
+	if o.on() {
+		o.exchangeLat.Observe(time.Since(exchangeStart).Seconds())
 	}
 	return nil
 }
@@ -103,7 +123,7 @@ func (d *Descriptor) ReorganizeData(c *mpi.Comm, own [][]byte, need []byte) erro
 // exchangeFused performs the whole redistribution in one message per peer
 // pair: each peer's per-round overlaps are concatenated in round order on
 // the sending side and unpacked in the same order on the receiving side.
-func (p *Plan) exchangeFused(c *mpi.Comm, own [][]byte, need []byte) error {
+func (p *Plan) exchangeFused(o *exchObs, c *mpi.Comm, own [][]byte, need []byte) error {
 	const tag = ddrTagBase
 
 	// Local contribution.
@@ -126,10 +146,19 @@ func (p *Plan) exchangeFused(c *mpi.Comm, own [][]byte, need []byte) error {
 			sendTotal += p.send[r][peer].PackedSize()
 		}
 		if sendTotal > 0 {
+			var packStart time.Time
+			if o.on() {
+				packStart = time.Now()
+			}
 			wire := make([]byte, sendTotal)
 			off := 0
 			for r := 0; r < len(p.myChunks); r++ {
 				off += p.send[r][peer].Pack(own[r], wire[off:])
+			}
+			if o.on() {
+				now := time.Now()
+				o.rec.AddSpan(o.rank, fmt.Sprintf("pack->%d", peer), packStart, now, int64(sendTotal))
+				o.packLat.Observe(now.Sub(packStart).Seconds())
 			}
 			sends = append(sends, c.Isend(peer, tag, wire))
 		}
@@ -149,6 +178,10 @@ func (p *Plan) exchangeFused(c *mpi.Comm, own [][]byte, need []byte) error {
 		return err
 	}
 	for peer, req := range recvs {
+		var waitStart time.Time
+		if o.on() {
+			waitStart = time.Now()
+		}
 		data, _, _, err := req.Wait()
 		if err != nil {
 			return err
@@ -157,9 +190,19 @@ func (p *Plan) exchangeFused(c *mpi.Comm, own [][]byte, need []byte) error {
 			return fmt.Errorf("core: expected %d fused bytes from rank %d, got %d",
 				recvPeers[peer], peer, len(data))
 		}
+		var unpackStart time.Time
+		if o.on() {
+			unpackStart = time.Now()
+			o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, unpackStart, int64(len(data)))
+		}
 		off := 0
 		for r := 0; r < p.rounds; r++ {
 			off += p.recv[r][peer].Unpack(data[off:], need)
+		}
+		if o.on() {
+			now := time.Now()
+			o.rec.AddSpan(o.rank, fmt.Sprintf("unpack<-%d", peer), unpackStart, now, int64(len(data)))
+			o.unpackLat.Observe(now.Sub(unpackStart).Seconds())
 		}
 	}
 	return nil
@@ -169,7 +212,7 @@ func (p *Plan) exchangeFused(c *mpi.Comm, own [][]byte, need []byte) error {
 // only the ranks that share data — the sparse-communication optimization
 // the paper lists as future work. Semantically identical to the alltoallw
 // round.
-func (p *Plan) exchangeP2P(c *mpi.Comm, round int, sendBuf, need []byte) error {
+func (p *Plan) exchangeP2P(o *exchObs, c *mpi.Comm, round int, sendBuf, need []byte) error {
 	tag := ddrTagBase + round
 
 	// Local contribution first (no message needed).
@@ -182,8 +225,17 @@ func (p *Plan) exchangeP2P(c *mpi.Comm, round int, sendBuf, need []byte) error {
 	reqs := make([]*mpi.Request, 0, len(p.sendPeers[round]))
 	for _, peer := range p.sendPeers[round] {
 		st := p.send[round][peer]
+		var packStart time.Time
+		if o.on() {
+			packStart = time.Now()
+		}
 		wire := make([]byte, st.PackedSize())
 		st.Pack(sendBuf, wire)
+		if o.on() {
+			now := time.Now()
+			o.rec.AddSpan(o.rank, fmt.Sprintf("pack->%d", peer), packStart, now, int64(len(wire)))
+			o.packLat.Observe(now.Sub(packStart).Seconds())
+		}
 		reqs = append(reqs, c.Isend(peer, tag, wire))
 	}
 	recvs := make([]*mpi.Request, 0, len(p.recvPeers[round]))
@@ -194,6 +246,10 @@ func (p *Plan) exchangeP2P(c *mpi.Comm, round int, sendBuf, need []byte) error {
 		return err
 	}
 	for i, peer := range p.recvPeers[round] {
+		var waitStart time.Time
+		if o.on() {
+			waitStart = time.Now()
+		}
 		data, _, _, err := recvs[i].Wait()
 		if err != nil {
 			return err
@@ -202,7 +258,17 @@ func (p *Plan) exchangeP2P(c *mpi.Comm, round int, sendBuf, need []byte) error {
 		if len(data) != rt.PackedSize() {
 			return fmt.Errorf("core: expected %d bytes from rank %d, got %d", rt.PackedSize(), peer, len(data))
 		}
+		var unpackStart time.Time
+		if o.on() {
+			unpackStart = time.Now()
+			o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, unpackStart, int64(len(data)))
+		}
 		rt.Unpack(data, need)
+		if o.on() {
+			now := time.Now()
+			o.rec.AddSpan(o.rank, fmt.Sprintf("unpack<-%d", peer), unpackStart, now, int64(len(data)))
+			o.unpackLat.Observe(now.Sub(unpackStart).Seconds())
+		}
 	}
 	return nil
 }

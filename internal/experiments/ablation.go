@@ -32,7 +32,15 @@ type AblationRow struct {
 // mode. The sparsity column (MaxPeers) explains when point-to-point wins:
 // alltoallw's cost scales with the full rank count while p2p touches only
 // actual communication partners.
-func ExchangeModeAblation(procs int, domain grid.Box, chunkCounts []int, reps int) ([]AblationRow, error) {
+//
+// An optional Telemetry argument attaches every run to its sinks: wire
+// counters on the communicators and per-mode exchange spans/histograms
+// on the descriptors, one series per (rank, mode) pair.
+func ExchangeModeAblation(procs int, domain grid.Box, chunkCounts []int, reps int, telemetry ...*Telemetry) ([]AblationRow, error) {
+	var tel *Telemetry
+	if len(telemetry) > 0 {
+		tel = telemetry[0]
+	}
 	if domain.NDims != 3 {
 		return nil, fmt.Errorf("experiments: ablation needs a 3D domain")
 	}
@@ -67,8 +75,9 @@ func ExchangeModeAblation(procs int, domain grid.Box, chunkCounts []int, reps in
 				dur time.Duration
 			)
 			err := mpi.Run(procs, func(c *mpi.Comm) error {
+				tel.attach(c)
 				desc, err := core.NewDataDescriptor(procs, core.Layout3D, core.Float32,
-					core.WithExchangeMode(mode))
+					append([]core.Option{core.WithExchangeMode(mode)}, tel.coreOpts()...)...)
 				if err != nil {
 					return err
 				}

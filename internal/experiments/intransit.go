@@ -37,6 +37,12 @@ type InTransitConfig struct {
 	Fields        []string // streamed variables; default ["vorticity"]
 	Viscosity     float64
 	InletVelocity float64
+
+	// Telemetry, when non-nil, attaches the run to a trace recorder
+	// and/or metrics registry: message-layer counters on the world
+	// communicator, DDR plan/exchange instrumentation on the consumer
+	// descriptor, and per-phase pipeline spans on both roles.
+	Telemetry *Telemetry
 }
 
 func (cfg *InTransitConfig) fillDefaults() {
@@ -102,6 +108,7 @@ func RunInTransit(cfg InTransitConfig) (*InTransitResult, error) {
 		Barrier:       lbm.CylinderBarrier(cfg.GridW/4, cfg.GridH/2, cfg.GridH/9),
 	}
 	err := mpi.Run(cfg.M+cfg.N, func(world *mpi.Comm) error {
+		cfg.Telemetry.attach(world)
 		cp, err := transit.NewCoupling(world, cfg.M, cfg.N)
 		if err != nil {
 			return err
@@ -154,7 +161,10 @@ func runProducer(local *mpi.Comm, params lbm.Params, cfg InTransitConfig, send f
 	if err != nil {
 		return err
 	}
+	tel := cfg.Telemetry
+	lane := local.WorldRank(local.Rank())
 	step := 0
+	endSim := tel.phase(lane, "sim")
 	for it := 1; it <= cfg.Iterations; it++ {
 		if err := sim.Step(); err != nil {
 			return err
@@ -162,6 +172,8 @@ func runProducer(local *mpi.Comm, params lbm.Params, cfg InTransitConfig, send f
 		if it%cfg.OutputEvery != 0 {
 			continue
 		}
+		endSim()
+		endSend := tel.phase(lane, "extract+send")
 		fields := make([][]float32, len(cfg.Fields))
 		for i, name := range cfg.Fields {
 			if fields[i], err = producerField(sim, name); err != nil {
@@ -175,7 +187,9 @@ func runProducer(local *mpi.Comm, params lbm.Params, cfg InTransitConfig, send f
 		if err := send(step, payload); err != nil {
 			return err
 		}
+		endSend()
 		step++
+		endSim = tel.phase(lane, "sim")
 	}
 	return nil
 }
@@ -213,6 +227,8 @@ func (env consumerEnv) recvAll(step, lo, hi int) ([]transit.Message, error) {
 // frame at consumer rank 0. Only rank 0 returns a result.
 func runConsumer(env consumerEnv, cfg InTransitConfig) (*InTransitResult, error) {
 	local := env.local
+	tel := cfg.Telemetry
+	lane := local.WorldRank(local.Rank())
 	domain := grid.Box2(0, 0, cfg.GridW, cfg.GridH)
 	// Producer slabs follow the LBM row split across M producers.
 	starts := grid.SplitEven(cfg.GridH, cfg.M)
@@ -230,7 +246,7 @@ func runConsumer(env consumerEnv, cfg InTransitConfig) (*InTransitResult, error)
 	for p := lo; p < hi; p++ {
 		myChunks = append(myChunks, slabBox(p))
 	}
-	desc, err := core.NewDataDescriptor(local.Size(), core.Layout2D, core.Float32)
+	desc, err := core.NewDataDescriptor(local.Size(), core.Layout2D, core.Float32, tel.coreOpts()...)
 	if err != nil {
 		return nil, err
 	}
@@ -243,11 +259,14 @@ func runConsumer(env consumerEnv, cfg InTransitConfig) (*InTransitResult, error)
 	var gifFrames []*image.RGBA
 	steps := cfg.Iterations / cfg.OutputEvery
 	for step := 0; step < steps; step++ {
+		endRecv := tel.phase(lane, "recv")
 		msgs, err := env.recvAll(step, lo, hi)
 		if err != nil {
 			return nil, err
 		}
+		endRecv()
 		// Decode every producer's frame once; index per field below.
+		endDecode := tel.phase(lane, "decode")
 		perProducer := make([][][]float32, len(msgs))
 		for i, msg := range msgs {
 			names, fields, err := transit.DecodeFields(msg.Data)
@@ -269,15 +288,18 @@ func runConsumer(env consumerEnv, cfg InTransitConfig) (*InTransitResult, error)
 			}
 			perProducer[i] = fields
 		}
+		endDecode()
 
 		for fi, name := range cfg.Fields {
 			bufs := make([][]byte, len(msgs))
 			for i := range msgs {
 				bufs[i] = lbm.Float32sToBytes(perProducer[i][fi])
 			}
+			endRegrid := tel.phase(lane, "regrid")
 			if err := desc.ReorganizeData(local, bufs, needBuf); err != nil {
 				return nil, err
 			}
+			endRegrid()
 			if cfg.StatsPath != "" {
 				fs, err := computeFrameStats(local, step, name, lbm.BytesToFloat32s(needBuf))
 				if err != nil {
@@ -289,13 +311,16 @@ func runConsumer(env consumerEnv, cfg InTransitConfig) (*InTransitResult, error)
 			}
 
 			// Assemble the full frame at consumer rank 0 and encode it.
+			endGather := tel.phase(lane, "gather")
 			parts, err := local.Gather(0, needBuf)
+			endGather()
 			if err != nil {
 				return nil, err
 			}
 			if local.Rank() != 0 {
 				continue
 			}
+			endRender := tel.phase(lane, "render+encode")
 			field := make([]float32, cfg.GridW*cfg.GridH)
 			for r, part := range parts {
 				vals := lbm.BytesToFloat32s(part)
@@ -320,6 +345,7 @@ func runConsumer(env consumerEnv, cfg InTransitConfig) (*InTransitResult, error)
 			if err := colormap.EncodeJPEG(&jbuf, img, cfg.JPEGQuality); err != nil {
 				return nil, err
 			}
+			endRender()
 			if cfg.OutDir != "" {
 				path := filepath.Join(cfg.OutDir, fmt.Sprintf("frame_%04d_%s.jpg", step, name))
 				if err := os.WriteFile(path, jbuf.Bytes(), 0o644); err != nil {

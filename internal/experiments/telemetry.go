@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"ddr/internal/core"
+	"ddr/internal/mpi"
+	"ddr/internal/obs"
+	"ddr/internal/trace"
+)
+
+// Telemetry bundles the observation sinks an experiment run can feed: a
+// trace recorder for Perfetto timelines and a metrics registry for
+// Prometheus export. Either field may be nil; a nil *Telemetry disables
+// observation entirely and costs nothing on the hot paths.
+type Telemetry struct {
+	Trace   *trace.Recorder
+	Metrics *obs.Registry
+}
+
+// enabled reports whether any sink is attached.
+func (t *Telemetry) enabled() bool {
+	return t != nil && (t.Trace != nil || t.Metrics != nil)
+}
+
+// coreOpts returns the descriptor options that wire DDR's plan-compile
+// and exchange instrumentation into the sinks.
+func (t *Telemetry) coreOpts() []core.Option {
+	if !t.enabled() {
+		return nil
+	}
+	var opts []core.Option
+	if t.Trace != nil {
+		opts = append(opts, core.WithTracer(t.Trace))
+	}
+	if t.Metrics != nil {
+		opts = append(opts, core.WithMetrics(t.Metrics))
+	}
+	return opts
+}
+
+// attach hooks a world communicator's send/recv/collective paths into
+// the sinks. Communicators derived with Split inherit the attachment, so
+// one call at world setup covers the whole run.
+func (t *Telemetry) attach(world *mpi.Comm) {
+	if !t.enabled() {
+		return
+	}
+	world.AttachTelemetry(mpi.NewTelemetry(t.Metrics, t.Trace, world.Rank()))
+}
+
+// phase starts timing one named pipeline phase on a trace lane (world
+// rank); the returned func ends it, recording a span and a phase-labeled
+// latency observation.
+func (t *Telemetry) phase(rank int, name string) func() {
+	if !t.enabled() {
+		return func() {}
+	}
+	start := time.Now()
+	return func() {
+		end := time.Now()
+		if t.Trace != nil {
+			t.Trace.AddSpan(rank, name, start, end, 0)
+		}
+		if t.Metrics != nil {
+			t.Metrics.Histogram("pipeline_phase_seconds",
+				"Wall time of in-transit pipeline phases.",
+				obs.LatencyBuckets, obs.RankLabel(rank),
+				obs.Label{Key: "phase", Value: name}).Observe(end.Sub(start).Seconds())
+		}
+	}
+}
+
+// TelemetryFromFlags builds the sinks selected by CLI flags: a trace
+// recorder when traceOut is set, a metrics registry when metricsOut or
+// pprofAddr is set (the pprof server also exposes /metrics). It returns
+// nil when no flag is set. The flush func writes the output files and
+// shuts the server down; call it once after the experiment finishes.
+func TelemetryFromFlags(traceOut, metricsOut, pprofAddr string) (*Telemetry, func() error, error) {
+	if traceOut == "" && metricsOut == "" && pprofAddr == "" {
+		return nil, func() error { return nil }, nil
+	}
+	tel := &Telemetry{}
+	if traceOut != "" {
+		tel.Trace = trace.NewRecorder()
+	}
+	if metricsOut != "" || pprofAddr != "" {
+		tel.Metrics = obs.NewRegistry()
+	}
+	var srv *obs.Server
+	if pprofAddr != "" {
+		s, err := obs.Serve(pprofAddr, tel.Metrics)
+		if err != nil {
+			return nil, nil, fmt.Errorf("telemetry: pprof server: %w", err)
+		}
+		srv = s
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/pprof on http://%s\n", srv.Addr)
+	}
+	flush := func() error {
+		if srv != nil {
+			if err := srv.Close(); err != nil {
+				return err
+			}
+		}
+		if traceOut != "" {
+			f, err := os.Create(traceOut)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteTrace(f, tel.Trace); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "telemetry: wrote Perfetto trace to %s (load at ui.perfetto.dev)\n", traceOut)
+		}
+		if metricsOut != "" {
+			f, err := os.Create(metricsOut)
+			if err != nil {
+				return err
+			}
+			if err := tel.Metrics.WritePrometheus(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "telemetry: wrote Prometheus metrics to %s\n", metricsOut)
+		}
+		return nil
+	}
+	return tel, flush, nil
+}

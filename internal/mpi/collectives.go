@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
 	"ddr/internal/datatype"
 )
@@ -277,6 +278,12 @@ func (c *Comm) Alltoallw(sendBuf []byte, sendTypes []datatype.Type, recvBuf []by
 			len(c.group), len(sendTypes), len(recvTypes))
 	}
 	tag := c.nextCollTag()
+	tel := c.tel
+	var collStart time.Time
+	var wireBytes int64
+	if tel != nil {
+		collStart = time.Now()
+	}
 
 	// Local exchange without touching the transport.
 	if n := sendTypes[c.rank].PackedSize(); n != recvTypes[c.rank].PackedSize() {
@@ -296,9 +303,18 @@ func (c *Comm) Alltoallw(sendBuf []byte, sendTypes []datatype.Type, recvBuf []by
 		if n == 0 {
 			continue
 		}
+		var packStart time.Time
+		if tel != nil {
+			packStart = time.Now()
+		}
 		wire := make([]byte, n)
 		sendTypes[r].Pack(sendBuf, wire)
-		c.counters.countSend(len(wire))
+		c.counters.countSend(c.group[r], len(wire))
+		if tel != nil {
+			tel.rec.AddSpan(tel.rank, fmt.Sprintf("a2aw-pack->%d", c.group[r]), packStart, time.Now(), int64(n))
+			tel.wireSent.Add(int64(n))
+			wireBytes += int64(n)
+		}
 		if err := c.tr.send(c.group[r], envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: wire}); err != nil {
 			return err
 		}
@@ -311,6 +327,10 @@ func (c *Comm) Alltoallw(sendBuf []byte, sendTypes []datatype.Type, recvBuf []by
 		if want == 0 {
 			continue
 		}
+		var recvStart time.Time
+		if tel != nil {
+			recvStart = time.Now()
+		}
 		got, _, _, err := c.Recv(r, tag)
 		if err != nil {
 			return err
@@ -319,6 +339,15 @@ func (c *Comm) Alltoallw(sendBuf []byte, sendTypes []datatype.Type, recvBuf []by
 			return fmt.Errorf("mpi: alltoallw expected %d bytes from rank %d, got %d", want, r, len(got))
 		}
 		recvTypes[r].Unpack(got, recvBuf)
+		if tel != nil {
+			tel.rec.AddSpan(tel.rank, fmt.Sprintf("a2aw-unpack<-%d", c.group[r]), recvStart, time.Now(), int64(want))
+			wireBytes += int64(want)
+		}
+	}
+	if tel != nil {
+		now := time.Now()
+		tel.rec.AddSpan(tel.rank, "alltoallw", collStart, now, wireBytes)
+		tel.collLatency.Observe(now.Sub(collStart).Seconds())
 	}
 	return nil
 }

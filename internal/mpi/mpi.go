@@ -17,6 +17,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
+
+	"ddr/internal/obs"
 )
 
 // Wildcards for Recv matching, mirroring MPI_ANY_SOURCE / MPI_ANY_TAG.
@@ -63,6 +66,15 @@ type mailbox struct {
 	queue  []envelope
 	closed bool
 	err    error
+	depth  *obs.Gauge // pending-message depth, nil unless telemetry attached
+}
+
+// setDepthGauge attaches (or detaches, with nil) the pending-message
+// gauge. Taken under the mailbox lock so put/get read it safely.
+func (m *mailbox) setDepthGauge(g *obs.Gauge) {
+	m.mu.Lock()
+	m.depth = g
+	m.mu.Unlock()
 }
 
 func newMailbox() *mailbox {
@@ -75,6 +87,7 @@ func (m *mailbox) put(e envelope) {
 	m.mu.Lock()
 	if !m.closed {
 		m.queue = append(m.queue, e)
+		m.depth.Add(1)
 	}
 	m.mu.Unlock()
 	m.cond.Broadcast()
@@ -88,6 +101,7 @@ func (m *mailbox) get(ctx uint32, src, tag int) (envelope, error) {
 			if m.queue[i].matches(ctx, src, tag) {
 				e := m.queue[i]
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				m.depth.Add(-1)
 				return e, nil
 			}
 		}
@@ -161,7 +175,8 @@ type Comm struct {
 	collSeq  int // per-rank collective sequence number
 	splitSeq int // per-rank Split sequence number
 
-	counters *traffic // shared across communicators derived from one rank
+	counters *traffic   // shared across communicators derived from one rank
+	tel      *Telemetry // shared observability hooks, nil unless attached
 }
 
 // Rank returns the calling process's rank within the communicator.
@@ -199,8 +214,17 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 func (c *Comm) sendInternal(dst, tag int, data []byte) error {
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	c.counters.countSend(len(cp))
-	return c.tr.send(c.group[dst], envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp})
+	dstWorld := c.group[dst]
+	c.counters.countSend(dstWorld, len(cp))
+	t := c.tel
+	if t == nil {
+		return c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp})
+	}
+	start := time.Now()
+	err := c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp})
+	t.sendLatency.ObserveSince(start)
+	t.wireSent.Add(int64(len(cp)))
+	return err
 }
 
 // Recv blocks until a message matching (src, tag) arrives and returns its
@@ -214,11 +238,20 @@ func (c *Comm) Recv(src, tag int) (data []byte, from, gotTag int, err error) {
 		}
 		worldSrc = c.group[src]
 	}
+	t := c.tel
+	var start time.Time
+	if t != nil {
+		start = time.Now()
+	}
 	e, err := c.box.get(c.ctx, worldSrc, tag)
 	if err != nil {
 		return nil, 0, 0, err
 	}
-	c.counters.countRecv(len(e.data))
+	c.counters.countRecv(e.src, len(e.data))
+	if t != nil {
+		t.recvLatency.ObserveSince(start)
+		t.wireRecv.Add(int64(len(e.data)))
+	}
 	return e.data, c.localRank(e.src), e.tag, nil
 }
 
@@ -326,7 +359,7 @@ func Run(n int, body func(c *Comm) error) error {
 				group:    identityGroup(n),
 				tr:       &inprocTransport{w: w},
 				box:      w.boxes[rank],
-				counters: &traffic{},
+				counters: newTraffic(n),
 			}
 			c.world = c
 			if err := body(c); err != nil {

@@ -74,5 +74,6 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 		tr:       c.tr,
 		box:      c.box,
 		counters: c.counters,
+		tel:      c.tel, // sub-communicator traffic shares the rank's telemetry
 	}, nil
 }

@@ -7,6 +7,9 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+
+	"ddr/internal/obs"
 )
 
 // tcpFrameHeader is ctx(u32) src(u32) tag(i32) len(u32), little endian.
@@ -19,9 +22,41 @@ type TCPEndpoint struct {
 	listener net.Listener
 	box      *mailbox
 
+	// Frame-level wire accounting (headers included), always on — the
+	// atomics cost nothing measurable next to a socket write. The obs
+	// counters mirror them into a registry once telemetry is attached.
+	wireOut atomic.Int64
+	wireIn  atomic.Int64
+	obsOut  atomic.Pointer[obs.Counter]
+	obsIn   atomic.Pointer[obs.Counter]
+
 	mu     sync.Mutex
 	conns  map[int]*tcpConn
 	closed bool
+}
+
+// WireStats returns the frame bytes written to and read from peers since
+// the endpoint was created, including the 16-byte frame headers — the
+// quantity that actually crossed the network stack.
+func (ep *TCPEndpoint) WireStats() (out, in int64) {
+	return ep.wireOut.Load(), ep.wireIn.Load()
+}
+
+// setWireCounters mirrors future wire traffic into the given obs
+// counters (nil detaches).
+func (ep *TCPEndpoint) setWireCounters(out, in *obs.Counter) {
+	ep.obsOut.Store(out)
+	ep.obsIn.Store(in)
+}
+
+func (ep *TCPEndpoint) countWireOut(n int64) {
+	ep.wireOut.Add(n)
+	ep.obsOut.Load().Add(n)
+}
+
+func (ep *TCPEndpoint) countWireIn(n int64) {
+	ep.wireIn.Add(n)
+	ep.obsIn.Load().Add(n)
 }
 
 type tcpConn struct {
@@ -73,6 +108,7 @@ func (ep *TCPEndpoint) readLoop(conn net.Conn) {
 		if _, err := io.ReadFull(conn, data); err != nil {
 			return
 		}
+		ep.countWireIn(int64(tcpFrameHeader) + int64(n))
 		ep.box.put(envelope{ctx: ctx, src: src, tag: tag, data: data})
 	}
 }
@@ -89,7 +125,7 @@ func (ep *TCPEndpoint) Join(rank int, addrs []string) (*Comm, error) {
 		group:    identityGroup(len(addrs)),
 		tr:       &tcpTransport{ep: ep, addrs: addrs},
 		box:      ep.box,
-		counters: &traffic{},
+		counters: newTraffic(len(addrs)),
 	}
 	c.world = c
 	return c, nil
@@ -146,6 +182,7 @@ func (t *tcpTransport) send(dst int, e envelope) error {
 	if _, err := tc.conn.Write(e.data); err != nil {
 		return fmt.Errorf("mpi: tcp send payload: %w", err)
 	}
+	t.ep.countWireOut(int64(tcpFrameHeader) + int64(len(e.data)))
 	return nil
 }
 

@@ -1,0 +1,93 @@
+package mpi
+
+import (
+	"ddr/internal/obs"
+	"ddr/internal/trace"
+)
+
+// Telemetry bundles the observability sinks for one rank: latency
+// histograms and wire-byte counters in an obs.Registry, per-operation
+// spans in a trace.Recorder, and a pending-message gauge on the rank's
+// mailbox. Construct with NewTelemetry and attach with
+// Comm.AttachTelemetry; a nil *Telemetry is valid everywhere and costs a
+// single pointer check on the hot paths.
+type Telemetry struct {
+	rank int
+	rec  *trace.Recorder
+
+	sendLatency *obs.Histogram
+	recvLatency *obs.Histogram
+	collLatency *obs.Histogram
+	wireSent    *obs.Counter
+	wireRecv    *obs.Counter
+	pendingMsgs *obs.Gauge
+
+	// TCP frame-level counters, mirrored by the endpoint when the
+	// communicator rides the TCP transport (payload + 16-byte header).
+	tcpOut *obs.Counter
+	tcpIn  *obs.Counter
+}
+
+// NewTelemetry derives a rank's instrument handles from the registry and
+// recorder. Either may be nil; when both are nil the result is nil and
+// instrumentation stays on its free path.
+func NewTelemetry(reg *obs.Registry, rec *trace.Recorder, rank int) *Telemetry {
+	if reg == nil && rec == nil {
+		return nil
+	}
+	rl := obs.RankLabel(rank)
+	return &Telemetry{
+		rank: rank,
+		rec:  rec,
+		sendLatency: reg.Histogram("mpi_send_latency_seconds",
+			"Time spent delivering one message into the transport.", obs.LatencyBuckets, rl),
+		recvLatency: reg.Histogram("mpi_recv_latency_seconds",
+			"Time blocked in Recv until a matching message arrived.", obs.LatencyBuckets, rl),
+		collLatency: reg.Histogram("mpi_alltoallw_latency_seconds",
+			"Wall time of one alltoallw collective on this rank.", obs.LatencyBuckets, rl),
+		wireSent: reg.Counter("mpi_wire_bytes_sent_total",
+			"Payload bytes this rank handed to its transport.", rl),
+		wireRecv: reg.Counter("mpi_wire_bytes_recv_total",
+			"Payload bytes this rank consumed from its transport.", rl),
+		pendingMsgs: reg.Gauge("mpi_pending_messages",
+			"Unmatched messages queued in this rank's mailbox.", rl),
+		tcpOut: reg.Counter("mpi_tcp_wire_bytes_out_total",
+			"Frame bytes (headers included) written to TCP peers.", rl),
+		tcpIn: reg.Counter("mpi_tcp_wire_bytes_in_total",
+			"Frame bytes (headers included) read from TCP peers.", rl),
+	}
+}
+
+// Rank returns the rank the telemetry was created for.
+func (t *Telemetry) Rank() int {
+	if t == nil {
+		return -1
+	}
+	return t.rank
+}
+
+// AttachTelemetry hooks the telemetry into this communicator and every
+// communicator later derived from it via Split/Dup (spans and counters
+// stay attributed to the world rank, giving one unified timeline per
+// process). Attach before the communicator gets busy: the hook is read
+// without synchronization on the hot paths. Passing nil detaches.
+func (c *Comm) AttachTelemetry(t *Telemetry) {
+	c.tel = t
+	if c.box != nil {
+		if t != nil {
+			c.box.setDepthGauge(t.pendingMsgs)
+		} else {
+			c.box.setDepthGauge(nil)
+		}
+	}
+	if tt, ok := c.tr.(*tcpTransport); ok {
+		if t != nil {
+			tt.ep.setWireCounters(t.tcpOut, t.tcpIn)
+		} else {
+			tt.ep.setWireCounters(nil, nil)
+		}
+	}
+}
+
+// Telemetry returns the attached telemetry (nil when detached).
+func (c *Comm) Telemetry() *Telemetry { return c.tel }

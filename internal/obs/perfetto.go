@@ -1,0 +1,85 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"ddr/internal/trace"
+)
+
+// traceEvent is one entry of the Chrome trace-event JSON format, the
+// legacy format ui.perfetto.dev and chrome://tracing both load directly.
+// Spans are "X" (complete) events; lane names are "M" (metadata) events.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds from the recorder origin
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON object wrapper ({"traceEvents": [...]}).
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTraceEvents renders the given span events as Chrome trace-event
+// JSON: one Perfetto track per rank (tid = rank), timestamps and
+// durations in microseconds from the recorder origin, and the span's
+// attributed bytes in args. Events are sorted by (rank, start) so the
+// output is deterministic regardless of completion order.
+func WriteTraceEvents(w io.Writer, events []trace.Event) error {
+	sorted := append([]trace.Event(nil), events...)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].Rank != sorted[j].Rank {
+			return sorted[i].Rank < sorted[j].Rank
+		}
+		return sorted[i].Start < sorted[j].Start
+	})
+
+	out := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	seenRank := map[int]bool{}
+	for _, e := range sorted {
+		if !seenRank[e.Rank] {
+			seenRank[e.Rank] = true
+			out.TraceEvents = append(out.TraceEvents, traceEvent{
+				Name: "thread_name",
+				Ph:   "M",
+				Pid:  0,
+				Tid:  e.Rank,
+				Args: map[string]any{"name": fmt.Sprintf("rank %d", e.Rank)},
+			})
+		}
+		ev := traceEvent{
+			Name: e.Name,
+			Cat:  "ddr",
+			Ph:   "X",
+			Ts:   float64(e.Start) / 1e3,
+			Dur:  float64(e.Dur) / 1e3,
+			Pid:  0,
+			Tid:  e.Rank,
+		}
+		if e.Bytes != 0 {
+			ev.Args = map[string]any{"bytes": e.Bytes}
+		}
+		out.TraceEvents = append(out.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// WriteTrace renders everything the recorder collected as Perfetto-
+// loadable JSON. A nil recorder writes an empty but valid trace.
+func WriteTrace(w io.Writer, rec *trace.Recorder) error {
+	var events []trace.Event
+	if rec != nil {
+		events = rec.Events()
+	}
+	return WriteTraceEvents(w, events)
+}

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"ddr/internal/trace"
+)
+
+func TestWriteTraceRoundTrip(t *testing.T) {
+	rec := trace.NewRecorder()
+	// Record deliberately out of order across ranks.
+	rec.Add(trace.Event{Rank: 1, Name: "round-0", Start: 5 * time.Microsecond, Dur: 10 * time.Microsecond, Bytes: 128})
+	rec.Add(trace.Event{Rank: 0, Name: "mapping", Start: 0, Dur: 3 * time.Microsecond})
+	rec.Add(trace.Event{Rank: 0, Name: "round-0", Start: 4 * time.Microsecond, Dur: 8 * time.Microsecond, Bytes: 64})
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, rec); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace JSON does not parse: %v\n%s", err, buf.String())
+	}
+	if parsed.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
+	}
+	spans := 0
+	meta := 0
+	lastTsByRank := map[int]float64{}
+	for _, e := range parsed.TraceEvents {
+		switch e.Ph {
+		case "M":
+			meta++
+		case "X":
+			spans++
+			if e.Ts < 0 || e.Dur < 0 {
+				t.Fatalf("negative ts/dur in %+v", e)
+			}
+			if e.Ts < lastTsByRank[e.Tid] {
+				t.Fatalf("rank %d events not sorted by ts", e.Tid)
+			}
+			lastTsByRank[e.Tid] = e.Ts
+		default:
+			t.Fatalf("unexpected phase %q", e.Ph)
+		}
+	}
+	if spans != 3 {
+		t.Fatalf("spans = %d, want 3", spans)
+	}
+	if meta != 2 {
+		t.Fatalf("thread_name events = %d, want 2 (one per rank)", meta)
+	}
+	// Bytes attribution must survive the round trip.
+	found := false
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" && e.Tid == 1 && e.Name == "round-0" {
+			if b, ok := e.Args["bytes"].(float64); !ok || b != 128 {
+				t.Fatalf("bytes arg = %v", e.Args)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rank 1 round-0 span missing")
+	}
+}
+
+func TestWriteTraceNilRecorder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("empty trace must still be valid JSON: %v", err)
+	}
+}

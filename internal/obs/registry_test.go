@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total", "requests", RankLabel(3))
+	c.Add(5)
+	c.Inc()
+	if got := c.Value(); got != 6 {
+		t.Fatalf("counter = %d, want 6", got)
+	}
+	g := reg.Gauge("depth", "queue depth")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %d, want 7", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat", "latency", []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.02, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-5.5225) > 1e-9 {
+		t.Fatalf("sum = %g", h.Sum())
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE lat histogram",
+		`lat_bucket{le="0.001"} 1`,
+		`lat_bucket{le="0.01"} 2`,
+		`lat_bucket{le="0.1"} 3`,
+		`lat_bucket{le="+Inf"} 5`,
+		"lat_count 5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestRederivingReturnsSameInstrument(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("c", "help", RankLabel(0))
+	b := reg.Counter("c", "help", RankLabel(0))
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	other := reg.Counter("c", "help", RankLabel(1))
+	if a == other {
+		t.Fatal("different labels must be distinct instruments")
+	}
+	a.Add(2)
+	other.Add(3)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, `c{rank="0"} 2`) || !strings.Contains(out, `c{rank="1"} 3`) {
+		t.Fatalf("per-rank export wrong:\n%s", out)
+	}
+	if n := strings.Count(out, "# TYPE c counter"); n != 1 {
+		t.Fatalf("TYPE line emitted %d times", n)
+	}
+}
+
+func TestTypeMismatchDisablesQuietly(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "as counter")
+	if g := reg.Gauge("m", "as gauge"); g != nil {
+		t.Fatal("conflicting type should return nil instrument")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x", "", LatencyBuckets)
+	c.Add(1)
+	c.Inc()
+	g.Set(2)
+	g.Add(1)
+	h.Observe(3)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+	if err := reg.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The disabled path must not allocate: attaching telemetry permanently to
+// hot paths is only acceptable if a detached run pays nothing.
+func TestNilInstrumentsZeroAlloc(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x", "")
+	g := reg.Gauge("x", "")
+	h := reg.Histogram("x", "", LatencyBuckets)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.Add(1)
+		h.Observe(1)
+	}); n != 0 {
+		t.Fatalf("nil instruments allocated %.1f times per op", n)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := reg.Counter("ops_total", "ops", RankLabel(rank%2))
+			h := reg.Histogram("lat", "latency", LatencyBuckets, RankLabel(rank%2))
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-6)
+			}
+		}(r)
+	}
+	// Concurrent export must not race with registration.
+	for i := 0; i < 10; i++ {
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	total := reg.Counter("ops_total", "ops", RankLabel(0)).Value() +
+		reg.Counter("ops_total", "ops", RankLabel(1)).Value()
+	if total != 8000 {
+		t.Fatalf("total ops = %d, want 8000", total)
+	}
+}
+
+func TestExponentialBuckets(t *testing.T) {
+	b := ExponentialBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v", b)
+		}
+	}
+}
+
+func TestServeMetricsAndPprof(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hits_total", "hits").Add(42)
+	srv, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "hits_total 42") {
+		t.Fatalf("metrics body:\n%s", body)
+	}
+
+	resp, err = http.Get(fmt.Sprintf("http://%s/debug/pprof/", srv.Addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}

@@ -22,11 +22,17 @@ type Event struct {
 	Bytes int64 // payload attributed to the span (0 if not applicable)
 }
 
-// Recorder collects events from any number of goroutines.
+// Recorder collects events from any number of goroutines. Events are
+// appended in completion order, which is not start order: Span captures
+// its start timestamp before the recording lock is taken, so a span that
+// began earlier can be appended after one that began later (and after
+// arbitrary Add calls). The events slice is therefore unordered; Events
+// sorts once at export and renderers must never assume insertion order.
 type Recorder struct {
 	mu     sync.Mutex
 	origin time.Time
 	events []Event
+	sorted bool // events is currently sorted by (rank, start)
 }
 
 // NewRecorder starts a recorder whose origin is now.
@@ -51,6 +57,7 @@ func (r *Recorder) Span(rank int, name string, bytes int64) func() {
 			Dur:   end.Sub(start),
 			Bytes: bytes,
 		})
+		r.sorted = false
 		r.mu.Unlock()
 	}
 }
@@ -62,20 +69,42 @@ func (r *Recorder) Add(e Event) {
 	}
 	r.mu.Lock()
 	r.events = append(r.events, e)
+	r.sorted = false
 	r.mu.Unlock()
 }
 
+// AddSpan records a span measured with wall-clock timestamps, translating
+// them to the recorder's origin. It is the bridge for instrumentation
+// that must time an operation before knowing its byte attribution.
+func (r *Recorder) AddSpan(rank int, name string, start, end time.Time, bytes int64) {
+	if r == nil {
+		return
+	}
+	r.Add(Event{
+		Rank:  rank,
+		Name:  name,
+		Start: start.Sub(r.origin),
+		Dur:   end.Sub(start),
+		Bytes: bytes,
+	})
+}
+
 // Events returns a copy of the recorded events sorted by (rank, start).
+// The sort happens at most once per batch of appends: repeated exports of
+// an idle recorder are O(copy).
 func (r *Recorder) Events() []Event {
 	r.mu.Lock()
+	if !r.sorted {
+		sort.SliceStable(r.events, func(i, j int) bool {
+			if r.events[i].Rank != r.events[j].Rank {
+				return r.events[i].Rank < r.events[j].Rank
+			}
+			return r.events[i].Start < r.events[j].Start
+		})
+		r.sorted = true
+	}
 	out := append([]Event(nil), r.events...)
 	r.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Rank != out[j].Rank {
-			return out[i].Rank < out[j].Rank
-		}
-		return out[i].Start < out[j].Start
-	})
 	return out
 }
 

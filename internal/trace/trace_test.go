@@ -43,6 +43,53 @@ func TestEventsSorted(t *testing.T) {
 	}
 }
 
+// Spans complete (and are appended) in the opposite order of their
+// starts, interleaved with Add; export must still come out sorted by
+// (rank, start) because no renderer may assume insertion order.
+func TestOutOfOrderCompletionSorted(t *testing.T) {
+	r := NewRecorder()
+	endOuter := r.Span(0, "outer", 0)
+	time.Sleep(time.Millisecond)
+	endInner := r.Span(0, "inner", 0)
+	r.Add(Event{Rank: 0, Name: "added", Start: 50 * time.Millisecond})
+	endInner()
+	endOuter() // outer started first but is appended last
+	ev := r.Events()
+	if len(ev) != 3 {
+		t.Fatalf("%d events", len(ev))
+	}
+	if ev[0].Name != "outer" || ev[1].Name != "inner" || ev[2].Name != "added" {
+		t.Errorf("order: %v %v %v", ev[0].Name, ev[1].Name, ev[2].Name)
+	}
+	// A second export without new appends must stay sorted (cached path).
+	ev = r.Events()
+	if ev[0].Name != "outer" {
+		t.Errorf("cached sort broken: %v", ev[0].Name)
+	}
+	// New appends invalidate the cache.
+	r.Add(Event{Rank: 0, Name: "early", Start: 0, Dur: time.Microsecond})
+	ev = r.Events()
+	if len(ev) != 4 || ev[0].Name != "early" || ev[1].Name != "outer" {
+		t.Errorf("resort after append: %+v", ev)
+	}
+}
+
+func TestAddSpan(t *testing.T) {
+	r := NewRecorder()
+	start := time.Now()
+	time.Sleep(time.Millisecond)
+	r.AddSpan(3, "op", start, time.Now(), 77)
+	ev := r.Events()
+	if len(ev) != 1 || ev[0].Rank != 3 || ev[0].Bytes != 77 {
+		t.Fatalf("events %+v", ev)
+	}
+	if ev[0].Dur < time.Millisecond/2 {
+		t.Errorf("duration %v too short", ev[0].Dur)
+	}
+	var nilRec *Recorder
+	nilRec.AddSpan(0, "noop", start, time.Now(), 0) // must not panic
+}
+
 func TestConcurrentSpans(t *testing.T) {
 	r := NewRecorder()
 	var wg sync.WaitGroup
