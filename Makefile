@@ -8,13 +8,17 @@ build:
 test:
 	$(GO) test ./...
 
-# verify is the pre-merge gate for the telemetry layer: static analysis
-# over the whole module plus the race detector on the packages with
-# concurrent instrumentation (lock-free counters, mailbox gauges, TCP
-# wire counters).
+# verify is the pre-merge gate: static analysis over the whole module,
+# the race detector on the packages with concurrent machinery (lock-free
+# counters, mailbox gauges, TCP wire counters, the pack/unpack worker
+# pool and staging-buffer arena), and a one-iteration smoke of the
+# exchange-engine benchmark so the serial/pooled/parallel/zero-copy
+# configurations all stay runnable.
 verify:
 	$(GO) vet ./...
-	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/...
+	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/... ./internal/datatype/...
+	$(GO) test -run '^$$' -bench BenchmarkReorganizeEngine -benchtime 1x ./internal/core/
 
 bench:
 	$(GO) test -run XXX -bench BenchmarkReorganizeTelemetry -benchmem ./internal/core/
+	$(GO) test -run XXX -bench 'BenchmarkReorganizeEngine|BenchmarkPackUnpackPool' -benchmem ./internal/core/

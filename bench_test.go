@@ -28,7 +28,7 @@ import (
 func runE1(run func(int, func(*mpi.Comm) error) error, mode core.ExchangeMode) error {
 	return run(4, func(c *mpi.Comm) error {
 		own, need := experiments.E1Geometry(c.Rank())
-		desc, err := core.NewDataDescriptor(4, core.Layout2D, core.Float32, core.WithExchangeMode(mode))
+		desc, err := core.NewDescriptor(4, core.Layout2D, core.Float32, core.WithExchangeMode(mode))
 		if err != nil {
 			return err
 		}
@@ -218,7 +218,7 @@ func BenchmarkAblationP2PvsAlltoallw(b *testing.B) {
 			b.SetBytes(int64(domain.Volume()) * 4)
 			for i := 0; i < b.N; i++ {
 				err := mpi.Run(procs, func(c *mpi.Comm) error {
-					desc, err := core.NewDataDescriptor(procs, core.Layout3D, core.Float32,
+					desc, err := core.NewDescriptor(procs, core.Layout3D, core.Float32,
 						core.WithExchangeMode(mode))
 					if err != nil {
 						return err
@@ -269,7 +269,7 @@ func BenchmarkReorganizeThroughput(b *testing.B) {
 			squares := grid.Grid2D(domain, rows, cols)
 			b.SetBytes(int64(domain.Volume()) * 4)
 			err := mpi.Run(procs, func(c *mpi.Comm) error {
-				desc, err := core.NewDataDescriptor(procs, core.Layout2D, core.Float32)
+				desc, err := core.NewDescriptor(procs, core.Layout2D, core.Float32)
 				if err != nil {
 					return err
 				}

@@ -3,7 +3,7 @@
 // domain and need one contiguous 4x4 quadrant. Three calls do the whole
 // redistribution:
 //
-//  1. core.NewDataDescriptor     — describe the data
+//  1. core.NewDescriptor         — describe the data
 //  2. desc.SetupDataMapping      — declare owned and needed regions
 //  3. desc.ReorganizeData        — exchange the data
 //
@@ -52,7 +52,7 @@ func main() {
 		}
 
 		// The three DDR calls.
-		desc, err := core.NewDataDescriptor(c.Size(), core.Layout2D, core.Float32, core.WithValidation())
+		desc, err := core.NewDescriptor(c.Size(), core.Layout2D, core.Float32, core.WithValidation())
 		if err != nil {
 			return err
 		}

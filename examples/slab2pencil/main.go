@@ -50,7 +50,7 @@ func run() error {
 		slab := slabs[c.Rank()]
 		pencil := pencils[c.Rank()]
 
-		desc, err := core.NewDataDescriptor(c.Size(), core.Layout3D, core.Float64,
+		desc, err := core.NewDescriptor(c.Size(), core.Layout3D, core.Float64,
 			core.WithValidation(), core.WithTracer(rec))
 		if err != nil {
 			return err

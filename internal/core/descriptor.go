@@ -7,7 +7,7 @@
 //
 // The public surface mirrors the paper's three calls:
 //
-//	desc, _ := core.NewDataDescriptor(nProcs, core.Layout2D, core.Float32)
+//	desc, _ := core.NewDescriptor(nProcs, core.Layout2D, core.Float32)
 //	desc.SetupDataMapping(comm, ownedChunks, neededBox)   // once per layout
 //	desc.ReorganizeData(comm, ownedBuffers, neededBuffer) // per data arrival
 //
@@ -128,19 +128,29 @@ func (m ExchangeMode) String() string {
 // Descriptor describes the data being redistributed and, after
 // SetupDataMapping, carries the compiled communication plan. It
 // corresponds to the object returned by DDR_NewDataDescriptor.
+//
+// A Descriptor is not safe for concurrent use: ReorganizeData reuses
+// per-call scratch state so repeated exchanges on one plan stay
+// allocation-free.
 type Descriptor struct {
-	nProcs   int
-	layout   Layout
-	elem     ElemType
-	elemSize int
-	mode     ExchangeMode
-	validate bool
-	tracer   *trace.Recorder
-	metrics  *obs.Registry
+	nProcs      int
+	layout      Layout
+	elem        ElemType
+	elemSize    int
+	elemSizeSet bool // WithElemSize was given (even an invalid value)
+	mode        ExchangeMode
+	validate    bool
+	pooled      bool // stage wire buffers through the shared arena
+	zeroCopy    bool // skip staging for contiguous regions
+	tracer      *trace.Recorder
+	metrics     *obs.Registry
 
 	plan    *Plan // nil until SetupDataMapping
 	timings []RoundTiming
 	obsv    *exchObs // nil unless a tracer or registry is attached
+
+	eng     engine // pack/unpack worker pool + reusable job batch
+	scratch exchScratch
 }
 
 // exchObs is the observation context threaded through the exchange
@@ -163,6 +173,11 @@ type exchObs struct {
 // on reports whether observation is attached; helpers gate every
 // time.Now and name formatting behind it.
 func (o *exchObs) on() bool { return o != nil }
+
+// tracing reports whether a trace recorder is attached; per-peer span
+// formatting is gated behind it so metrics-only observation stays
+// allocation-free.
+func (o *exchObs) tracing() bool { return o != nil && o.rec != nil }
 
 // buildObs derives the observation context for the communicator the
 // mapping is being set up on. Ranks are labeled with the world rank so
@@ -222,34 +237,86 @@ func WithValidation() Option {
 	return func(d *Descriptor) { d.validate = true }
 }
 
-// NewDataDescriptor creates a descriptor for redistributing arrays of the
-// given layout and element type across nProcs ranks. It corresponds to
-// DDR_NewDataDescriptor(nProcs, DATA_TYPE_*, mpiType, elemSize).
-func NewDataDescriptor(nProcs int, layout Layout, elem ElemType, opts ...Option) (*Descriptor, error) {
-	if elem.Size() == 0 {
-		return nil, fmt.Errorf("core: unknown element type %v", elem)
+// WithElemSize overrides the element byte size derived from the ElemType,
+// for element types not covered by the enum (the C API takes the size
+// separately for the same reason).
+func WithElemSize(n int) Option {
+	return func(d *Descriptor) {
+		d.elemSize = n
+		d.elemSizeSet = true
 	}
-	return NewDataDescriptorBytes(nProcs, layout, elem, elem.Size(), opts...)
 }
 
-// NewDataDescriptorBytes is NewDataDescriptor with an explicit element
-// byte size, for element types not covered by ElemType (the C API takes
-// the size separately for the same reason).
-func NewDataDescriptorBytes(nProcs int, layout Layout, elem ElemType, elemSize int, opts ...Option) (*Descriptor, error) {
+// WithParallelism sets the number of worker goroutines the descriptor's
+// pack/unpack engine uses per exchange phase (default GOMAXPROCS; n <= 0
+// restores the default). Workers pack distinct peers' regions
+// concurrently; 1 packs serially on the calling goroutine.
+func WithParallelism(n int) Option {
+	return func(d *Descriptor) { d.eng.par = n }
+}
+
+// WithBufferPooling toggles staging-buffer pooling (default on). When on,
+// wire buffers cycle through a process-wide arena so repeated exchanges
+// on one plan allocate nothing in steady state; turn it off to isolate
+// allocator effects in measurements.
+func WithBufferPooling(enabled bool) Option {
+	return func(d *Descriptor) { d.pooled = enabled }
+}
+
+// WithZeroCopy toggles the contiguous fast path (default on). When on,
+// regions detected as contiguous at plan-compile time skip wire staging:
+// sends hand the owned buffer's sub-slice directly to the transport and
+// receives copy payloads straight into the need buffer.
+func WithZeroCopy(enabled bool) Option {
+	return func(d *Descriptor) { d.zeroCopy = enabled }
+}
+
+// NewDescriptor creates a descriptor for redistributing arrays of the
+// given layout and element type across nProcs ranks. It corresponds to
+// DDR_NewDataDescriptor(nProcs, DATA_TYPE_*, mpiType, elemSize); the
+// element byte size follows from elem unless WithElemSize overrides it.
+func NewDescriptor(nProcs int, layout Layout, elem ElemType, opts ...Option) (*Descriptor, error) {
 	if nProcs <= 0 {
 		return nil, fmt.Errorf("core: descriptor needs a positive process count, got %d", nProcs)
 	}
 	if layout < Layout1D || layout > Layout3D {
 		return nil, fmt.Errorf("core: unsupported layout %v", layout)
 	}
-	if elemSize <= 0 {
-		return nil, fmt.Errorf("core: element size %d must be positive", elemSize)
+	d := &Descriptor{
+		nProcs:   nProcs,
+		layout:   layout,
+		elem:     elem,
+		elemSize: elem.Size(),
+		pooled:   true,
+		zeroCopy: true,
 	}
-	d := &Descriptor{nProcs: nProcs, layout: layout, elem: elem, elemSize: elemSize}
 	for _, opt := range opts {
 		opt(d)
 	}
+	if !d.elemSizeSet && elem.Size() == 0 {
+		return nil, fmt.Errorf("core: unknown element type %v", elem)
+	}
+	if d.elemSize <= 0 {
+		return nil, fmt.Errorf("core: element size %d must be positive", d.elemSize)
+	}
 	return d, nil
+}
+
+// NewDataDescriptor creates a descriptor with the element size implied by
+// elem.
+//
+// Deprecated: Use NewDescriptor; it is the same call.
+func NewDataDescriptor(nProcs int, layout Layout, elem ElemType, opts ...Option) (*Descriptor, error) {
+	return NewDescriptor(nProcs, layout, elem, opts...)
+}
+
+// NewDataDescriptorBytes creates a descriptor with an explicit element
+// byte size.
+//
+// Deprecated: Use NewDescriptor with WithElemSize.
+func NewDataDescriptorBytes(nProcs int, layout Layout, elem ElemType, elemSize int, opts ...Option) (*Descriptor, error) {
+	return NewDescriptor(nProcs, layout, elem,
+		append([]Option{WithElemSize(elemSize)}, opts...)...)
 }
 
 // NProcs returns the process count the descriptor was created for.

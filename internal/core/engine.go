@@ -1,0 +1,165 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ddr/internal/datatype"
+	"ddr/internal/mpi"
+)
+
+// The pack/unpack engine: every staging copy of an exchange is expressed
+// as an exchJob, batched per phase, and executed by a per-descriptor
+// worker pool. Jobs address disjoint byte regions — packs read immutable
+// owned buffers into distinct wire buffers, unpacks scatter distinct wire
+// buffers into disjoint need regions (DDR's exclusive-ownership
+// precondition) — so a batch executes correctly at any parallelism.
+
+// exchJob is one pack or unpack between a local array and a wire buffer.
+type exchJob struct {
+	t      datatype.Type
+	local  []byte
+	wire   []byte
+	unpack bool
+	peer   int // trace label only
+}
+
+// do executes the copy, recording the per-peer span and latency when
+// observation is attached. Trace recorders and histograms are
+// goroutine-safe, so do may run on a pool worker.
+func (j *exchJob) do(o *exchObs) {
+	if !o.on() {
+		if j.unpack {
+			j.t.Unpack(j.wire, j.local)
+		} else {
+			j.t.Pack(j.local, j.wire)
+		}
+		return
+	}
+	start := time.Now()
+	if j.unpack {
+		j.t.Unpack(j.wire, j.local)
+	} else {
+		j.t.Pack(j.local, j.wire)
+	}
+	now := time.Now()
+	if o.rec != nil {
+		name := fmt.Sprintf("pack->%d", j.peer)
+		if j.unpack {
+			name = fmt.Sprintf("unpack<-%d", j.peer)
+		}
+		o.rec.AddSpan(o.rank, name, start, now, int64(len(j.wire)))
+	}
+	if j.unpack {
+		o.unpackLat.Observe(now.Sub(start).Seconds())
+	} else {
+		o.packLat.Observe(now.Sub(start).Seconds())
+	}
+}
+
+// engine batches jobs for one exchange phase and runs them across the
+// descriptor's worker pool. The job slice is reused across calls, so the
+// steady state adds nothing to the garbage collector.
+type engine struct {
+	par  int // worker count; <= 0 means GOMAXPROCS
+	jobs []exchJob
+}
+
+func (e *engine) reset() { e.jobs = e.jobs[:0] }
+
+func (e *engine) add(j exchJob) { e.jobs = append(e.jobs, j) }
+
+// run executes the batched jobs and resets the batch. Workers claim jobs
+// from a shared atomic cursor so imbalanced region sizes still spread
+// across the pool; a single worker (or single job) runs inline on the
+// calling goroutine with no synchronization.
+func (e *engine) run(o *exchObs) {
+	n := len(e.jobs)
+	if n == 0 {
+		return
+	}
+	defer e.reset()
+	par := e.par
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	if par == 1 {
+		for i := range e.jobs {
+			e.jobs[i].do(o)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				e.jobs[i].do(o)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// exchScratch is the per-call working state ReorganizeData reuses across
+// calls so a replayed plan's exchanges are allocation-free.
+type exchScratch struct {
+	wires  [][]byte       // per-send-peer outgoing wire (staged or zero-copy alias)
+	staged [][]byte       // staged wires to recycle once sent
+	datas  [][]byte       // received payloads pending the unpack batch
+	reqs   []*mpi.Request // cancellable-path receive requests
+}
+
+// parallelism resolves the configured worker count, defaulting to
+// GOMAXPROCS.
+func (d *Descriptor) parallelism() int {
+	if d.eng.par <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return d.eng.par
+}
+
+// stage returns a wire buffer of n bytes, drawn from the shared arena
+// when pooling is enabled.
+func (d *Descriptor) stage(n int) []byte {
+	if d.pooled {
+		return mpi.GetBuffer(n)
+	}
+	return make([]byte, n)
+}
+
+// unstage recycles a staging buffer obtained from stage.
+func (d *Descriptor) unstage(b []byte) {
+	if d.pooled {
+		mpi.PutBuffer(b)
+	}
+}
+
+// directUnpack copies an already-contiguous payload straight into the
+// destination span, bypassing the scatter loop, while still reporting the
+// copy as an unpack (it is one — just a fast one).
+func directUnpack(o *exchObs, dst, src []byte, peer int) {
+	if !o.on() {
+		copy(dst, src)
+		return
+	}
+	start := time.Now()
+	copy(dst, src)
+	now := time.Now()
+	if o.rec != nil {
+		o.rec.AddSpan(o.rank, fmt.Sprintf("unpack<-%d", peer), start, now, int64(len(src)))
+	}
+	o.unpackLat.Observe(now.Sub(start).Seconds())
+}

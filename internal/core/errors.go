@@ -1,0 +1,17 @@
+package core
+
+import "errors"
+
+// Sentinel errors reported by the redistribution API. They are wrapped
+// with call-site context, so match with errors.Is rather than equality.
+var (
+	// ErrNoMapping reports a data exchange attempted before
+	// SetupDataMapping compiled a plan.
+	ErrNoMapping = errors.New("no data mapping")
+	// ErrCommMismatch reports a communicator whose size or rank does not
+	// match the one the descriptor or plan was built for.
+	ErrCommMismatch = errors.New("communicator mismatch")
+	// ErrBufferSize reports owned or need buffers whose count or byte
+	// length disagrees with the registered geometry.
+	ErrBufferSize = errors.New("buffer size mismatch")
+)

@@ -31,6 +31,33 @@ type Plan struct {
 
 	sendPeers [][]int // [round] peers with non-empty sends (excluding self)
 	recvPeers [][]int // [round] peers with non-empty receives (excluding self)
+
+	// Contiguity of each entry in its local array, detected at compile
+	// time so the exchange fast paths pay no per-call analysis. A
+	// contiguous send needs no pack (the wire bytes are a sub-slice of the
+	// owned buffer); a contiguous receive needs no scatter (the payload is
+	// copied straight into the need buffer).
+	sendSpan [][]contigSpan // [round][peer]
+	recvSpan [][]contigSpan // [round][peer]
+
+	// Fused-mode schedule, precomputed so the fused exchange allocates
+	// nothing per call: the peers this rank exchanges fused messages with,
+	// the total fused bytes per peer, and — when exactly one round
+	// contributes to a peer's message — that round's index (enabling the
+	// zero-copy send/receive of a single contiguous region).
+	fusedSendPeers []int
+	fusedRecvPeers []int
+	fusedSendBytes []int // [peer]
+	fusedRecvBytes []int // [peer]
+	fusedSendOne   []int // [peer] sole contributing round, or -1
+	fusedRecvOne   []int // [peer] sole contributing round, or -1
+}
+
+// contigSpan records whether a plan entry is contiguous in its local
+// array and, if so, where.
+type contigSpan struct {
+	off, n int
+	ok     bool
 }
 
 // Rounds returns the number of exchange rounds, which equals the maximum
@@ -57,7 +84,8 @@ func (p *Plan) MyChunks() []grid.Box { return p.myChunks }
 // precondition is checked collectively and violations are reported.
 func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box) error {
 	if c.Size() != d.nProcs {
-		return fmt.Errorf("core: descriptor is for %d processes but communicator has %d", d.nProcs, c.Size())
+		return fmt.Errorf("core: descriptor is for %d processes but communicator has %d: %w",
+			d.nProcs, c.Size(), ErrCommMismatch)
 	}
 	if err := d.checkBoxDims(need, "need"); err != nil {
 		return err
@@ -188,10 +216,14 @@ func compilePlan(rank, elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box
 		recv:      make([][]datatype.Type, rounds),
 		sendPeers: make([][]int, rounds),
 		recvPeers: make([][]int, rounds),
+		sendSpan:  make([][]contigSpan, rounds),
+		recvSpan:  make([][]contigSpan, rounds),
 	}
 	for r := 0; r < rounds; r++ {
 		p.send[r] = make([]datatype.Type, nProcs)
 		p.recv[r] = make([]datatype.Type, nProcs)
+		p.sendSpan[r] = make([]contigSpan, nProcs)
+		p.recvSpan[r] = make([]contigSpan, nProcs)
 		for peer := 0; peer < nProcs; peer++ {
 			p.send[r][peer] = datatype.Empty{}
 			p.recv[r][peer] = datatype.Empty{}
@@ -230,6 +262,54 @@ func compilePlan(rank, elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box
 			p.recv[r][peer] = rt
 			if peer != rank {
 				p.recvPeers[r] = append(p.recvPeers[r], peer)
+			}
+		}
+	}
+	// Contiguity detection and fused-mode precomputation.
+	for r := 0; r < rounds; r++ {
+		for peer := 0; peer < nProcs; peer++ {
+			if p.send[r][peer].PackedSize() > 0 {
+				off, n, ok := p.send[r][peer].ContiguousSpan()
+				p.sendSpan[r][peer] = contigSpan{off: off, n: n, ok: ok}
+			}
+			if p.recv[r][peer].PackedSize() > 0 {
+				off, n, ok := p.recv[r][peer].ContiguousSpan()
+				p.recvSpan[r][peer] = contigSpan{off: off, n: n, ok: ok}
+			}
+		}
+	}
+	p.fusedSendBytes = make([]int, nProcs)
+	p.fusedRecvBytes = make([]int, nProcs)
+	p.fusedSendOne = make([]int, nProcs)
+	p.fusedRecvOne = make([]int, nProcs)
+	for peer := 0; peer < nProcs; peer++ {
+		p.fusedSendOne[peer] = -1
+		p.fusedRecvOne[peer] = -1
+		sendRounds, recvRounds := 0, 0
+		for r := 0; r < rounds; r++ {
+			if n := p.send[r][peer].PackedSize(); n > 0 {
+				p.fusedSendBytes[peer] += n
+				p.fusedSendOne[peer] = r
+				sendRounds++
+			}
+			if n := p.recv[r][peer].PackedSize(); n > 0 {
+				p.fusedRecvBytes[peer] += n
+				p.fusedRecvOne[peer] = r
+				recvRounds++
+			}
+		}
+		if sendRounds != 1 {
+			p.fusedSendOne[peer] = -1
+		}
+		if recvRounds != 1 {
+			p.fusedRecvOne[peer] = -1
+		}
+		if peer != rank {
+			if p.fusedSendBytes[peer] > 0 {
+				p.fusedSendPeers = append(p.fusedSendPeers, peer)
+			}
+			if p.fusedRecvBytes[peer] > 0 {
+				p.fusedRecvPeers = append(p.fusedRecvPeers, peer)
 			}
 		}
 	}

@@ -118,7 +118,8 @@ func decodeBoxLists(buf []byte) (a, b []grid.Box, err error) {
 // overlap freely, including within one rank.
 func (d *MultiDescriptor) SetupDataMapping(c *mpi.Comm, own, needs []grid.Box) error {
 	if c.Size() != d.nProcs {
-		return fmt.Errorf("core: descriptor is for %d processes but communicator has %d", d.nProcs, c.Size())
+		return fmt.Errorf("core: descriptor is for %d processes but communicator has %d: %w",
+			d.nProcs, c.Size(), ErrCommMismatch)
 	}
 	for i, b := range own {
 		if b.NDims != d.layout.NDims() {
@@ -237,32 +238,33 @@ func (d *MultiDescriptor) planOrZero() *multiPlan {
 func (d *MultiDescriptor) ReorganizeData(c *mpi.Comm, own, needs [][]byte) error {
 	p := d.plan
 	if p == nil {
-		return fmt.Errorf("core: ReorganizeData before SetupDataMapping")
+		return fmt.Errorf("core: ReorganizeData before SetupDataMapping: %w", ErrNoMapping)
 	}
 	if c.Size() != d.nProcs || c.Rank() != p.rank {
-		return fmt.Errorf("core: communicator does not match the one used for SetupDataMapping")
+		return fmt.Errorf("core: communicator does not match the one used for SetupDataMapping: %w", ErrCommMismatch)
 	}
 	if len(own) != len(p.myChunks) {
-		return fmt.Errorf("core: %d owned buffers for %d chunks", len(own), len(p.myChunks))
+		return fmt.Errorf("core: %d owned buffers for %d chunks: %w", len(own), len(p.myChunks), ErrBufferSize)
 	}
 	if len(needs) != len(p.myNeeds) {
-		return fmt.Errorf("core: %d need buffers for %d need chunks", len(needs), len(p.myNeeds))
+		return fmt.Errorf("core: %d need buffers for %d need chunks: %w", len(needs), len(p.myNeeds), ErrBufferSize)
 	}
 	for i, buf := range own {
 		if want := p.myChunks[i].Volume() * d.elemSize; len(buf) != want {
-			return fmt.Errorf("core: owned buffer %d has %d bytes, want %d", i, len(buf), want)
+			return fmt.Errorf("core: owned buffer %d has %d bytes, want %d: %w", i, len(buf), want, ErrBufferSize)
 		}
 	}
 	for i, buf := range needs {
 		if want := p.myNeeds[i].Volume() * d.elemSize; len(buf) != want {
-			return fmt.Errorf("core: need buffer %d has %d bytes, want %d", i, len(buf), want)
+			return fmt.Errorf("core: need buffer %d has %d bytes, want %d: %w", i, len(buf), want, ErrBufferSize)
 		}
 	}
 
 	for _, sf := range p.selfs {
-		wire := make([]byte, sf.src.t.PackedSize())
+		wire := mpi.GetBuffer(sf.src.t.PackedSize())
 		sf.src.t.Pack(own[sf.src.buf], wire)
 		sf.dst.t.Unpack(wire, needs[sf.dst.buf])
+		mpi.PutBuffer(wire)
 	}
 	const tag = ddrTagBase + 1<<10 // distinct from the single-need modes
 	var sends []*mpi.Request
@@ -273,12 +275,13 @@ func (d *MultiDescriptor) ReorganizeData(c *mpi.Comm, own, needs [][]byte) error
 			total += x.t.PackedSize()
 		}
 		if total > 0 {
-			wire := make([]byte, total)
+			wire := mpi.GetBuffer(total)
 			off := 0
 			for _, x := range p.sendTo[peer] {
 				off += x.t.Pack(own[x.buf], wire[off:])
 			}
 			sends = append(sends, c.Isend(peer, tag, wire))
+			mpi.PutBuffer(wire) // Isend copies eagerly
 		}
 		recvTotal := 0
 		for _, x := range p.recvFrom[peer] {
@@ -307,6 +310,7 @@ func (d *MultiDescriptor) ReorganizeData(c *mpi.Comm, own, needs [][]byte) error
 		for _, x := range p.recvFrom[peer] {
 			off += x.t.Unpack(data[off:], needs[x.buf])
 		}
+		mpi.PutBuffer(data)
 	}
 	return nil
 }

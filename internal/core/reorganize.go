@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -18,10 +19,24 @@ type RoundTiming struct {
 	WireBytes int64
 }
 
-// LastTimings returns the per-round timings of the most recent
-// ReorganizeData call (nil before the first call). The slice is reused
-// across calls; copy it to retain.
-func (d *Descriptor) LastTimings() []RoundTiming { return d.timings }
+// LastTimings returns a copy of the per-round timings of the most recent
+// ReorganizeData call (nil before the first call). The copy is the
+// caller's to keep; use AppendTimings to avoid the allocation.
+func (d *Descriptor) LastTimings() []RoundTiming {
+	if d.timings == nil {
+		return nil
+	}
+	out := make([]RoundTiming, len(d.timings))
+	copy(out, d.timings)
+	return out
+}
+
+// AppendTimings appends the most recent call's per-round timings to dst
+// and returns the extended slice, the allocation-conscious variant of
+// LastTimings.
+func (d *Descriptor) AppendTimings(dst []RoundTiming) []RoundTiming {
+	return append(dst, d.timings...)
+}
 
 // ddrTagBase is the first of the user-visible tags DDR reserves for its
 // point-to-point exchange mode (one tag per round). Applications sharing a
@@ -37,25 +52,47 @@ const ddrTagBase = 1 << 20
 //
 // It corresponds to DDR_ReorganizeData(nProcs, dataOwn, dataNeed, desc)
 // and may be called repeatedly as new data arrives in the same layout.
+// Repeated calls on one plan reuse the descriptor's staging state and the
+// shared buffer arena, so the steady state allocates nothing.
 func (d *Descriptor) ReorganizeData(c *mpi.Comm, own [][]byte, need []byte) error {
+	return d.ReorganizeDataCtx(nil, c, own, need)
+}
+
+// ReorganizeDataCtx is ReorganizeData with cancellation: when ctx is
+// cancelled the exchange stops between rounds and abandons in-flight
+// point-to-point waits, returning ctx.Err(). An abandoned wait may still
+// consume its matching message later, so after a cancellation the
+// communicator must not be reused for DDR traffic (see the cancellation
+// contract in DESIGN.md); cancel to tear down, not to retry. A nil ctx —
+// or one that can never be cancelled — selects the uncancellable fast
+// path and is exactly ReorganizeData.
+func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][]byte, need []byte) error {
+	if ctx != nil {
+		if ctx.Done() == nil {
+			ctx = nil
+		} else if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
 	p := d.plan
 	if p == nil {
-		return fmt.Errorf("core: ReorganizeData before SetupDataMapping")
+		return fmt.Errorf("core: ReorganizeData before SetupDataMapping: %w", ErrNoMapping)
 	}
 	if c.Size() != d.nProcs || c.Rank() != p.rank {
-		return fmt.Errorf("core: communicator does not match the one used for SetupDataMapping")
+		return fmt.Errorf("core: communicator does not match the one used for SetupDataMapping: %w", ErrCommMismatch)
 	}
 	if len(own) != len(p.myChunks) {
-		return fmt.Errorf("core: %d owned buffers for %d chunks", len(own), len(p.myChunks))
+		return fmt.Errorf("core: %d owned buffers for %d chunks: %w", len(own), len(p.myChunks), ErrBufferSize)
 	}
 	for i, buf := range own {
 		if want := p.myChunks[i].Volume() * d.elemSize; len(buf) != want {
-			return fmt.Errorf("core: owned buffer %d has %d bytes, chunk %v needs %d",
-				i, len(buf), p.myChunks[i], want)
+			return fmt.Errorf("core: owned buffer %d has %d bytes, chunk %v needs %d: %w",
+				i, len(buf), p.myChunks[i], want, ErrBufferSize)
 		}
 	}
 	if want := p.need.Volume() * d.elemSize; len(need) != want {
-		return fmt.Errorf("core: need buffer has %d bytes, box %v needs %d", len(need), p.need, want)
+		return fmt.Errorf("core: need buffer has %d bytes, box %v needs %d: %w",
+			len(need), p.need, want, ErrBufferSize)
 	}
 
 	d.timings = d.timings[:0]
@@ -64,7 +101,7 @@ func (d *Descriptor) ReorganizeData(c *mpi.Comm, own [][]byte, need []byte) erro
 	defer endAll()
 	if d.mode == ModePointToPointFused {
 		start := time.Now()
-		if err := p.exchangeFused(o, c, own, need); err != nil {
+		if err := d.exchangeFused(ctx, o, c, own, need); err != nil {
 			return fmt.Errorf("core: fused exchange: %w", err)
 		}
 		elapsed := time.Since(start)
@@ -85,21 +122,35 @@ func (d *Descriptor) ReorganizeData(c *mpi.Comm, own [][]byte, need []byte) erro
 		exchangeStart = time.Now()
 	}
 	for r := 0; r < p.rounds; r++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		var sendBuf []byte
 		if r < len(own) {
 			sendBuf = own[r]
 		}
 		roundBytes := p.RankRoundSendBytes(p.rank, r)
 		start := time.Now()
-		endRound := d.tracer.Span(o.Rank(c), fmt.Sprintf("round-%d", r), roundBytes)
+		var endRound func()
+		if d.tracer != nil {
+			endRound = d.tracer.Span(o.Rank(c), fmt.Sprintf("round-%d", r), roundBytes)
+		}
 		var err error
 		switch d.mode {
 		case ModePointToPoint:
-			err = p.exchangeP2P(o, c, r, sendBuf, need)
+			err = d.exchangeP2P(ctx, o, c, r, sendBuf, need)
 		default:
-			err = c.Alltoallw(sendBuf, p.send[r], need, p.recv[r])
+			err = c.AlltoallwOpt(sendBuf, p.send[r], need, p.recv[r], mpi.AlltoallwOptions{
+				Parallelism: d.parallelism(),
+				Pooled:      d.pooled,
+				ZeroCopy:    d.zeroCopy,
+			})
 		}
-		endRound()
+		if endRound != nil {
+			endRound()
+		}
 		if err != nil {
 			return fmt.Errorf("core: exchange round %d: %w", r, err)
 		}
@@ -120,91 +171,52 @@ func (d *Descriptor) ReorganizeData(c *mpi.Comm, own [][]byte, need []byte) erro
 	return nil
 }
 
-// exchangeFused performs the whole redistribution in one message per peer
-// pair: each peer's per-round overlaps are concatenated in round order on
-// the sending side and unpacked in the same order on the receiving side.
-func (p *Plan) exchangeFused(o *exchObs, c *mpi.Comm, own [][]byte, need []byte) error {
-	const tag = ddrTagBase
+// selfExchange moves round r's local contribution (this rank's owned
+// chunk overlapping its own need) without touching the transport. One
+// contiguous side is enough to drop the staging buffer; two reduce the
+// move to a single memmove.
+func (d *Descriptor) selfExchange(round int, src, need []byte) {
+	p := d.plan
+	st := p.send[round][p.rank]
+	n := st.PackedSize()
+	if n == 0 {
+		return
+	}
+	rt := p.recv[round][p.rank]
+	ss := p.sendSpan[round][p.rank]
+	rs := p.recvSpan[round][p.rank]
+	switch {
+	case d.zeroCopy && ss.ok && rs.ok:
+		copy(need[rs.off:rs.off+n], src[ss.off:ss.off+n])
+	case d.zeroCopy && ss.ok:
+		rt.Unpack(src[ss.off:ss.off+n], need)
+	case d.zeroCopy && rs.ok:
+		st.Pack(src, need[rs.off:rs.off+n])
+	default:
+		wire := d.stage(n)
+		st.Pack(src, wire)
+		rt.Unpack(wire, need)
+		d.unstage(wire)
+	}
+}
 
-	// Local contribution.
-	for r := 0; r < len(p.myChunks); r++ {
-		if st := p.send[r][p.rank]; st.PackedSize() > 0 {
-			wire := make([]byte, st.PackedSize())
-			st.Pack(own[r], wire)
-			p.recv[r][p.rank].Unpack(wire, need)
-		}
+// acceptRound consumes one received round-mode payload: contiguous
+// destinations are copied straight into the need buffer and the payload
+// recycled; strided ones are batched for the unpack phase (the payload is
+// recycled after the batch runs).
+func (d *Descriptor) acceptRound(o *exchObs, round, peer int, data, need []byte) error {
+	p := d.plan
+	rt := p.recv[round][peer]
+	if len(data) != rt.PackedSize() {
+		return fmt.Errorf("core: expected %d bytes from rank %d, got %d", rt.PackedSize(), peer, len(data))
 	}
-
-	var sends []*mpi.Request
-	recvPeers := map[int]int{} // peer -> expected fused byte count
-	for peer := 0; peer < p.nProcs; peer++ {
-		if peer == p.rank {
-			continue
-		}
-		sendTotal := 0
-		for r := 0; r < len(p.myChunks); r++ {
-			sendTotal += p.send[r][peer].PackedSize()
-		}
-		if sendTotal > 0 {
-			var packStart time.Time
-			if o.on() {
-				packStart = time.Now()
-			}
-			wire := make([]byte, sendTotal)
-			off := 0
-			for r := 0; r < len(p.myChunks); r++ {
-				off += p.send[r][peer].Pack(own[r], wire[off:])
-			}
-			if o.on() {
-				now := time.Now()
-				o.rec.AddSpan(o.rank, fmt.Sprintf("pack->%d", peer), packStart, now, int64(sendTotal))
-				o.packLat.Observe(now.Sub(packStart).Seconds())
-			}
-			sends = append(sends, c.Isend(peer, tag, wire))
-		}
-		recvTotal := 0
-		for r := 0; r < p.rounds; r++ {
-			recvTotal += p.recv[r][peer].PackedSize()
-		}
-		if recvTotal > 0 {
-			recvPeers[peer] = recvTotal
-		}
+	if sp := p.recvSpan[round][peer]; d.zeroCopy && sp.ok {
+		directUnpack(o, need[sp.off:sp.off+sp.n], data, peer)
+		d.unstage(data)
+		return nil
 	}
-	recvs := make(map[int]*mpi.Request, len(recvPeers))
-	for peer := range recvPeers {
-		recvs[peer] = c.Irecv(peer, tag)
-	}
-	if err := mpi.WaitAll(sends...); err != nil {
-		return err
-	}
-	for peer, req := range recvs {
-		var waitStart time.Time
-		if o.on() {
-			waitStart = time.Now()
-		}
-		data, _, _, err := req.Wait()
-		if err != nil {
-			return err
-		}
-		if len(data) != recvPeers[peer] {
-			return fmt.Errorf("core: expected %d fused bytes from rank %d, got %d",
-				recvPeers[peer], peer, len(data))
-		}
-		var unpackStart time.Time
-		if o.on() {
-			unpackStart = time.Now()
-			o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, unpackStart, int64(len(data)))
-		}
-		off := 0
-		for r := 0; r < p.rounds; r++ {
-			off += p.recv[r][peer].Unpack(data[off:], need)
-		}
-		if o.on() {
-			now := time.Now()
-			o.rec.AddSpan(o.rank, fmt.Sprintf("unpack<-%d", peer), unpackStart, now, int64(len(data)))
-			o.unpackLat.Observe(now.Sub(unpackStart).Seconds())
-		}
-	}
+	d.eng.add(exchJob{t: rt, local: need, wire: data, unpack: true, peer: peer})
+	d.scratch.datas = append(d.scratch.datas, data)
 	return nil
 }
 
@@ -212,64 +224,216 @@ func (p *Plan) exchangeFused(o *exchObs, c *mpi.Comm, own [][]byte, need []byte)
 // only the ranks that share data — the sparse-communication optimization
 // the paper lists as future work. Semantically identical to the alltoallw
 // round.
-func (p *Plan) exchangeP2P(o *exchObs, c *mpi.Comm, round int, sendBuf, need []byte) error {
+func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, round int, sendBuf, need []byte) error {
+	p := d.plan
 	tag := ddrTagBase + round
 
 	// Local contribution first (no message needed).
-	if st := p.send[round][p.rank]; st.PackedSize() > 0 {
-		wire := make([]byte, st.PackedSize())
-		st.Pack(sendBuf, wire)
-		p.recv[round][p.rank].Unpack(wire, need)
-	}
+	d.selfExchange(round, sendBuf, need)
 
-	reqs := make([]*mpi.Request, 0, len(p.sendPeers[round]))
+	// Pack phase: contiguous regions skip staging entirely — the owned
+	// buffer's sub-slice goes straight to Send, whose delivery copy is the
+	// only copy. Strided regions stage through the engine.
+	s := &d.scratch
+	s.wires = s.wires[:0]
+	s.staged = s.staged[:0]
 	for _, peer := range p.sendPeers[round] {
 		st := p.send[round][peer]
-		var packStart time.Time
-		if o.on() {
-			packStart = time.Now()
+		n := st.PackedSize()
+		if sp := p.sendSpan[round][peer]; d.zeroCopy && sp.ok {
+			s.wires = append(s.wires, sendBuf[sp.off:sp.off+n])
+			continue
 		}
-		wire := make([]byte, st.PackedSize())
-		st.Pack(sendBuf, wire)
-		if o.on() {
-			now := time.Now()
-			o.rec.AddSpan(o.rank, fmt.Sprintf("pack->%d", peer), packStart, now, int64(len(wire)))
-			o.packLat.Observe(now.Sub(packStart).Seconds())
-		}
-		reqs = append(reqs, c.Isend(peer, tag, wire))
+		wire := d.stage(n)
+		d.eng.add(exchJob{t: st, local: sendBuf, wire: wire, peer: peer})
+		s.wires = append(s.wires, wire)
+		s.staged = append(s.staged, wire)
 	}
-	recvs := make([]*mpi.Request, 0, len(p.recvPeers[round]))
-	for _, peer := range p.recvPeers[round] {
-		recvs = append(recvs, c.Irecv(peer, tag))
-	}
-	if err := mpi.WaitAll(reqs...); err != nil {
-		return err
-	}
-	for i, peer := range p.recvPeers[round] {
-		var waitStart time.Time
-		if o.on() {
-			waitStart = time.Now()
-		}
-		data, _, _, err := recvs[i].Wait()
-		if err != nil {
+	d.eng.run(o)
+	for i, peer := range p.sendPeers[round] {
+		if err := c.Send(peer, tag, s.wires[i]); err != nil {
 			return err
 		}
-		rt := p.recv[round][peer]
-		if len(data) != rt.PackedSize() {
-			return fmt.Errorf("core: expected %d bytes from rank %d, got %d", rt.PackedSize(), peer, len(data))
+	}
+	// Send copies eagerly, so staging buffers recycle immediately.
+	for _, w := range s.staged {
+		d.unstage(w)
+	}
+	s.staged = s.staged[:0]
+
+	// Receive phase. Delivery is eager and buffered — every peer's send
+	// has already been accepted by the transport — so receiving in plan
+	// order cannot deadlock, and the uncancellable path uses blocking
+	// receives with no request bookkeeping.
+	s.datas = s.datas[:0]
+	if ctx == nil {
+		for _, peer := range p.recvPeers[round] {
+			var waitStart time.Time
+			if o.tracing() {
+				waitStart = time.Now()
+			}
+			data, _, _, err := c.Recv(peer, tag)
+			if err != nil {
+				return err
+			}
+			if o.tracing() {
+				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
+			}
+			if err := d.acceptRound(o, round, peer, data, need); err != nil {
+				return err
+			}
 		}
-		var unpackStart time.Time
-		if o.on() {
-			unpackStart = time.Now()
-			o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, unpackStart, int64(len(data)))
+	} else {
+		s.reqs = s.reqs[:0]
+		for _, peer := range p.recvPeers[round] {
+			s.reqs = append(s.reqs, c.Irecv(peer, tag))
 		}
-		rt.Unpack(data, need)
-		if o.on() {
-			now := time.Now()
-			o.rec.AddSpan(o.rank, fmt.Sprintf("unpack<-%d", peer), unpackStart, now, int64(len(data)))
-			o.unpackLat.Observe(now.Sub(unpackStart).Seconds())
+		for i, peer := range p.recvPeers[round] {
+			var waitStart time.Time
+			if o.tracing() {
+				waitStart = time.Now()
+			}
+			data, _, _, err := s.reqs[i].WaitCtx(ctx)
+			if err != nil {
+				return err
+			}
+			if o.tracing() {
+				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
+			}
+			if err := d.acceptRound(o, round, peer, data, need); err != nil {
+				return err
+			}
 		}
 	}
+	d.eng.run(o)
+	for _, data := range s.datas {
+		d.unstage(data)
+	}
+	s.datas = s.datas[:0]
+	return nil
+}
+
+// acceptFused consumes one received fused payload, splitting it back into
+// its per-round segments in round order.
+func (d *Descriptor) acceptFused(o *exchObs, peer int, data, need []byte) error {
+	p := d.plan
+	if len(data) != p.fusedRecvBytes[peer] {
+		return fmt.Errorf("core: expected %d fused bytes from rank %d, got %d",
+			p.fusedRecvBytes[peer], peer, len(data))
+	}
+	off := 0
+	for r := 0; r < p.rounds; r++ {
+		n := p.recv[r][peer].PackedSize()
+		if n == 0 {
+			continue
+		}
+		if sp := p.recvSpan[r][peer]; d.zeroCopy && sp.ok {
+			directUnpack(o, need[sp.off:sp.off+sp.n], data[off:off+n], peer)
+		} else {
+			d.eng.add(exchJob{t: p.recv[r][peer], local: need, wire: data[off : off+n], unpack: true, peer: peer})
+		}
+		off += n
+	}
+	d.scratch.datas = append(d.scratch.datas, data)
+	return nil
+}
+
+// exchangeFused performs the whole redistribution in one message per peer
+// pair: each peer's per-round overlaps are concatenated in round order on
+// the sending side and unpacked in the same order on the receiving side.
+// When a single round contributes a contiguous region to a peer, the
+// message is the owned buffer's sub-slice and no staging happens at all.
+func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte) error {
+	p := d.plan
+	const tag = ddrTagBase
+
+	// Local contribution.
+	for r := 0; r < len(p.myChunks); r++ {
+		d.selfExchange(r, own[r], need)
+	}
+
+	s := &d.scratch
+	s.wires = s.wires[:0]
+	s.staged = s.staged[:0]
+	for _, peer := range p.fusedSendPeers {
+		if r := p.fusedSendOne[peer]; d.zeroCopy && r >= 0 && p.sendSpan[r][peer].ok {
+			sp := p.sendSpan[r][peer]
+			s.wires = append(s.wires, own[r][sp.off:sp.off+sp.n])
+			continue
+		}
+		wire := d.stage(p.fusedSendBytes[peer])
+		off := 0
+		for r := 0; r < len(p.myChunks); r++ {
+			n := p.send[r][peer].PackedSize()
+			if n == 0 {
+				continue
+			}
+			if sp := p.sendSpan[r][peer]; d.zeroCopy && sp.ok {
+				copy(wire[off:off+n], own[r][sp.off:sp.off+n])
+			} else {
+				d.eng.add(exchJob{t: p.send[r][peer], local: own[r], wire: wire[off : off+n], peer: peer})
+			}
+			off += n
+		}
+		s.wires = append(s.wires, wire)
+		s.staged = append(s.staged, wire)
+	}
+	d.eng.run(o)
+	for i, peer := range p.fusedSendPeers {
+		if err := c.Send(peer, tag, s.wires[i]); err != nil {
+			return err
+		}
+	}
+	for _, w := range s.staged {
+		d.unstage(w)
+	}
+	s.staged = s.staged[:0]
+
+	s.datas = s.datas[:0]
+	if ctx == nil {
+		for _, peer := range p.fusedRecvPeers {
+			var waitStart time.Time
+			if o.tracing() {
+				waitStart = time.Now()
+			}
+			data, _, _, err := c.Recv(peer, tag)
+			if err != nil {
+				return err
+			}
+			if o.tracing() {
+				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
+			}
+			if err := d.acceptFused(o, peer, data, need); err != nil {
+				return err
+			}
+		}
+	} else {
+		s.reqs = s.reqs[:0]
+		for _, peer := range p.fusedRecvPeers {
+			s.reqs = append(s.reqs, c.Irecv(peer, tag))
+		}
+		for i, peer := range p.fusedRecvPeers {
+			var waitStart time.Time
+			if o.tracing() {
+				waitStart = time.Now()
+			}
+			data, _, _, err := s.reqs[i].WaitCtx(ctx)
+			if err != nil {
+				return err
+			}
+			if o.tracing() {
+				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
+			}
+			if err := d.acceptFused(o, peer, data, need); err != nil {
+				return err
+			}
+		}
+	}
+	d.eng.run(o)
+	for _, data := range s.datas {
+		d.unstage(data)
+	}
+	s.datas = s.datas[:0]
 	return nil
 }
 
@@ -285,7 +449,14 @@ type Chunk struct {
 // freshly allocated need buffer. Applications redistributing repeatedly
 // should keep the Descriptor and call ReorganizeData themselves.
 func Redistribute(c *mpi.Comm, layout Layout, elem ElemType, own []Chunk, need grid.Box, opts ...Option) ([]byte, error) {
-	d, err := NewDataDescriptor(c.Size(), layout, elem, opts...)
+	return RedistributeCtx(nil, c, layout, elem, own, need, opts...)
+}
+
+// RedistributeCtx is Redistribute with cancellation, following the
+// ReorganizeDataCtx contract: the mapping setup is not cancellable, the
+// exchange is.
+func RedistributeCtx(ctx context.Context, c *mpi.Comm, layout Layout, elem ElemType, own []Chunk, need grid.Box, opts ...Option) ([]byte, error) {
+	d, err := NewDescriptor(c.Size(), layout, elem, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -299,7 +470,7 @@ func Redistribute(c *mpi.Comm, layout Layout, elem ElemType, own []Chunk, need g
 		return nil, err
 	}
 	out := make([]byte, need.Volume()*d.ElemSize())
-	if err := d.ReorganizeData(c, bufs, out); err != nil {
+	if err := d.ReorganizeDataCtx(ctx, c, bufs, out); err != nil {
 		return nil, err
 	}
 	return out, nil

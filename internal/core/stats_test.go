@@ -92,8 +92,18 @@ func TestStatsMatchBruteForce(t *testing.T) {
 }
 
 // TestExchangeModesAgree verifies all three exchange modes produce
-// identical results for the same random geometry.
+// identical results for the same random geometry, across engine
+// configurations: the default (pooled, zero-copy, GOMAXPROCS workers),
+// the fully disabled legacy path, and an explicit multi-worker pool.
 func TestExchangeModesAgree(t *testing.T) {
+	configs := []struct {
+		name string
+		opts []Option
+	}{
+		{"default", nil},
+		{"legacy", []Option{WithParallelism(1), WithBufferPooling(false), WithZeroCopy(false)}},
+		{"par2", []Option{WithParallelism(2)}},
+	}
 	for trial := 0; trial < 8; trial++ {
 		rng := rand.New(rand.NewSource(int64(trial) + 500))
 		const n = 5
@@ -107,20 +117,23 @@ func TestExchangeModesAgree(t *testing.T) {
 		for r := range needAll {
 			needAll[r] = grid.RandomBoxIn(rng, domain)
 		}
-		results := map[ExchangeMode][][]byte{}
-		for _, mode := range []ExchangeMode{ModeAlltoallw, ModePointToPoint, ModePointToPointFused} {
-			outs := make([][]byte, n)
-			err := runWorld(n, mode, ownAll, needAll, outs)
-			if err != nil {
-				t.Fatalf("trial %d mode %v: %v", trial, mode, err)
-			}
-			results[mode] = outs
-		}
-		base := results[ModeAlltoallw]
-		for mode, outs := range results {
-			for r := range outs {
-				if string(outs[r]) != string(base[r]) {
-					t.Fatalf("trial %d: mode %v rank %d differs from alltoallw", trial, mode, r)
+		var base [][]byte
+		for _, cfg := range configs {
+			for _, mode := range []ExchangeMode{ModeAlltoallw, ModePointToPoint, ModePointToPointFused} {
+				outs := make([][]byte, n)
+				err := runWorld(n, mode, ownAll, needAll, outs, cfg.opts...)
+				if err != nil {
+					t.Fatalf("trial %d config %s mode %v: %v", trial, cfg.name, mode, err)
+				}
+				if base == nil {
+					base = outs
+					continue
+				}
+				for r := range outs {
+					if string(outs[r]) != string(base[r]) {
+						t.Fatalf("trial %d: config %s mode %v rank %d differs from baseline",
+							trial, cfg.name, mode, r)
+					}
 				}
 			}
 		}
@@ -129,11 +142,12 @@ func TestExchangeModesAgree(t *testing.T) {
 
 // runWorld executes one redistribution with the given mode, capturing
 // every rank's need buffer into outs (indexed by rank).
-func runWorld(n int, mode ExchangeMode, ownAll [][]grid.Box, needAll []grid.Box, outs [][]byte) error {
+func runWorld(n int, mode ExchangeMode, ownAll [][]grid.Box, needAll []grid.Box, outs [][]byte, opts ...Option) error {
 	var mu sync.Mutex
 	return mpi.Run(n, func(c *mpi.Comm) error {
 		rank := c.Rank()
-		desc, err := NewDataDescriptorBytes(n, Layout2D, Uint8, 1, WithExchangeMode(mode))
+		desc, err := NewDataDescriptorBytes(n, Layout2D, Uint8, 1,
+			append([]Option{WithExchangeMode(mode)}, opts...)...)
 		if err != nil {
 			return err
 		}

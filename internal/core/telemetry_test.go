@@ -18,7 +18,7 @@ import (
 func telemetryWorld(iters int, opts ...Option) error {
 	const n, side = 4, 64
 	return mpi.Run(n, func(c *mpi.Comm) error {
-		d, err := NewDataDescriptor(n, Layout2D, Float32, opts...)
+		d, err := NewDescriptor(n, Layout2D, Float32, opts...)
 		if err != nil {
 			return err
 		}
@@ -136,7 +136,7 @@ func TestTelemetryPackUnpackObserved(t *testing.T) {
 func benchmarkReorganize(b *testing.B, opts ...Option) {
 	const n, side = 4, 64
 	err := mpi.Run(n, func(c *mpi.Comm) error {
-		d, err := NewDataDescriptor(n, Layout2D, Float32, opts...)
+		d, err := NewDescriptor(n, Layout2D, Float32, opts...)
 		if err != nil {
 			return err
 		}

@@ -26,6 +26,12 @@ type Type interface {
 	// Unpack copies wire (PackedSize() bytes) into the region of the local
 	// array. It returns the bytes consumed.
 	Unpack(wire []byte, local []byte) int
+	// ContiguousSpan reports whether the region occupies a single
+	// contiguous byte range of the local array and, if so, its byte offset
+	// and length. Contiguous regions need no gather/scatter staging: the
+	// wire representation is local[off : off+n] verbatim, which enables the
+	// zero-copy fast paths in the exchange engine.
+	ContiguousSpan() (off, n int, ok bool)
 }
 
 // Subarray addresses a box-shaped sub-region of a local array.
@@ -114,6 +120,32 @@ func (s *Subarray) Unpack(wire []byte, local []byte) int {
 	return r
 }
 
+// ContiguousSpan implements Type. A sub-region is contiguous in the
+// row-major local array exactly when it spans the full array extent on
+// every axis below its first partial axis and is flat (extent 1) on every
+// axis above it: full-width row bands in 2D, whole xy-slab stacks in 3D,
+// any 1D interval, and the whole array itself.
+func (s *Subarray) ContiguousSpan() (off, n int, ok bool) {
+	local := s.Sub.LocalTo(s.Array)
+	first := -1
+	for d := 0; d < grid.MaxDims; d++ {
+		if local.Offset[d] == 0 && local.Dims[d] == s.Array.Dims[d] {
+			continue
+		}
+		first = d
+		break
+	}
+	if first >= 0 {
+		for d := first + 1; d < grid.MaxDims; d++ {
+			if local.Dims[d] != 1 {
+				return 0, 0, false
+			}
+		}
+	}
+	start, _, _, _, _, _ := s.rowGeometry()
+	return start, s.PackedSize(), true
+}
+
 // String describes the subarray for diagnostics.
 func (s *Subarray) String() string {
 	return fmt.Sprintf("subarray{%v of %v, %dB elems}", s.Sub, s.Array, s.ElemSize)
@@ -139,6 +171,9 @@ func (c Contiguous) Unpack(wire []byte, local []byte) int {
 	return copy(local[:c.Bytes], wire[:c.Bytes])
 }
 
+// ContiguousSpan implements Type.
+func (c Contiguous) ContiguousSpan() (off, n int, ok bool) { return 0, c.Bytes, true }
+
 // Empty is a zero-size Type used for peers that exchange no data in a
 // given round (the alltoallw slots MPI would fill with zero counts).
 type Empty struct{}
@@ -151,3 +186,6 @@ func (Empty) Pack([]byte, []byte) int { return 0 }
 
 // Unpack implements Type.
 func (Empty) Unpack([]byte, []byte) int { return 0 }
+
+// ContiguousSpan implements Type.
+func (Empty) ContiguousSpan() (off, n int, ok bool) { return 0, 0, true }

@@ -1,0 +1,70 @@
+package datatype
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// CopyJob is one pack or unpack operation between a strided local array
+// and a contiguous wire buffer. Jobs for distinct peers address disjoint
+// regions (packs read immutable sources; unpacks write disjoint
+// destinations under DDR's exclusive-ownership precondition), so a batch
+// of jobs may execute in any order and concurrently.
+type CopyJob struct {
+	T     Type
+	Local []byte // the strided local array
+	Wire  []byte // the contiguous wire buffer
+	// Unpack selects the direction: false packs Local into Wire, true
+	// scatters Wire into Local.
+	Unpack bool
+}
+
+// Do executes the copy.
+func (j *CopyJob) Do() {
+	if j.Unpack {
+		j.T.Unpack(j.Wire, j.Local)
+	} else {
+		j.T.Pack(j.Local, j.Wire)
+	}
+}
+
+// RunJobs executes the jobs with up to par concurrent workers. par <= 0
+// means runtime.GOMAXPROCS(0); par == 1 (or a single job) runs inline on
+// the calling goroutine with no synchronization. Workers claim jobs from
+// a shared atomic cursor, so imbalanced job sizes still spread across the
+// pool.
+func RunJobs(jobs []CopyJob, par int) {
+	n := len(jobs)
+	if n == 0 {
+		return
+	}
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > n {
+		par = n
+	}
+	if par == 1 {
+		for i := range jobs {
+			jobs[i].Do()
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(par)
+	for w := 0; w < par; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				jobs[i].Do()
+			}
+		}()
+	}
+	wg.Wait()
+}

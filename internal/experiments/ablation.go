@@ -76,7 +76,7 @@ func ExchangeModeAblation(procs int, domain grid.Box, chunkCounts []int, reps in
 			)
 			err := mpi.Run(procs, func(c *mpi.Comm) error {
 				tel.attach(c)
-				desc, err := core.NewDataDescriptor(procs, core.Layout3D, core.Float32,
+				desc, err := core.NewDescriptor(procs, core.Layout3D, core.Float32,
 					append([]core.Option{core.WithExchangeMode(mode)}, tel.coreOpts()...)...)
 				if err != nil {
 					return err

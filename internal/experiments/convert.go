@@ -68,7 +68,7 @@ func ConvertStackToBOV(c *mpi.Comm, info tiff.StackInfo, outPath string) (*Conve
 	readTime := time.Since(start)
 
 	start = time.Now()
-	desc, err := core.NewDataDescriptorBytes(c.Size(), core.Layout3D, core.Uint8, bps)
+	desc, err := core.NewDescriptor(c.Size(), core.Layout3D, core.Uint8, core.WithElemSize(bps))
 	if err != nil {
 		return nil, err
 	}

@@ -246,7 +246,7 @@ func runConsumer(env consumerEnv, cfg InTransitConfig) (*InTransitResult, error)
 	for p := lo; p < hi; p++ {
 		myChunks = append(myChunks, slabBox(p))
 	}
-	desc, err := core.NewDataDescriptor(local.Size(), core.Layout2D, core.Float32, tel.coreOpts()...)
+	desc, err := core.NewDescriptor(local.Size(), core.Layout2D, core.Float32, tel.coreOpts()...)
 	if err != nil {
 		return nil, err
 	}

@@ -168,7 +168,7 @@ func runConsumer3D(cp *transit.Coupling, cfg InTransit3DConfig) (*InTransit3DRes
 	for p := lo; p < hi; p++ {
 		myChunks = append(myChunks, slabBox(p))
 	}
-	desc, err := core.NewDataDescriptor(local.Size(), core.Layout3D, core.Float32)
+	desc, err := core.NewDescriptor(local.Size(), core.Layout3D, core.Float32)
 	if err != nil {
 		return nil, err
 	}

@@ -102,7 +102,7 @@ func RunRestartStudy(path string, writeProcs, readProcs int, h bov.Header) (*Res
 		if err != nil {
 			return err
 		}
-		desc, err := core.NewDataDescriptorBytes(c.Size(), core.Layout3D, core.Uint8, 1)
+		desc, err := core.NewDescriptor(c.Size(), core.Layout3D, core.Uint8, core.WithElemSize(1))
 		if err != nil {
 			return err
 		}

@@ -112,7 +112,7 @@ func LoadStackDDR(c *mpi.Comm, info tiff.StackInfo, tech Technique) (*LoadResult
 	res.ReadTime = time.Since(start)
 
 	elem := core.Uint8
-	desc, err := core.NewDataDescriptorBytes(c.Size(), core.Layout3D, elem, bps)
+	desc, err := core.NewDescriptor(c.Size(), core.Layout3D, elem, core.WithElemSize(bps))
 	if err != nil {
 		return nil, err
 	}

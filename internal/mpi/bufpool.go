@@ -1,0 +1,82 @@
+// Staging-buffer arena: a process-wide, size-classed sync.Pool of wire
+// buffers shared by the exchange hot paths. Repeated redistributions on a
+// fixed plan reach a steady state in which every pack/unpack staging
+// buffer — and the transport's eager send copy — is recycled rather than
+// allocated, taking the garbage collector off the per-exchange critical
+// path.
+//
+// Ownership rules:
+//
+//   - A buffer obtained with GetBuffer is owned by the caller until it is
+//     passed to PutBuffer or handed to the transport.
+//   - Comm.Send / Comm.Isend copy their argument eagerly, so a staging
+//     buffer may be recycled as soon as the call returns.
+//   - Message payloads returned by Recv/Wait are owned by the receiver;
+//     a receiver that is finished with a payload may PutBuffer it (the
+//     exchange engine does), but must not if any alias is retained.
+package mpi
+
+import (
+	"math/bits"
+	"sync"
+	"unsafe"
+)
+
+// Size classes are powers of two from 1<<minClassShift up to
+// 1<<maxClassShift bytes; larger requests fall through to the allocator.
+const (
+	minClassShift = 8  // 256 B
+	maxClassShift = 24 // 16 MiB
+	numClasses    = maxClassShift - minClassShift + 1
+)
+
+// bufPools[i] holds buffers of exactly 1<<(minClassShift+i) bytes,
+// stored as unsafe base pointers so Get and Put stay allocation-free
+// (boxing a slice header into an interface would allocate on every Put).
+var bufPools [numClasses]sync.Pool
+
+// classFor returns the smallest class whose buffers hold n bytes, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minClassShift {
+		return 0
+	}
+	c := bits.Len(uint(n-1)) - minClassShift
+	if c >= numClasses {
+		return -1
+	}
+	return c
+}
+
+// GetBuffer returns a buffer of length n from the arena, allocating only
+// when the matching size class is empty. The contents are unspecified;
+// callers overwrite the full length. The capacity is the class size, so a
+// later PutBuffer finds its way back to the same class.
+func GetBuffer(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	size := 1 << (minClassShift + c)
+	if p, _ := bufPools[c].Get().(unsafe.Pointer); p != nil {
+		return unsafe.Slice((*byte)(p), size)[:n]
+	}
+	return make([]byte, size)[:n]
+}
+
+// PutBuffer returns a buffer to the arena. Only buffers whose capacity is
+// exactly a class size are retained (GetBuffer always produces such
+// buffers; arbitrary slices are silently dropped for the garbage
+// collector). The caller must not touch the buffer afterwards.
+func PutBuffer(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 { // not a power of two
+		return
+	}
+	shift := bits.Len(uint(c)) - 1
+	if shift < minClassShift || shift > maxClassShift {
+		return
+	}
+	b = b[:c]
+	bufPools[shift-minClassShift].Put(unsafe.Pointer(unsafe.SliceData(b)))
+}

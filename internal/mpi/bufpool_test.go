@@ -1,0 +1,189 @@
+package mpi
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"ddr/internal/datatype"
+	"ddr/internal/grid"
+)
+
+func TestBufferPoolClasses(t *testing.T) {
+	for _, n := range []int{1, 255, 256, 257, 4096, 1 << 20, (1 << 24)} {
+		b := GetBuffer(n)
+		if len(b) != n {
+			t.Fatalf("GetBuffer(%d) has len %d", n, len(b))
+		}
+		if c := cap(b); c&(c-1) != 0 {
+			t.Fatalf("GetBuffer(%d) cap %d is not a class size", n, c)
+		}
+		PutBuffer(b)
+	}
+	// Above the largest class the allocator takes over.
+	big := GetBuffer(1<<24 + 1)
+	if len(big) != 1<<24+1 {
+		t.Fatalf("oversized GetBuffer has len %d", len(big))
+	}
+	PutBuffer(big) // silently dropped, must not panic
+	// Arbitrary odd-capacity slices are dropped, not corrupted.
+	PutBuffer(make([]byte, 300))
+	PutBuffer(nil)
+	if b := GetBuffer(0); len(b) != 0 {
+		t.Fatalf("GetBuffer(0) has len %d", len(b))
+	}
+}
+
+func TestBufferPoolRecycles(t *testing.T) {
+	b := GetBuffer(1000)
+	b[0] = 42
+	base := &b[:cap(b)][0]
+	PutBuffer(b)
+	c := GetBuffer(900) // same class (1024)
+	if &c[:cap(c)][0] != base {
+		t.Skip("pool did not return the same buffer (GC ran); nothing to assert")
+	}
+	if cap(c) != 1024 || len(c) != 900 {
+		t.Fatalf("recycled buffer len %d cap %d", len(c), cap(c))
+	}
+}
+
+// TestAlltoallwOptParity verifies every staging strategy produces the
+// byte-identical result of the historical serial path on a random
+// subarray exchange, including contiguous regions (zero-copy candidates)
+// and strided ones.
+func TestAlltoallwOptParity(t *testing.T) {
+	options := []AlltoallwOptions{
+		{},                              // historical serial behaviour
+		{Pooled: true},                  // pooled staging
+		{ZeroCopy: true},                // contiguous fast path
+		{Pooled: true, ZeroCopy: true},  // the Alltoallw default
+		{Parallelism: 4, Pooled: true},  // parallel staging
+		{Parallelism: 4, ZeroCopy: true, Pooled: true},
+	}
+	for trial := 0; trial < 6; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial) + 77))
+		const n = 4
+		side := 8 + rng.Intn(8)
+		domain := grid.Box2(0, 0, side, side)
+		// Each rank owns a full-width band (contiguous in its buffer) and
+		// needs a random box (usually strided in its buffer).
+		bands := grid.Slabs(domain, 1, n)
+		needs := make([]grid.Box, n)
+		for r := range needs {
+			needs[r] = grid.RandomBoxIn(rng, domain)
+		}
+		var want [][]byte
+		for oi, opt := range options {
+			outs := make([][]byte, n)
+			err := Run(n, func(c *Comm) error {
+				rank := c.Rank()
+				own := bands[rank]
+				sendBuf := make([]byte, own.Volume())
+				for i := range sendBuf {
+					sendBuf[i] = byte(rank*251 + i)
+				}
+				need := needs[rank]
+				recvBuf := make([]byte, need.Volume())
+				sendTypes := make([]datatype.Type, n)
+				recvTypes := make([]datatype.Type, n)
+				for peer := 0; peer < n; peer++ {
+					sendTypes[peer] = datatype.Empty{}
+					recvTypes[peer] = datatype.Empty{}
+					if ov, ok := own.Intersect(needs[peer]); ok {
+						st, err := datatype.NewSubarray(1, own, ov)
+						if err != nil {
+							return err
+						}
+						sendTypes[peer] = st
+					}
+					if ov, ok := bands[peer].Intersect(need); ok {
+						rt, err := datatype.NewSubarray(1, need, ov)
+						if err != nil {
+							return err
+						}
+						recvTypes[peer] = rt
+					}
+				}
+				if err := c.AlltoallwOpt(sendBuf, sendTypes, recvBuf, recvTypes, opt); err != nil {
+					return err
+				}
+				outs[rank] = recvBuf
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("trial %d option %d: %v", trial, oi, err)
+			}
+			if want == nil {
+				want = outs
+				continue
+			}
+			for r := range outs {
+				if !bytes.Equal(outs[r], want[r]) {
+					t.Fatalf("trial %d option %+v rank %d differs from serial result", trial, opt, r)
+				}
+			}
+		}
+	}
+}
+
+func TestWaitCtxCancel(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			// Give rank 0 time to cancel, then satisfy the abandoned
+			// receive so the world drains cleanly.
+			time.Sleep(100 * time.Millisecond)
+			return c.Send(0, 7, []byte("late"))
+		}
+		req := c.Irecv(1, 7)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		if _, _, _, err := req.WaitCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
+			return fmt.Errorf("got %v, want context.DeadlineExceeded", err)
+		}
+		// The request itself remains valid: the late message completes it.
+		data, from, tag, err := req.Wait()
+		if err != nil {
+			return err
+		}
+		if string(data) != "late" || from != 1 || tag != 7 {
+			return fmt.Errorf("abandoned request resolved to %q from %d tag %d", data, from, tag)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitCtxNilAndDone(t *testing.T) {
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return c.Send(0, 9, []byte{1, 2, 3})
+		}
+		req := c.Irecv(1, 9)
+		data, _, _, err := req.WaitCtx(nil)
+		if err != nil {
+			return err
+		}
+		if len(data) != 3 {
+			return fmt.Errorf("got %d bytes", len(data))
+		}
+		// With both the request and the cancellation ready, either outcome
+		// is legal; anything else is a bug.
+		done := c.Isend(1, 9, nil)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := WaitAllCtx(ctx, done); err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

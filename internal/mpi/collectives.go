@@ -266,13 +266,38 @@ func (c *Comm) Alltoallv(send [][]byte) ([][]byte, error) {
 	return recv, nil
 }
 
+// AlltoallwOptions tunes how Alltoallw stages and copies sub-regions.
+// The zero value reproduces the historical serial behaviour: one freshly
+// allocated staging buffer per peer, packed and unpacked inline.
+type AlltoallwOptions struct {
+	// Parallelism is the number of concurrent pack/unpack workers; values
+	// <= 1 pack serially on the calling goroutine. Parallel staging trades
+	// the per-peer trace spans for aggregate a2aw-pack/a2aw-unpack spans.
+	Parallelism int
+	// Pooled stages wire buffers through the process-wide buffer arena
+	// (GetBuffer/PutBuffer) instead of allocating per call.
+	Pooled bool
+	// ZeroCopy replaces the gather/scatter loops with single memmoves for
+	// regions that are contiguous in the local arrays.
+	ZeroCopy bool
+}
+
 // Alltoallw exchanges typed sub-regions between all ranks, the analogue of
 // MPI_Alltoallw. sendTypes[i] selects the bytes of sendBuf destined for
 // rank i; recvTypes[j] scatters the bytes arriving from rank j into
 // recvBuf. Peers whose types have zero packed size exchange no message, so
 // the send and receive geometries must agree across ranks (DDR constructs
 // both sides from the same overlap computation, which guarantees this).
+//
+// Staging is serial but pooled and contiguity-aware; use AlltoallwOpt for
+// explicit control (all ranks must pass equivalent options).
 func (c *Comm) Alltoallw(sendBuf []byte, sendTypes []datatype.Type, recvBuf []byte, recvTypes []datatype.Type) error {
+	return c.AlltoallwOpt(sendBuf, sendTypes, recvBuf, recvTypes,
+		AlltoallwOptions{Parallelism: 1, Pooled: true, ZeroCopy: true})
+}
+
+// AlltoallwOpt is Alltoallw with explicit staging options.
+func (c *Comm) AlltoallwOpt(sendBuf []byte, sendTypes []datatype.Type, recvBuf []byte, recvTypes []datatype.Type, opt AlltoallwOptions) error {
 	if len(sendTypes) != len(c.group) || len(recvTypes) != len(c.group) {
 		return fmt.Errorf("mpi: alltoallw needs %d send and recv types, got %d/%d",
 			len(c.group), len(sendTypes), len(recvTypes))
@@ -284,17 +309,52 @@ func (c *Comm) Alltoallw(sendBuf []byte, sendTypes []datatype.Type, recvBuf []by
 	if tel != nil {
 		collStart = time.Now()
 	}
+	stage := func(n int) []byte {
+		if opt.Pooled {
+			return GetBuffer(n)
+		}
+		return make([]byte, n)
+	}
 
-	// Local exchange without touching the transport.
+	// Local exchange without touching the transport. One contiguous side
+	// is enough to drop the staging buffer: the other side's pack/unpack
+	// can target/source the contiguous region directly.
 	if n := sendTypes[c.rank].PackedSize(); n != recvTypes[c.rank].PackedSize() {
 		return fmt.Errorf("mpi: rank %d self exchange size mismatch (%d vs %d)",
 			c.rank, n, recvTypes[c.rank].PackedSize())
 	} else if n > 0 {
-		wire := make([]byte, n)
-		sendTypes[c.rank].Pack(sendBuf, wire)
-		recvTypes[c.rank].Unpack(wire, recvBuf)
+		sOff, _, sOK := sendTypes[c.rank].ContiguousSpan()
+		rOff, _, rOK := recvTypes[c.rank].ContiguousSpan()
+		switch {
+		case opt.ZeroCopy && sOK && rOK:
+			copy(recvBuf[rOff:rOff+n], sendBuf[sOff:sOff+n])
+		case opt.ZeroCopy && sOK:
+			recvTypes[c.rank].Unpack(sendBuf[sOff:sOff+n], recvBuf)
+		case opt.ZeroCopy && rOK:
+			sendTypes[c.rank].Pack(sendBuf, recvBuf[rOff:rOff+n])
+		default:
+			wire := stage(n)
+			sendTypes[c.rank].Pack(sendBuf, wire)
+			recvTypes[c.rank].Unpack(wire, recvBuf)
+			if opt.Pooled {
+				PutBuffer(wire)
+			}
+		}
 	}
 
+	// Pack and send. The wire buffer is handed to the transport, which
+	// either delivers it to the peer's mailbox (in-process: the receiver
+	// recycles it) or writes it to the socket, so the sender never recycles
+	// it here. With ZeroCopy a contiguous region skips the gather loop and
+	// is copied straight into the wire buffer.
+	par := opt.Parallelism
+	var packJobs []datatype.CopyJob
+	var packWires [][]byte // parallel to packJobs' destination peers
+	var packPeers []int
+	var packStart time.Time
+	if tel != nil && par > 1 {
+		packStart = time.Now()
+	}
 	for r := range c.group {
 		if r == c.rank {
 			continue
@@ -303,21 +363,58 @@ func (c *Comm) Alltoallw(sendBuf []byte, sendTypes []datatype.Type, recvBuf []by
 		if n == 0 {
 			continue
 		}
-		var packStart time.Time
-		if tel != nil {
-			packStart = time.Now()
+		var peerStart time.Time
+		if tel != nil && par <= 1 {
+			peerStart = time.Now()
 		}
-		wire := make([]byte, n)
-		sendTypes[r].Pack(sendBuf, wire)
+		wire := stage(n)
+		if off, _, ok := sendTypes[r].ContiguousSpan(); opt.ZeroCopy && ok {
+			copy(wire, sendBuf[off:off+n])
+		} else if par > 1 {
+			packJobs = append(packJobs, datatype.CopyJob{T: sendTypes[r], Local: sendBuf, Wire: wire})
+			packWires = append(packWires, wire)
+			packPeers = append(packPeers, r)
+			continue // send after the parallel pack phase
+		} else {
+			sendTypes[r].Pack(sendBuf, wire)
+		}
 		c.counters.countSend(c.group[r], len(wire))
 		if tel != nil {
-			tel.rec.AddSpan(tel.rank, fmt.Sprintf("a2aw-pack->%d", c.group[r]), packStart, time.Now(), int64(n))
+			if par <= 1 {
+				tel.rec.AddSpan(tel.rank, fmt.Sprintf("a2aw-pack->%d", c.group[r]), peerStart, time.Now(), int64(n))
+			}
 			tel.wireSent.Add(int64(n))
 			wireBytes += int64(n)
 		}
 		if err := c.tr.send(c.group[r], envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: wire}); err != nil {
 			return err
 		}
+	}
+	if len(packJobs) > 0 {
+		datatype.RunJobs(packJobs, par)
+		if tel != nil {
+			tel.rec.AddSpan(tel.rank, "a2aw-pack", packStart, time.Now(), 0)
+		}
+		for i, wire := range packWires {
+			r := packPeers[i]
+			c.counters.countSend(c.group[r], len(wire))
+			if tel != nil {
+				tel.wireSent.Add(int64(len(wire)))
+				wireBytes += int64(len(wire))
+			}
+			if err := c.tr.send(c.group[r], envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: wire}); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Receive and unpack. Contiguous destinations take a single memmove;
+	// strided ones unpack inline (serial) or fan out to workers (parallel).
+	var unpackJobs []datatype.CopyJob
+	var unpackWires [][]byte
+	var unpackStart time.Time
+	if tel != nil && par > 1 {
+		unpackStart = time.Now()
 	}
 	for r := range c.group {
 		if r == c.rank {
@@ -338,10 +435,35 @@ func (c *Comm) Alltoallw(sendBuf []byte, sendTypes []datatype.Type, recvBuf []by
 		if len(got) != want {
 			return fmt.Errorf("mpi: alltoallw expected %d bytes from rank %d, got %d", want, r, len(got))
 		}
-		recvTypes[r].Unpack(got, recvBuf)
+		done := true
+		if off, _, ok := recvTypes[r].ContiguousSpan(); opt.ZeroCopy && ok {
+			copy(recvBuf[off:off+want], got)
+		} else if par > 1 {
+			unpackJobs = append(unpackJobs, datatype.CopyJob{T: recvTypes[r], Local: recvBuf, Wire: got, Unpack: true})
+			unpackWires = append(unpackWires, got)
+			done = false
+		} else {
+			recvTypes[r].Unpack(got, recvBuf)
+		}
 		if tel != nil {
-			tel.rec.AddSpan(tel.rank, fmt.Sprintf("a2aw-unpack<-%d", c.group[r]), recvStart, time.Now(), int64(want))
+			if par <= 1 || done {
+				tel.rec.AddSpan(tel.rank, fmt.Sprintf("a2aw-unpack<-%d", c.group[r]), recvStart, time.Now(), int64(want))
+			}
 			wireBytes += int64(want)
+		}
+		if done && opt.Pooled {
+			PutBuffer(got)
+		}
+	}
+	if len(unpackJobs) > 0 {
+		datatype.RunJobs(unpackJobs, par)
+		if tel != nil {
+			tel.rec.AddSpan(tel.rank, "a2aw-unpack", unpackStart, time.Now(), 0)
+		}
+		if opt.Pooled {
+			for _, got := range unpackWires {
+				PutBuffer(got)
+			}
 		}
 	}
 	if tel != nil {

@@ -211,8 +211,10 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 }
 
 // sendInternal performs the delivery without the user-tag restriction.
+// The eager copy is drawn from the staging arena; ownership passes to the
+// receiver, which may recycle the payload with PutBuffer once unpacked.
 func (c *Comm) sendInternal(dst, tag int, data []byte) error {
-	cp := make([]byte, len(data))
+	cp := GetBuffer(len(data))
 	copy(cp, data)
 	dstWorld := c.group[dst]
 	c.counters.countSend(dstWorld, len(cp))

@@ -1,5 +1,7 @@
 package mpi
 
+import "context"
+
 // Request is a handle for a non-blocking operation. Wait blocks until the
 // operation completes and returns its outcome. A Request must be waited
 // on exactly once.
@@ -44,6 +46,38 @@ func WaitAll(reqs ...*Request) error {
 	var first error
 	for _, r := range reqs {
 		if _, _, _, err := r.Wait(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// WaitCtx is Wait with cancellation: it returns early with ctx.Err() when
+// the context is cancelled before the operation completes. A cancelled
+// request is abandoned, not aborted — the underlying operation keeps
+// running and may still consume a matching message from the mailbox, so
+// after a cancellation the communicator must not be reused for traffic
+// whose matching could collide with the abandoned receive (see the
+// cancellation contract in DESIGN.md). A nil context behaves like Wait.
+func (r *Request) WaitCtx(ctx context.Context) (data []byte, from, tag int, err error) {
+	if ctx == nil {
+		return r.Wait()
+	}
+	select {
+	case <-r.done:
+		return r.data, r.from, r.tag, r.err
+	case <-ctx.Done():
+		return nil, 0, 0, ctx.Err()
+	}
+}
+
+// WaitAllCtx waits on every request until done or the context is
+// cancelled, returning the first error encountered. Requests not yet
+// complete at cancellation are abandoned (see WaitCtx).
+func WaitAllCtx(ctx context.Context, reqs ...*Request) error {
+	var first error
+	for _, r := range reqs {
+		if _, _, _, err := r.WaitCtx(ctx); err != nil && first == nil {
 			first = err
 		}
 	}

@@ -45,7 +45,7 @@ func New(c *mpi.Comm, domain grid.Box, tiles []grid.Box, width, elemSize int, op
 	tile := tiles[c.Rank()]
 	halo := tile.Grow(width, domain)
 	opts = append([]core.Option{core.WithValidation()}, opts...)
-	desc, err := core.NewDataDescriptorBytes(c.Size(), layout, core.Uint8, elemSize, opts...)
+	desc, err := core.NewDescriptor(c.Size(), layout, core.Uint8, append([]core.Option{core.WithElemSize(elemSize)}, opts...)...)
 	if err != nil {
 		return nil, err
 	}

@@ -126,7 +126,7 @@ func TestBridgeTwoApplications(t *testing.T) {
 			for p := lo; p < hi; p++ {
 				myChunks = append(myChunks, slabs[p])
 			}
-			desc, err := core.NewDataDescriptorBytes(n, core.Layout2D, core.Uint8, 1)
+			desc, err := core.NewDescriptor(n, core.Layout2D, core.Uint8, core.WithElemSize(1))
 			if err != nil {
 				return err
 			}
