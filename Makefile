@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench
+.PHONY: build test verify bench bench-json
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,18 @@ verify:
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/... ./internal/datatype/...
 	$(GO) test -run '^$$' -bench BenchmarkReorganizeEngine -benchtime 1x ./internal/core/
+	$(GO) test -run '^$$' -bench BenchmarkTCPExchange -benchtime 1x ./internal/mpi/
 
 bench:
 	$(GO) test -run XXX -bench BenchmarkReorganizeTelemetry -benchmem ./internal/core/
 	$(GO) test -run XXX -bench 'BenchmarkReorganizeEngine|BenchmarkPackUnpackPool' -benchmem ./internal/core/
+
+# bench-json snapshots the transport and exchange-engine benchmarks as a
+# JSON artifact (BENCH_tcp.json) for checking in and diffing across
+# commits. Pass BASELINE=<file> to embed a prior snapshot for
+# before/after ratios.
+bench-json:
+	{ $(GO) test -run '^$$' -bench BenchmarkTCPExchange -benchmem -benchtime 3s ./internal/mpi/ && \
+	  $(GO) test -run '^$$' -bench BenchmarkReorganizeEngine -benchmem ./internal/core/ ; } | \
+	  $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_tcp.json
+	@echo wrote BENCH_tcp.json

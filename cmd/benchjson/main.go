@@ -1,0 +1,146 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a stable JSON document, so benchmark results can be checked
+// in and diffed across commits:
+//
+//	go test -run '^$' -bench BenchmarkTCPExchange -benchmem ./internal/mpi/ |
+//	    benchjson -o BENCH_tcp.json
+//
+// Repeated runs of the same benchmark (-count N) are aggregated: the
+// reported ns/op is the fastest run, MB/s the highest, and the run count
+// is recorded. An optional -baseline file (a prior benchjson document)
+// is embedded verbatim under "baseline" so before/after ratios live in
+// one artifact.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerS      float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the JSON artifact benchjson writes.
+type Document struct {
+	Note       string          `json:"note,omitempty"`
+	Goos       string          `json:"goos,omitempty"`
+	Goarch     string          `json:"goarch,omitempty"`
+	Pkg        string          `json:"pkg,omitempty"`
+	Benchmarks []Result        `json:"benchmarks"`
+	Baseline   json.RawMessage `json:"baseline,omitempty"`
+}
+
+var benchLine = regexp.MustCompile(
+	`^(Benchmark[^\s]+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
+func main() {
+	out := flag.String("o", "", "write the JSON document to this file (default stdout)")
+	note := flag.String("note", "", "free-form note recorded in the document")
+	baseline := flag.String("baseline", "", "embed this prior benchjson document under \"baseline\"")
+	flag.Parse()
+
+	doc := Document{Note: *note}
+	order := []string{}
+	byName := map[string]*Result{}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			doc.Goos = strings.TrimPrefix(line, "goos: ")
+			continue
+		case strings.HasPrefix(line, "goarch: "):
+			doc.Goarch = strings.TrimPrefix(line, "goarch: ")
+			continue
+		case strings.HasPrefix(line, "pkg: "):
+			if doc.Pkg == "" {
+				doc.Pkg = strings.TrimPrefix(line, "pkg: ")
+			} else if p := strings.TrimPrefix(line, "pkg: "); !strings.Contains(doc.Pkg, p) {
+				doc.Pkg += "," + p
+			}
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		iters, _ := strconv.ParseInt(m[2], 10, 64)
+		ns, _ := strconv.ParseFloat(m[3], 64)
+		r, ok := byName[m[1]]
+		if !ok {
+			r = &Result{Name: m[1], Iterations: iters, NsPerOp: ns}
+			byName[m[1]] = r
+			order = append(order, m[1])
+		}
+		r.Runs++
+		if ns < r.NsPerOp || r.Runs == 1 {
+			r.NsPerOp = ns
+			r.Iterations = iters
+		}
+		for _, extra := range strings.Split(strings.TrimSpace(m[4]), "\t") {
+			extra = strings.TrimSpace(extra)
+			switch {
+			case strings.HasSuffix(extra, " MB/s"):
+				if v, err := strconv.ParseFloat(strings.TrimSuffix(extra, " MB/s"), 64); err == nil && v > r.MBPerS {
+					r.MBPerS = v
+				}
+			case strings.HasSuffix(extra, " B/op"):
+				if v, err := strconv.ParseInt(strings.TrimSuffix(extra, " B/op"), 10, 64); err == nil {
+					r.BytesPerOp = v
+				}
+			case strings.HasSuffix(extra, " allocs/op"):
+				if v, err := strconv.ParseInt(strings.TrimSuffix(extra, " allocs/op"), 10, 64); err == nil {
+					r.AllocsPerOp = v
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	for _, name := range order {
+		doc.Benchmarks = append(doc.Benchmarks, *byName[name])
+	}
+	if *baseline != "" {
+		raw, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if !json.Valid(raw) {
+			fatal(fmt.Errorf("baseline %s is not valid JSON", *baseline))
+		}
+		doc.Baseline = json.RawMessage(raw)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc) //nolint:errcheck
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -48,7 +48,9 @@ func main() {
 		metrics  = flag.String("metrics-out", "", "write Prometheus text-format metrics of the instrumented runs to this file")
 		pprof    = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
 	)
+	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
 	flag.Parse()
+	applyTCP()
 	if !*all && *table == 0 && *figure == 0 && !*real && !*ablation && !*vol3d {
 		flag.Usage()
 		os.Exit(2)

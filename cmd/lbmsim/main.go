@@ -43,7 +43,9 @@ func main() {
 		metrics = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file")
 		pprof   = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
 	)
+	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
 	flag.Parse()
+	applyTCP()
 	tel, flush, err := experiments.TelemetryFromFlags(*trace, *metrics, *pprof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)

@@ -147,6 +147,16 @@ func (d *Descriptor) unstage(b []byte) {
 	}
 }
 
+// releaseRecv returns a received message payload to the staging arena.
+// Unlike unstage it is unconditional: every payload a Recv hands out is
+// arena-backed (the in-process transport's eager copy and the TCP read
+// loop both draw from the arena), so the consumer returns it regardless
+// of how this descriptor stages its own sends. This is the ownership
+// hand-off that keeps the zero-copy TCP receive path allocation-free.
+func (d *Descriptor) releaseRecv(b []byte) {
+	mpi.PutBuffer(b)
+}
+
 // directUnpack copies an already-contiguous payload straight into the
 // destination span, bypassing the scatter loop, while still reporting the
 // copy as an unpack (it is one — just a fast one).

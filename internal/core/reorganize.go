@@ -212,7 +212,7 @@ func (d *Descriptor) acceptRound(o *exchObs, round, peer int, data, need []byte)
 	}
 	if sp := p.recvSpan[round][peer]; d.zeroCopy && sp.ok {
 		directUnpack(o, need[sp.off:sp.off+sp.n], data, peer)
-		d.unstage(data)
+		d.releaseRecv(data)
 		return nil
 	}
 	d.eng.add(exchJob{t: rt, local: need, wire: data, unpack: true, peer: peer})
@@ -307,7 +307,7 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 	}
 	d.eng.run(o)
 	for _, data := range s.datas {
-		d.unstage(data)
+		d.releaseRecv(data)
 	}
 	s.datas = s.datas[:0]
 	return nil
@@ -431,7 +431,7 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 	}
 	d.eng.run(o)
 	for _, data := range s.datas {
-		d.unstage(data)
+		d.releaseRecv(data)
 	}
 	s.datas = s.datas[:0]
 	return nil

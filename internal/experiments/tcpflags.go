@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"flag"
+
+	"ddr/internal/mpi"
+)
+
+// RegisterTCPFlags installs the socket-transport tuning flags shared by
+// the command-line binaries (-tcp-chunk-threshold, -tcp-chunk-size,
+// -tcp-sndbuf, -tcp-rcvbuf, -tcp-nagle, -tcp-queue) on fs and returns a
+// function that, called after fs.Parse, publishes the selected values as
+// the process-wide defaults used by every TCP endpoint the binary opens.
+func RegisterTCPFlags(fs *flag.FlagSet) (apply func()) {
+	var o mpi.TCPOptions
+	fs.IntVar(&o.ChunkThreshold, "tcp-chunk-threshold", 0,
+		"payload bytes above which TCP messages stream as chunked sub-frames (0 = 1 MiB default, negative disables chunking)")
+	fs.IntVar(&o.ChunkSize, "tcp-chunk-size", 0,
+		"payload bytes per TCP chunk sub-frame (0 = 8 MiB default)")
+	fs.IntVar(&o.SendBufSize, "tcp-sndbuf", 0,
+		"SO_SNDBUF in bytes for TCP transport connections (0 = OS default)")
+	fs.IntVar(&o.RecvBufSize, "tcp-rcvbuf", 0,
+		"SO_RCVBUF in bytes for TCP transport connections (0 = OS default)")
+	fs.BoolVar(&o.Nagle, "tcp-nagle", false,
+		"re-enable Nagle's algorithm on TCP transport connections (default sets TCP_NODELAY)")
+	fs.IntVar(&o.SendQueueLen, "tcp-queue", 0,
+		"per-peer TCP send queue capacity in frames; a full queue blocks the sender (0 = 256 default)")
+	return func() { mpi.SetDefaultTCPOptions(o) }
+}

@@ -44,6 +44,119 @@ func BenchmarkPingPong(b *testing.B) {
 	}
 }
 
+// benchStorm drives an all-to-all storm of small messages: every rank
+// sends perPeer messages of size bytes to every other rank, then drains
+// the matching receives. This is the traffic shape of a redistribution
+// round's control plane plus many small overlaps, and it is dominated by
+// per-frame transport overhead (syscalls, allocations, lock handoffs).
+func benchStorm(b *testing.B, run func(int, func(*Comm) error) error, ranks, perPeer, size int) {
+	b.SetBytes(int64((ranks - 1) * perPeer * size))
+	err := run(ranks, func(c *Comm) error {
+		msg := make([]byte, size)
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			b.ResetTimer()
+		}
+		for i := 0; i < b.N; i++ {
+			for m := 0; m < perPeer; m++ {
+				for peer := 0; peer < c.Size(); peer++ {
+					if peer == c.Rank() {
+						continue
+					}
+					if err := c.Send(peer, m, msg); err != nil {
+						return err
+					}
+				}
+			}
+			for m := 0; m < perPeer; m++ {
+				for peer := 0; peer < c.Size(); peer++ {
+					if peer == c.Rank() {
+						continue
+					}
+					data, _, _, err := c.Recv(peer, m)
+					if err != nil {
+						return err
+					}
+					// Model the exchange engine's consumer contract:
+					// payloads go back to the arena once unpacked.
+					PutBuffer(data)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// benchLarge streams one large payload per iteration from rank 0 to rank
+// 1, with a small acknowledgement closing the loop — the bulk-transfer
+// shape of a big redistribution overlap.
+func benchLarge(b *testing.B, run func(int, func(*Comm) error) error, size int) {
+	b.SetBytes(int64(size))
+	err := run(2, func(c *Comm) error {
+		if err := c.Barrier(); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			payload := make([]byte, size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := c.Send(1, 0, payload); err != nil {
+					return err
+				}
+				if _, _, _, err := c.Recv(1, 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		for i := 0; i < b.N; i++ {
+			data, _, _, err := c.Recv(0, 0)
+			if err != nil {
+				return err
+			}
+			PutBuffer(data)
+			if err := c.Send(0, 1, []byte{1}); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTCPExchange measures the socket transport on the two traffic
+// shapes that dominate multi-process redistributions — a 16-rank storm
+// of small frames and a 64 MiB bulk payload — with the in-process
+// channel transport as the reference. make bench-json records the
+// results in BENCH_tcp.json so the transport's trajectory stays visible.
+func BenchmarkTCPExchange(b *testing.B) {
+	runNoChunk := func(n int, body func(*Comm) error) error {
+		return RunTCPOpts(n, TCPOptions{ChunkThreshold: -1}, body)
+	}
+	b.Run("storm/16ranks/4KiB/tcp", func(b *testing.B) {
+		benchStorm(b, RunTCP, 16, 4, 4096)
+	})
+	b.Run("storm/16ranks/4KiB/inproc", func(b *testing.B) {
+		benchStorm(b, Run, 16, 4, 4096)
+	})
+	b.Run("large/64MiB/tcp", func(b *testing.B) {
+		benchLarge(b, RunTCP, 64<<20)
+	})
+	b.Run("large/64MiB/tcp-nochunk", func(b *testing.B) {
+		benchLarge(b, runNoChunk, 64<<20)
+	})
+	b.Run("large/64MiB/inproc", func(b *testing.B) {
+		benchLarge(b, Run, 64<<20)
+	})
+}
+
 // BenchmarkCollectives measures the cost of each collective at a fixed
 // world size over the in-process transport.
 func BenchmarkCollectives(b *testing.B) {

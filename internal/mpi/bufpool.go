@@ -9,8 +9,10 @@
 //
 //   - A buffer obtained with GetBuffer is owned by the caller until it is
 //     passed to PutBuffer or handed to the transport.
-//   - Comm.Send / Comm.Isend copy their argument eagerly, so a staging
-//     buffer may be recycled as soon as the call returns.
+//   - Comm.Send / Comm.Isend either copy their argument eagerly or (for
+//     large messages on a zero-copy transport) block until the payload is
+//     written, so a staging buffer may be recycled as soon as the call
+//     returns.
 //   - Message payloads returned by Recv/Wait are owned by the receiver;
 //     a receiver that is finished with a payload may PutBuffer it (the
 //     exchange engine does), but must not if any alias is retained.
@@ -24,9 +26,13 @@ import (
 
 // Size classes are powers of two from 1<<minClassShift up to
 // 1<<maxClassShift bytes; larger requests fall through to the allocator.
+// The top classes exist for the TCP transport's chunked-streaming
+// reassembly buffers: a steady stream of large redistribution payloads
+// recycles its receive storage instead of allocating (and zeroing) tens
+// of megabytes per message.
 const (
 	minClassShift = 8  // 256 B
-	maxClassShift = 24 // 16 MiB
+	maxClassShift = 26 // 64 MiB
 	numClasses    = maxClassShift - minClassShift + 1
 )
 

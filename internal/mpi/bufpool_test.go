@@ -14,7 +14,7 @@ import (
 )
 
 func TestBufferPoolClasses(t *testing.T) {
-	for _, n := range []int{1, 255, 256, 257, 4096, 1 << 20, (1 << 24)} {
+	for _, n := range []int{1, 255, 256, 257, 4096, 1 << 20, 1 << 24, (1 << 26)} {
 		b := GetBuffer(n)
 		if len(b) != n {
 			t.Fatalf("GetBuffer(%d) has len %d", n, len(b))
@@ -25,8 +25,8 @@ func TestBufferPoolClasses(t *testing.T) {
 		PutBuffer(b)
 	}
 	// Above the largest class the allocator takes over.
-	big := GetBuffer(1<<24 + 1)
-	if len(big) != 1<<24+1 {
+	big := GetBuffer(1<<26 + 1)
+	if len(big) != 1<<26+1 {
 		t.Fatalf("oversized GetBuffer has len %d", len(big))
 	}
 	PutBuffer(big) // silently dropped, must not panic
@@ -58,11 +58,11 @@ func TestBufferPoolRecycles(t *testing.T) {
 // and strided ones.
 func TestAlltoallwOptParity(t *testing.T) {
 	options := []AlltoallwOptions{
-		{},                              // historical serial behaviour
-		{Pooled: true},                  // pooled staging
-		{ZeroCopy: true},                // contiguous fast path
-		{Pooled: true, ZeroCopy: true},  // the Alltoallw default
-		{Parallelism: 4, Pooled: true},  // parallel staging
+		{},                             // historical serial behaviour
+		{Pooled: true},                 // pooled staging
+		{ZeroCopy: true},               // contiguous fast path
+		{Pooled: true, ZeroCopy: true}, // the Alltoallw default
+		{Parallelism: 4, Pooled: true}, // parallel staging
 		{Parallelism: 4, ZeroCopy: true, Pooled: true},
 	}
 	for trial := 0; trial < 6; trial++ {

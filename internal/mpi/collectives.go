@@ -451,7 +451,10 @@ func (c *Comm) AlltoallwOpt(sendBuf []byte, sendTypes []datatype.Type, recvBuf [
 			}
 			wireBytes += int64(want)
 		}
-		if done && opt.Pooled {
+		// Received payloads are always arena-backed (the eager send copy and
+		// the TCP read loop both draw from the arena), so recycling is not
+		// conditional on this call's own staging mode.
+		if done {
 			PutBuffer(got)
 		}
 	}
@@ -460,10 +463,8 @@ func (c *Comm) AlltoallwOpt(sendBuf []byte, sendTypes []datatype.Type, recvBuf [
 		if tel != nil {
 			tel.rec.AddSpan(tel.rank, "a2aw-unpack", unpackStart, time.Now(), 0)
 		}
-		if opt.Pooled {
-			for _, got := range unpackWires {
-				PutBuffer(got)
-			}
+		for _, got := range unpackWires {
+			PutBuffer(got)
 		}
 	}
 	if tel != nil {

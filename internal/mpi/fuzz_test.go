@@ -149,3 +149,67 @@ func TestInterleavedTagsStress(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// fuzzSink accepts whatever the decoder delivers and recycles completed
+// payloads, tracking pinned (chunk-pending) envelopes like a mailbox
+// would so reassembly buffers are not recycled while still being written.
+type fuzzSink struct {
+	pinned []envelope
+}
+
+func (s *fuzzSink) put(e envelope) {
+	if e.pend != nil {
+		s.pinned = append(s.pinned, e)
+		return
+	}
+	PutBuffer(e.data)
+}
+
+func (s *fuzzSink) complete(p *chunkPending) {
+	for i, e := range s.pinned {
+		if e.pend == p {
+			PutBuffer(e.data)
+			s.pinned = append(s.pinned[:i], s.pinned[i+1:]...)
+			return
+		}
+	}
+}
+
+// FuzzTCPFrameDecoder feeds arbitrary bytes to the wire-protocol-v2
+// decoder. The property is totality: any input either decodes into frames
+// or fails with an error — never a panic, hang, or out-of-bounds write.
+// Frame and stream limits are kept tiny so the fuzzer cannot make the
+// decoder allocate gigabyte reassembly buffers.
+func FuzzTCPFrameDecoder(f *testing.F) {
+	// Seeds: a valid whole frame, a valid two-chunk stream, and truncated
+	// and corrupted variants of each.
+	msg := make([]byte, tcpFrameHeader+4)
+	msg[0] = frameMsg
+	msg[16] = 4 // len = 4, LE
+	f.Add(msg)
+	f.Add(msg[:tcpFrameHeader-3])
+	chunk := make([]byte, tcpFrameHeader+tcpChunkExt+2)
+	chunk[0] = frameChunk
+	chunk[16] = 2                                       // frame len
+	chunk[tcpFrameHeader] = 1                           // stream id
+	chunk[tcpFrameHeader+8] = 4                         // total
+	f.Add(append(append([]byte{}, chunk...), chunk...)) // complete stream
+	f.Add(chunk)                                        // dangling stream
+	bad := append([]byte{}, msg...)
+	bad[0] = 0xff
+	f.Add(bad)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sink := &fuzzSink{}
+		dec := newFrameDecoder(sink, 1<<16, 1<<20, 8)
+		r := bytes.NewReader(data)
+		for {
+			if _, _, err := dec.readFrame(r); err != nil {
+				break
+			}
+			if r.Len() == 0 {
+				break
+			}
+		}
+	})
+}

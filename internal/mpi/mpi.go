@@ -41,11 +41,36 @@ type envelope struct {
 	src  int
 	tag  int
 	data []byte
+
+	// pend is non-nil while the payload is still being reassembled from
+	// chunked transport frames. The envelope is inserted into the mailbox
+	// when its first chunk arrives — pinning its matching position so a
+	// later same-tag message cannot overtake it — but stays unmatchable
+	// until the transport marks it ready.
+	pend *chunkPending
+
+	// done is non-nil for zero-copy sends: data is borrowed from the
+	// caller, the writer must not recycle it, and it signals exactly one
+	// error (nil on success) when the payload has been fully written and
+	// ownership returns to the caller. Never set on mailbox envelopes.
+	done chan<- error
+}
+
+// chunkPending tracks the reassembly state of a chunk-streamed message.
+// ready is guarded by the owning mailbox's mutex; the payload bytes are
+// written by the transport's read loop alone until ready flips, so no
+// consumer ever observes a partially filled buffer.
+type chunkPending struct {
+	ready bool
 }
 
 // matches reports whether the envelope satisfies a receive posted on
-// communicator context ctx for (src, tag), honouring wildcards.
+// communicator context ctx for (src, tag), honouring wildcards. Messages
+// still being reassembled from chunks never match.
 func (e *envelope) matches(ctx uint32, src, tag int) bool {
+	if e.pend != nil && !e.pend.ready {
+		return false
+	}
 	if e.ctx != ctx {
 		return false
 	}
@@ -143,6 +168,15 @@ func (m *mailbox) peek(ctx uint32, src, tag int, wait bool) (gotSrc, gotTag, siz
 	}
 }
 
+// complete marks a chunk-reassembled envelope as matchable and wakes
+// receivers blocked on it.
+func (m *mailbox) complete(p *chunkPending) {
+	m.mu.Lock()
+	p.ready = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
 func (m *mailbox) close(err error) {
 	m.mu.Lock()
 	m.closed = true
@@ -158,6 +192,15 @@ func (m *mailbox) close(err error) {
 type transport interface {
 	send(dst int, e envelope) error
 	close() error
+}
+
+// zeroCopySender is an optional transport capability: send a payload
+// without the eager staging copy, blocking until the transport no longer
+// needs the caller's buffer. sendZeroCopy returns handled=false when the
+// payload does not qualify (too small, feature disabled) and the caller
+// must fall back to the eager-copy path.
+type zeroCopySender interface {
+	sendZeroCopy(dst int, e envelope) (handled bool, err error)
 }
 
 // Comm is a communicator: a group of ranks that can exchange point-to-
@@ -197,9 +240,11 @@ func (c *Comm) checkRank(rank int) error {
 }
 
 // Send delivers data to dst with the given tag. The tag must be
-// non-negative (negative tags are reserved for collectives). The data is
-// copied before Send returns, so the caller may immediately reuse the
-// buffer.
+// non-negative (negative tags are reserved for collectives). The caller
+// may reuse the buffer as soon as Send returns: small messages are copied
+// eagerly, while large messages on a zero-copy transport are streamed
+// directly from the caller's buffer with Send blocking until the payload
+// is on the wire.
 func (c *Comm) Send(dst, tag int, data []byte) error {
 	if err := c.checkRank(dst); err != nil {
 		return err
@@ -211,18 +256,35 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 }
 
 // sendInternal performs the delivery without the user-tag restriction.
-// The eager copy is drawn from the staging arena; ownership passes to the
-// receiver, which may recycle the payload with PutBuffer once unpacked.
+// Small messages are copied eagerly into a staging-arena buffer whose
+// ownership passes to the receiver (which may recycle it with PutBuffer
+// once unpacked). Large messages on a transport with zero-copy support
+// skip the copy: the transport streams straight from the caller's buffer
+// and sendInternal blocks until it is reusable. Either way the caller may
+// touch data again the moment this returns.
 func (c *Comm) sendInternal(dst, tag int, data []byte) error {
+	dstWorld := c.group[dst]
+	t := c.tel
+	var start time.Time
+	if t != nil {
+		start = time.Now()
+	}
+	if zc, ok := c.tr.(zeroCopySender); ok {
+		if handled, err := zc.sendZeroCopy(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: data}); handled {
+			c.counters.countSend(dstWorld, len(data))
+			if t != nil {
+				t.sendLatency.ObserveSince(start)
+				t.wireSent.Add(int64(len(data)))
+			}
+			return err
+		}
+	}
 	cp := GetBuffer(len(data))
 	copy(cp, data)
-	dstWorld := c.group[dst]
 	c.counters.countSend(dstWorld, len(cp))
-	t := c.tel
 	if t == nil {
 		return c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp})
 	}
-	start := time.Now()
 	err := c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp})
 	t.sendLatency.ObserveSince(start)
 	t.wireSent.Add(int64(len(cp)))

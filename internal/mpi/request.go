@@ -22,7 +22,12 @@ func (r *Request) Wait() (data []byte, from, tag int, err error) {
 
 // Isend starts a non-blocking send. Because delivery is eager the data is
 // copied immediately and the caller may reuse the buffer as soon as Isend
-// returns; Wait only reports the delivery status.
+// returns; Wait only reports the delivery status. On the TCP transport
+// the copy is enqueue-only: the per-peer writer goroutine performs the
+// socket write asynchronously, so small Isends (and Sends) return without
+// waiting for the kernel. Messages above the chunk threshold skip the
+// copy and stream straight from the caller's buffer, returning once the
+// payload is on the wire.
 func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 	r := &Request{done: make(chan struct{})}
 	err := c.Send(dst, tag, data)

@@ -1,52 +1,283 @@
 package mpi
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"ddr/internal/obs"
 )
 
-// tcpFrameHeader is ctx(u32) src(u32) tag(i32) len(u32), little endian.
-const tcpFrameHeader = 16
+// Wire protocol v2. Every frame starts with a 20-byte header:
+//
+//	off  0  type  u8   frameMsg or frameChunk
+//	off  1  reserved (3 bytes, zero)
+//	off  4  ctx   u32  communicator context
+//	off  8  src   u32  sender's world rank
+//	off 12  tag   u32  message tag (two's-complement int32)
+//	off 16  len   u32  payload bytes following this header (this frame only)
+//
+// frameMsg carries a complete message. frameChunk carries one slice of a
+// chunk-streamed message and inserts a 16-byte extension between header
+// and payload:
+//
+//	off  0  stream u32  per-connection stream id
+//	off  4  reserved (4 bytes, zero)
+//	off  8  total  u64  full message size in bytes
+//
+// Chunks of one stream arrive in order (single writer per connection);
+// chunks of different streams and whole frames may interleave freely, so
+// a large payload never head-of-line-blocks the connection. The receiver
+// reassembles chunks directly into an arena buffer pinned in the mailbox
+// at first-chunk time, which preserves per-(sender,receiver) matching
+// order. All integers are little endian.
+const (
+	tcpFrameHeader = 20
+	tcpChunkExt    = 16
+)
+
+// Frame types. The zero value is deliberately invalid so an all-zero or
+// desynchronized stream fails fast.
+const (
+	frameMsg   byte = 1
+	frameChunk byte = 2
+)
+
+// ErrFrameTooLarge reports a message that does not fit the wire format:
+// with chunked streaming disabled a single frame's length must fit the
+// header's u32 length field.
+var ErrFrameTooLarge = errors.New("mpi: tcp message exceeds frame limit")
+
+// errTCPProto classifies malformed incoming frames (unknown type byte,
+// impossible lengths, inconsistent chunk streams). A connection that
+// produces one is desynchronized beyond recovery and is dropped.
+var errTCPProto = errors.New("mpi: tcp protocol error")
+
+// TCPOptions tunes the TCP transport. The zero value selects the
+// defaults: TCP_NODELAY on, OS socket buffer sizes, 1 MiB chunk
+// threshold, 256-frame send queues, and 64-frame write batches.
+type TCPOptions struct {
+	// Nagle re-enables Nagle's algorithm. By default the transport sets
+	// TCP_NODELAY: frames are already coalesced into vectored writes, so
+	// kernel-side batching only adds latency.
+	Nagle bool
+	// SendBufSize / RecvBufSize set SO_SNDBUF / SO_RCVBUF in bytes on
+	// every connection; 0 keeps the OS default.
+	SendBufSize int
+	RecvBufSize int
+	// ChunkThreshold is the payload size in bytes above which a message
+	// is split into chunked sub-frames so it cannot head-of-line-block
+	// its connection. 0 selects the 1 MiB default; negative disables
+	// chunking (single frames up to 4 GiB-1).
+	ChunkThreshold int
+	// ChunkSize is the payload size of each chunk sub-frame. 0 selects
+	// the 8 MiB default — large enough that chunking costs little
+	// throughput on a fast link, small enough that a control frame waits
+	// at most one chunk's transmission time.
+	ChunkSize int
+	// SendQueueLen is the per-peer send queue capacity in frames. A full
+	// queue applies backpressure: Send blocks until the writer drains.
+	// 0 selects the default of 256.
+	SendQueueLen int
+	// WriteBatch is the maximum number of queued frames coalesced into
+	// one vectored write. 0 selects the default of 64.
+	WriteBatch int
+}
+
+const (
+	defaultChunkThreshold = 1 << 20
+	defaultChunkSize      = 8 << 20
+	defaultSendQueueLen   = 256
+	defaultWriteBatch     = 64
+	// readBufSize is the per-connection buffered-reader size: the read
+	// loop's counterpart to the writer's vectored batches, it turns a
+	// storm of small frames into one read syscall per buffer fill. Large
+	// payload reads bypass the buffer entirely (io.ReadFull with a
+	// request bigger than the buffer reads straight into the arena).
+	readBufSize = 64 << 10
+	// tcpFlushTimeout bounds how long Close waits for a writer to drain
+	// its queue before force-closing the connection under it.
+	tcpFlushTimeout = 5 * time.Second
+	// Decoder hard limits for frames produced by well-behaved peers.
+	maxSingleFrame   = math.MaxUint32
+	maxChunkTotal    = 1 << 34 // 16 GiB reassembled message
+	maxInboundChunks = 1 << 10 // concurrent partial streams per connection
+)
+
+var defaultTCPOptions atomic.Pointer[TCPOptions]
+
+// SetDefaultTCPOptions installs the process-wide options used by
+// NewTCPEndpoint and RunTCP when none are passed explicitly — the hook
+// the command-line binaries expose as -tcp-* flags.
+func SetDefaultTCPOptions(o TCPOptions) { defaultTCPOptions.Store(&o) }
+
+// DefaultTCPOptions returns the current process-wide TCP options.
+func DefaultTCPOptions() TCPOptions {
+	if p := defaultTCPOptions.Load(); p != nil {
+		return *p
+	}
+	return TCPOptions{}
+}
+
+// tcpConfig is a TCPOptions with every default resolved.
+type tcpConfig struct {
+	nagle          bool
+	sndbuf, rcvbuf int
+	chunk          bool
+	chunkThreshold int
+	chunkSize      int
+	queueLen       int
+	batch          int
+}
+
+func (o TCPOptions) resolve() tcpConfig {
+	cfg := tcpConfig{
+		nagle:          o.Nagle,
+		sndbuf:         o.SendBufSize,
+		rcvbuf:         o.RecvBufSize,
+		chunk:          o.ChunkThreshold >= 0,
+		chunkThreshold: o.ChunkThreshold,
+		chunkSize:      o.ChunkSize,
+		queueLen:       o.SendQueueLen,
+		batch:          o.WriteBatch,
+	}
+	if cfg.chunkThreshold == 0 {
+		cfg.chunkThreshold = defaultChunkThreshold
+	}
+	if cfg.chunkSize <= 0 {
+		cfg.chunkSize = defaultChunkSize
+	}
+	if cfg.chunkSize < 1024 {
+		cfg.chunkSize = 1024
+	}
+	if cfg.queueLen <= 0 {
+		cfg.queueLen = defaultSendQueueLen
+	}
+	if cfg.batch <= 0 {
+		cfg.batch = defaultWriteBatch
+	}
+	return cfg
+}
+
+// apply sets the per-connection socket options.
+func (c *tcpConfig) apply(conn net.Conn) {
+	tc, ok := conn.(*net.TCPConn)
+	if !ok {
+		return
+	}
+	tc.SetNoDelay(!c.nagle) //nolint:errcheck // best effort
+	if c.sndbuf > 0 {
+		tc.SetWriteBuffer(c.sndbuf) //nolint:errcheck
+	}
+	if c.rcvbuf > 0 {
+		tc.SetReadBuffer(c.rcvbuf) //nolint:errcheck
+	}
+}
+
+// TCPStats is a point-in-time snapshot of an endpoint's transport
+// counters, for tests and tooling that run without an obs registry.
+type TCPStats struct {
+	WireOut, WireIn    int64 // frame bytes incl. headers that crossed the stack
+	FramesOut          int64 // frames written (whole messages and chunks)
+	FramesCoalesced    int64 // frames that shared a vectored write with others
+	Batches            int64 // vectored writes issued
+	ChunksOut          int64 // chunk sub-frames written
+	ChunksIn           int64 // chunk sub-frames read
+	BackpressureEvents int64 // sends that found their queue full
+	SendQueueDepth     int64 // frames currently queued across all peers
+}
 
 // TCPEndpoint is one rank's attachment point to a TCP-transported world.
 // Create an endpoint per rank, distribute all endpoint addresses (for
 // example through a hostfile or a parent process), then call Join.
+//
+// Sending is asynchronous: a per-peer writer goroutine drains a bounded
+// queue and coalesces pending frames into a single vectored write, so
+// Send/Isend return at enqueue time and small control frames batch with
+// data frames. Payloads above the chunk threshold are streamed as
+// interleavable chunk frames (see the wire protocol above).
 type TCPEndpoint struct {
 	listener net.Listener
 	box      *mailbox
+	cfg      tcpConfig
+	stop     chan struct{} // closed by Close: writers flush and exit
 
-	// Frame-level wire accounting (headers included), always on — the
-	// atomics cost nothing measurable next to a socket write. The obs
-	// counters mirror them into a registry once telemetry is attached.
-	wireOut atomic.Int64
-	wireIn  atomic.Int64
-	obsOut  atomic.Pointer[obs.Counter]
-	obsIn   atomic.Pointer[obs.Counter]
+	// Transport counters, always on — the atomics cost nothing measurable
+	// next to a socket write. The obs instruments mirror them into a
+	// registry once telemetry is attached.
+	wireOut      atomic.Int64
+	wireIn       atomic.Int64
+	framesOut    atomic.Int64
+	coalesced    atomic.Int64
+	batches      atomic.Int64
+	chunksOut    atomic.Int64
+	chunksIn     atomic.Int64
+	backpressure atomic.Int64
+	queueDepth   atomic.Int64
 
-	mu     sync.Mutex
-	conns  map[int]*tcpConn
-	closed bool
+	obsOut          atomic.Pointer[obs.Counter]
+	obsIn           atomic.Pointer[obs.Counter]
+	obsCoalesced    atomic.Pointer[obs.Counter]
+	obsChunksOut    atomic.Pointer[obs.Counter]
+	obsChunksIn     atomic.Pointer[obs.Counter]
+	obsBackpressure atomic.Pointer[obs.Counter]
+	obsQueueDepth   atomic.Pointer[obs.Gauge]
+
+	mu      sync.Mutex
+	peers   map[int]*tcpPeer
+	inbound map[net.Conn]struct{}
+	closed  bool
 }
 
 // WireStats returns the frame bytes written to and read from peers since
-// the endpoint was created, including the 16-byte frame headers — the
-// quantity that actually crossed the network stack.
+// the endpoint was created, headers included — the quantity that actually
+// crossed the network stack.
 func (ep *TCPEndpoint) WireStats() (out, in int64) {
 	return ep.wireOut.Load(), ep.wireIn.Load()
 }
 
-// setWireCounters mirrors future wire traffic into the given obs
-// counters (nil detaches).
-func (ep *TCPEndpoint) setWireCounters(out, in *obs.Counter) {
-	ep.obsOut.Store(out)
-	ep.obsIn.Store(in)
+// Stats snapshots every transport counter.
+func (ep *TCPEndpoint) Stats() TCPStats {
+	return TCPStats{
+		WireOut:            ep.wireOut.Load(),
+		WireIn:             ep.wireIn.Load(),
+		FramesOut:          ep.framesOut.Load(),
+		FramesCoalesced:    ep.coalesced.Load(),
+		Batches:            ep.batches.Load(),
+		ChunksOut:          ep.chunksOut.Load(),
+		ChunksIn:           ep.chunksIn.Load(),
+		BackpressureEvents: ep.backpressure.Load(),
+		SendQueueDepth:     ep.queueDepth.Load(),
+	}
+}
+
+// attachObs mirrors future transport activity into the given telemetry's
+// instruments (nil detaches).
+func (ep *TCPEndpoint) attachObs(t *Telemetry) {
+	if t == nil {
+		ep.obsOut.Store(nil)
+		ep.obsIn.Store(nil)
+		ep.obsCoalesced.Store(nil)
+		ep.obsChunksOut.Store(nil)
+		ep.obsChunksIn.Store(nil)
+		ep.obsBackpressure.Store(nil)
+		ep.obsQueueDepth.Store(nil)
+		return
+	}
+	ep.obsOut.Store(t.tcpOut)
+	ep.obsIn.Store(t.tcpIn)
+	ep.obsCoalesced.Store(t.tcpCoalesced)
+	ep.obsChunksOut.Store(t.tcpChunksOut)
+	ep.obsChunksIn.Store(t.tcpChunksIn)
+	ep.obsBackpressure.Store(t.tcpBackpressure)
+	ep.obsQueueDepth.Store(t.tcpQueueDepth)
 }
 
 func (ep *TCPEndpoint) countWireOut(n int64) {
@@ -59,14 +290,42 @@ func (ep *TCPEndpoint) countWireIn(n int64) {
 	ep.obsIn.Load().Add(n)
 }
 
-type tcpConn struct {
-	mu   sync.Mutex
-	conn net.Conn
+func (ep *TCPEndpoint) countBatch(frames, chunks int64) {
+	ep.framesOut.Add(frames)
+	ep.batches.Add(1)
+	if frames > 1 {
+		ep.coalesced.Add(frames)
+		ep.obsCoalesced.Load().Add(frames)
+	}
+	if chunks > 0 {
+		ep.chunksOut.Add(chunks)
+		ep.obsChunksOut.Load().Add(chunks)
+	}
+}
+
+func (ep *TCPEndpoint) countChunkIn() {
+	ep.chunksIn.Add(1)
+	ep.obsChunksIn.Load().Add(1)
+}
+
+func (ep *TCPEndpoint) countBackpressure() {
+	ep.backpressure.Add(1)
+	ep.obsBackpressure.Load().Add(1)
+}
+
+func (ep *TCPEndpoint) queueDepthAdd(n int64) {
+	ep.queueDepth.Add(n)
+	ep.obsQueueDepth.Load().Add(n)
 }
 
 // NewTCPEndpoint binds a listener on bind (e.g. "127.0.0.1:0") and starts
-// accepting peer connections.
-func NewTCPEndpoint(bind string) (*TCPEndpoint, error) {
+// accepting peer connections. At most one TCPOptions may be passed; with
+// none, the process-wide defaults apply (see SetDefaultTCPOptions).
+func NewTCPEndpoint(bind string, opts ...TCPOptions) (*TCPEndpoint, error) {
+	o := DefaultTCPOptions()
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	l, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("mpi: tcp listen: %w", err)
@@ -74,7 +333,10 @@ func NewTCPEndpoint(bind string) (*TCPEndpoint, error) {
 	ep := &TCPEndpoint{
 		listener: l,
 		box:      newMailbox(),
-		conns:    map[int]*tcpConn{},
+		cfg:      o.resolve(),
+		stop:     make(chan struct{}),
+		peers:    map[int]*tcpPeer{},
+		inbound:  map[net.Conn]struct{}{},
 	}
 	go ep.acceptLoop()
 	return ep, nil
@@ -89,27 +351,40 @@ func (ep *TCPEndpoint) acceptLoop() {
 		if err != nil {
 			return
 		}
+		ep.cfg.apply(conn)
+		ep.mu.Lock()
+		if ep.closed {
+			ep.mu.Unlock()
+			conn.Close()
+			return
+		}
+		ep.inbound[conn] = struct{}{}
+		ep.mu.Unlock()
 		go ep.readLoop(conn)
 	}
 }
 
 func (ep *TCPEndpoint) readLoop(conn net.Conn) {
-	defer conn.Close()
-	var hdr [tcpFrameHeader]byte
+	defer func() {
+		conn.Close()
+		ep.mu.Lock()
+		delete(ep.inbound, conn)
+		ep.mu.Unlock()
+	}()
+	dec := newFrameDecoder(ep.box, maxSingleFrame, maxChunkTotal, maxInboundChunks)
+	br := bufio.NewReaderSize(conn, readBufSize)
 	for {
-		if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		wire, typ, err := dec.readFrame(br)
+		if err != nil {
+			if errors.Is(err, errTCPProto) {
+				obs.Warnf("mpi: tcp read from %s: %v (dropping connection)", conn.RemoteAddr(), err)
+			}
 			return
 		}
-		ctx := binary.LittleEndian.Uint32(hdr[0:])
-		src := int(binary.LittleEndian.Uint32(hdr[4:]))
-		tag := int(int32(binary.LittleEndian.Uint32(hdr[8:])))
-		n := binary.LittleEndian.Uint32(hdr[12:])
-		data := make([]byte, n)
-		if _, err := io.ReadFull(conn, data); err != nil {
-			return
+		ep.countWireIn(wire)
+		if typ == frameChunk {
+			ep.countChunkIn()
 		}
-		ep.countWireIn(int64(tcpFrameHeader) + int64(n))
-		ep.box.put(envelope{ctx: ctx, src: src, tag: tag, data: data})
 	}
 }
 
@@ -131,8 +406,10 @@ func (ep *TCPEndpoint) Join(rank int, addrs []string) (*Comm, error) {
 	return c, nil
 }
 
-// Close shuts the endpoint down, releasing its listener and connections
-// and failing any receive still blocked on it.
+// Close shuts the endpoint down: new sends are refused, per-peer writers
+// flush their queues (bounded by tcpFlushTimeout each), and the listener
+// and all connections are closed, failing any receive still blocked on
+// the endpoint.
 func (ep *TCPEndpoint) Close() error {
 	ep.mu.Lock()
 	if ep.closed {
@@ -140,16 +417,312 @@ func (ep *TCPEndpoint) Close() error {
 		return nil
 	}
 	ep.closed = true
-	conns := ep.conns
-	ep.conns = map[int]*tcpConn{}
+	peers := make([]*tcpPeer, 0, len(ep.peers))
+	for _, p := range ep.peers {
+		peers = append(peers, p)
+	}
+	inbound := make([]net.Conn, 0, len(ep.inbound))
+	for c := range ep.inbound {
+		inbound = append(inbound, c)
+	}
 	ep.mu.Unlock()
 
+	// Flush: writers drain what is already queued, then exit. A writer
+	// wedged on a peer that stopped reading is force-closed under.
+	close(ep.stop)
+	timeout := time.After(tcpFlushTimeout)
+	for _, p := range peers {
+		select {
+		case <-p.dead:
+		case <-timeout:
+			p.conn.Close()
+			<-p.dead
+		}
+	}
 	err := ep.listener.Close()
-	for _, tc := range conns {
-		tc.conn.Close()
+	for _, p := range peers {
+		p.conn.Close()
+	}
+	for _, c := range inbound {
+		c.Close()
 	}
 	ep.box.close(nil)
 	return err
+}
+
+// tcpPeer is one outgoing connection: a socket, a bounded frame queue,
+// and the writer goroutine that drains it.
+type tcpPeer struct {
+	ep         *tcpEndpointRef
+	rank       int
+	conn       net.Conn
+	queue      chan envelope
+	dead       chan struct{} // closed when the writer has exited
+	nextStream uint32
+	warned     atomic.Bool
+
+	errMu sync.Mutex
+	err   error // sticky first write error, ErrClosed after clean shutdown
+}
+
+// tcpEndpointRef only exists to keep tcpPeer methods readable.
+type tcpEndpointRef = TCPEndpoint
+
+func (p *tcpPeer) fail(err error) {
+	p.errMu.Lock()
+	if p.err == nil {
+		if err == nil {
+			err = ErrClosed
+		}
+		p.err = err
+	}
+	p.errMu.Unlock()
+}
+
+func (p *tcpPeer) error() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	if p.err == nil {
+		return ErrClosed
+	}
+	return p.err
+}
+
+// enqueue hands a frame to the writer, blocking when the queue is full
+// (backpressure). The payload's ownership passes to the writer, which
+// recycles it into the arena once written.
+func (p *tcpPeer) enqueue(e envelope) error {
+	select {
+	case <-p.dead:
+		return p.error()
+	default:
+	}
+	select {
+	case p.queue <- e:
+		p.ep.queueDepthAdd(1)
+		return nil
+	default:
+	}
+	// Queue saturated: record the event, warn once per peer, then apply
+	// backpressure by blocking until the writer drains or dies.
+	p.ep.countBackpressure()
+	if p.warned.CompareAndSwap(false, true) {
+		obs.Warnf("mpi: tcp send queue to rank %d saturated (cap %d frames); backpressure engaged — slow consumer or undersized SendQueueLen",
+			p.rank, cap(p.queue))
+	}
+	select {
+	case p.queue <- e:
+		p.ep.queueDepthAdd(1)
+		return nil
+	case <-p.dead:
+		return p.error()
+	}
+}
+
+// outStream is a large message being chunk-streamed to the peer.
+type outStream struct {
+	e   envelope
+	id  uint32
+	off int
+}
+
+// writeLoop drains the queue, coalescing pending frames into vectored
+// writes and interleaving chunk sub-frames of large messages so small
+// control traffic never waits behind a bulk payload. It exits when the
+// endpoint closes (after flushing) or the connection fails.
+func (p *tcpPeer) writeLoop() {
+	ep := p.ep
+	cfg := ep.cfg
+	var (
+		iov       [][]byte // reused iovec backing
+		hdrs      []byte   // reused header arena; pointers into it live in iov
+		items     []envelope
+		streams   []*outStream
+		recycle   [][]byte
+		completed []chan<- error // zero-copy senders finished this batch
+		loopErr   error
+		draining  bool
+	)
+	defer func() {
+		p.fail(loopErr)
+		close(p.dead)
+		// Discard anything still queued so blocked senders observe the
+		// death instead of a silent hang. Payloads the writer owns go back
+		// to the arena; borrowed (zero-copy) payloads belong to a blocked
+		// caller, who is released with the loop error instead.
+		for {
+			select {
+			case e := <-p.queue:
+				ep.queueDepthAdd(-1)
+				if e.done != nil {
+					e.done <- p.error()
+				} else {
+					PutBuffer(e.data)
+				}
+			default:
+				for _, s := range streams {
+					if s.e.done != nil {
+						s.e.done <- p.error()
+					} else {
+						PutBuffer(s.e.data)
+					}
+				}
+				return
+			}
+		}
+	}()
+	for {
+		items = items[:0]
+		if !draining {
+			if len(streams) == 0 {
+				// Nothing in flight: block for work or shutdown.
+				select {
+				case e := <-p.queue:
+					ep.queueDepthAdd(-1)
+					items = append(items, e)
+				case <-p.ep.stop:
+					draining = true
+				}
+			} else {
+				select {
+				case e := <-p.queue:
+					ep.queueDepthAdd(-1)
+					items = append(items, e)
+				case <-p.ep.stop:
+					draining = true
+				default:
+					// Streams in flight keep the loop spinning.
+				}
+			}
+		}
+	collect:
+		for len(items) < cfg.batch {
+			select {
+			case e := <-p.queue:
+				ep.queueDepthAdd(-1)
+				items = append(items, e)
+			default:
+				break collect
+			}
+		}
+		if len(items) == 0 && len(streams) == 0 {
+			if draining {
+				return
+			}
+			continue
+		}
+
+		// Reserve header space up front: growing hdrs mid-batch would
+		// invalidate the pointers already appended to the iovec. Each item
+		// contributes at most one header+extension and may open a stream
+		// that advances once more in the same batch.
+		need := (2*len(items) + len(streams)) * (tcpFrameHeader + tcpChunkExt)
+		if cap(hdrs) < need {
+			hdrs = make([]byte, 0, need)
+		} else {
+			hdrs = hdrs[:0]
+		}
+		iov = iov[:0]
+		recycle = recycle[:0]
+		completed = completed[:0]
+		var frames, chunks int64
+
+		// finish records a fully-emitted stream: writer-owned payloads are
+		// recycled after the write; borrowed (zero-copy) payloads release
+		// their blocked caller once the batch hits the socket.
+		finish := func(s *outStream) {
+			if s.e.done != nil {
+				completed = append(completed, s.e.done)
+			} else {
+				recycle = append(recycle, s.e.data)
+			}
+		}
+
+		grab := func(n int) []byte {
+			h := hdrs[len(hdrs) : len(hdrs)+n]
+			hdrs = hdrs[:len(hdrs)+n]
+			return h
+		}
+		putHeader := func(h []byte, typ byte, e *envelope, n int) {
+			h[0], h[1], h[2], h[3] = typ, 0, 0, 0
+			binary.LittleEndian.PutUint32(h[4:], e.ctx)
+			binary.LittleEndian.PutUint32(h[8:], uint32(e.src))
+			binary.LittleEndian.PutUint32(h[12:], uint32(int32(e.tag)))
+			binary.LittleEndian.PutUint32(h[16:], uint32(n))
+		}
+		emitChunk := func(s *outStream) {
+			n := len(s.e.data) - s.off
+			if n > cfg.chunkSize {
+				n = cfg.chunkSize
+			}
+			h := grab(tcpFrameHeader + tcpChunkExt)
+			putHeader(h, frameChunk, &s.e, n)
+			binary.LittleEndian.PutUint32(h[tcpFrameHeader:], s.id)
+			binary.LittleEndian.PutUint32(h[tcpFrameHeader+4:], 0)
+			binary.LittleEndian.PutUint64(h[tcpFrameHeader+8:], uint64(len(s.e.data)))
+			iov = append(iov, h, s.e.data[s.off:s.off+n])
+			s.off += n
+			frames++
+			chunks++
+		}
+
+		// Queued frames first, in order: a large message opens a stream and
+		// emits its first chunk at its queue position, pinning its mailbox
+		// slot at the receiver so matching order is preserved.
+		for _, e := range items {
+			if cfg.chunk && len(e.data) > cfg.chunkThreshold {
+				s := &outStream{e: e, id: p.nextStream}
+				p.nextStream++
+				emitChunk(s)
+				if s.off < len(s.e.data) {
+					streams = append(streams, s)
+				} else {
+					finish(s)
+				}
+				continue
+			}
+			h := grab(tcpFrameHeader)
+			putHeader(h, frameMsg, &e, len(e.data))
+			iov = append(iov, h)
+			if len(e.data) > 0 {
+				iov = append(iov, e.data)
+			}
+			recycle = append(recycle, e.data)
+			frames++
+		}
+		// Then one more chunk per in-flight stream, round-robin.
+		live := streams[:0]
+		for _, s := range streams {
+			emitChunk(s)
+			if s.off < len(s.e.data) {
+				live = append(live, s)
+			} else {
+				finish(s)
+			}
+		}
+		streams = live
+
+		if draining {
+			p.conn.SetWriteDeadline(time.Now().Add(tcpFlushTimeout)) //nolint:errcheck
+		}
+		wb := net.Buffers(iov)
+		nw, werr := wb.WriteTo(p.conn)
+		ep.countWireOut(nw)
+		ep.countBatch(frames, chunks)
+		for _, b := range recycle {
+			PutBuffer(b)
+		}
+		if werr != nil {
+			loopErr = fmt.Errorf("mpi: tcp send to rank %d: %w", p.rank, werr)
+			for _, ch := range completed {
+				ch <- loopErr
+			}
+			return
+		}
+		for _, ch := range completed {
+			ch <- nil
+		}
+	}
 }
 
 type tcpTransport struct {
@@ -161,52 +734,204 @@ func (t *tcpTransport) send(dst int, e envelope) error {
 	if dst < 0 || dst >= len(t.addrs) {
 		return fmt.Errorf("mpi: tcp world rank %d out of range", dst)
 	}
-	if len(e.data) > 1<<31-1 {
-		return fmt.Errorf("mpi: tcp message of %d bytes exceeds frame limit", len(e.data))
+	if err := checkFrameSize(len(e.data), &t.ep.cfg); err != nil {
+		return err
 	}
-	tc, err := t.ep.dial(dst, t.addrs[dst])
+	p, err := t.ep.dial(dst, t.addrs[dst])
 	if err != nil {
 		return err
 	}
-	var hdr [tcpFrameHeader]byte
-	binary.LittleEndian.PutUint32(hdr[0:], e.ctx)
-	binary.LittleEndian.PutUint32(hdr[4:], uint32(e.src))
-	binary.LittleEndian.PutUint32(hdr[8:], uint32(int32(e.tag)))
-	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(e.data)))
+	return p.enqueue(e)
+}
 
-	tc.mu.Lock()
-	defer tc.mu.Unlock()
-	if _, err := tc.conn.Write(hdr[:]); err != nil {
-		return fmt.Errorf("mpi: tcp send header: %w", err)
+// checkFrameSize rejects messages that cannot be expressed on the wire:
+// a payload that will travel as a single frame must fit the header's u32
+// length field. Chunked messages have no such limit (the decoder's
+// maxChunkTotal bounds them instead).
+func checkFrameSize(n int, cfg *tcpConfig) error {
+	chunked := cfg.chunk && n > cfg.chunkThreshold
+	if !chunked && uint64(n) > maxSingleFrame {
+		return fmt.Errorf("mpi: %d-byte message with chunked streaming disabled: %w", n, ErrFrameTooLarge)
 	}
-	if _, err := tc.conn.Write(e.data); err != nil {
-		return fmt.Errorf("mpi: tcp send payload: %w", err)
-	}
-	t.ep.countWireOut(int64(tcpFrameHeader) + int64(len(e.data)))
 	return nil
+}
+
+// sendZeroCopy implements the zeroCopySender capability for payloads
+// above the chunk threshold: the writer streams chunks directly from the
+// caller's buffer — no staging copy, no arena allocation — and the call
+// blocks until the last chunk is written (or the writer dies). The wait
+// preserves Send's contract that the buffer is reusable on return, and
+// because the envelope takes its queue position at enqueue time, ordering
+// with surrounding sends is untouched.
+func (t *tcpTransport) sendZeroCopy(dst int, e envelope) (bool, error) {
+	cfg := &t.ep.cfg
+	if !cfg.chunk || len(e.data) <= cfg.chunkThreshold {
+		return false, nil
+	}
+	if dst < 0 || dst >= len(t.addrs) {
+		return true, fmt.Errorf("mpi: tcp world rank %d out of range", dst)
+	}
+	p, err := t.ep.dial(dst, t.addrs[dst])
+	if err != nil {
+		return true, err
+	}
+	done := make(chan error, 1)
+	e.done = done
+	if err := p.enqueue(e); err != nil {
+		return true, err
+	}
+	return true, <-done
 }
 
 func (t *tcpTransport) close() error { return t.ep.Close() }
 
-// dial returns the cached write connection to dst, establishing it on
-// first use. Messages to self also travel through the loopback socket so
-// the TCP path is exercised uniformly.
-func (ep *TCPEndpoint) dial(dst int, addr string) (*tcpConn, error) {
+// dial returns the peer handle (socket, queue, writer) for dst,
+// establishing it on first use. Messages to self also travel through the
+// loopback socket so the TCP path is exercised uniformly.
+func (ep *TCPEndpoint) dial(dst int, addr string) (*tcpPeer, error) {
 	ep.mu.Lock()
 	defer ep.mu.Unlock()
 	if ep.closed {
 		return nil, ErrClosed
 	}
-	if tc, ok := ep.conns[dst]; ok {
-		return tc, nil
+	if p, ok := ep.peers[dst]; ok {
+		return p, nil
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("mpi: tcp dial rank %d (%s): %w", dst, addr, err)
 	}
-	tc := &tcpConn{conn: conn}
-	ep.conns[dst] = tc
-	return tc, nil
+	ep.cfg.apply(conn)
+	p := &tcpPeer{
+		ep:    ep,
+		rank:  dst,
+		conn:  conn,
+		queue: make(chan envelope, ep.cfg.queueLen),
+		dead:  make(chan struct{}),
+	}
+	ep.peers[dst] = p
+	go p.writeLoop()
+	return p, nil
+}
+
+// frameDecoder decodes wire-protocol-v2 frames from a connection and
+// reassembles chunk streams. Payload buffers come from the staging arena
+// and chunks are read straight into their final reassembly buffer, so
+// the steady-state receive path performs no allocation and exactly one
+// copy (kernel to arena). Not safe for concurrent use; one per
+// connection.
+type frameDecoder struct {
+	sink       chunkSink
+	maxFrame   uint64
+	maxTotal   uint64
+	maxStreams int
+	streams    map[uint32]*inStream
+	// hdr is the header/extension read scratch. A local array would
+	// escape through the io.Reader interface and cost one allocation per
+	// frame; as a decoder field it is allocated once per connection.
+	hdr [tcpFrameHeader + tcpChunkExt]byte
+}
+
+// chunkSink is where decoded messages land; satisfied by *mailbox.
+type chunkSink interface {
+	put(e envelope)
+	complete(p *chunkPending)
+}
+
+// inStream is a chunk stream being reassembled. The envelope (and the
+// arena buffer its data field points to) is already pinned in the
+// mailbox; fill tracks how much of it has arrived.
+type inStream struct {
+	env  envelope
+	fill int
+}
+
+func newFrameDecoder(sink chunkSink, maxFrame, maxTotal uint64, maxStreams int) *frameDecoder {
+	return &frameDecoder{
+		sink:       sink,
+		maxFrame:   maxFrame,
+		maxTotal:   maxTotal,
+		maxStreams: maxStreams,
+		streams:    map[uint32]*inStream{},
+	}
+}
+
+// readFrame consumes one frame, delivering completed messages to the
+// sink. It returns the wire bytes consumed and the frame type. Errors
+// wrapping errTCPProto mean the stream is desynchronized and the
+// connection must be dropped.
+func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) {
+	hdr := d.hdr[:tcpFrameHeader]
+	if _, err := io.ReadFull(r, hdr); err != nil {
+		return 0, 0, err
+	}
+	typ = hdr[0]
+	ctx := binary.LittleEndian.Uint32(hdr[4:])
+	src := int(binary.LittleEndian.Uint32(hdr[8:]))
+	tag := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
+	n := int(binary.LittleEndian.Uint32(hdr[16:]))
+
+	switch typ {
+	case frameMsg:
+		if uint64(n) > d.maxFrame {
+			return 0, typ, fmt.Errorf("%w: %d-byte frame exceeds limit", errTCPProto, n)
+		}
+		var data []byte
+		if n > 0 {
+			data = GetBuffer(n)
+			if _, err := io.ReadFull(r, data); err != nil {
+				PutBuffer(data)
+				return 0, typ, err
+			}
+		}
+		d.sink.put(envelope{ctx: ctx, src: src, tag: tag, data: data})
+		return int64(tcpFrameHeader) + int64(n), typ, nil
+
+	case frameChunk:
+		ext := d.hdr[tcpFrameHeader:]
+		if _, err := io.ReadFull(r, ext); err != nil {
+			return 0, typ, err
+		}
+		stream := binary.LittleEndian.Uint32(ext[0:])
+		total := binary.LittleEndian.Uint64(ext[8:])
+		if total == 0 || total > d.maxTotal {
+			return 0, typ, fmt.Errorf("%w: chunk stream of %d bytes out of range", errTCPProto, total)
+		}
+		st, ok := d.streams[stream]
+		if !ok {
+			if len(d.streams) >= d.maxStreams {
+				return 0, typ, fmt.Errorf("%w: more than %d concurrent chunk streams", errTCPProto, d.maxStreams)
+			}
+			st = &inStream{env: envelope{
+				ctx: ctx, src: src, tag: tag,
+				data: GetBuffer(int(total)),
+				pend: &chunkPending{},
+			}}
+			d.streams[stream] = st
+			// Pin the message's matching position now; it becomes
+			// matchable when the last chunk lands.
+			d.sink.put(st.env)
+		} else if st.env.ctx != ctx || st.env.src != src || st.env.tag != tag || uint64(len(st.env.data)) != total {
+			return 0, typ, fmt.Errorf("%w: chunk stream %d changed identity mid-flight", errTCPProto, stream)
+		}
+		if uint64(n) > d.maxFrame || uint64(st.fill)+uint64(n) > total {
+			return 0, typ, fmt.Errorf("%w: chunk overflows stream %d (%d+%d of %d)", errTCPProto, stream, st.fill, n, total)
+		}
+		if n > 0 {
+			if _, err := io.ReadFull(r, st.env.data[st.fill:st.fill+n]); err != nil {
+				return 0, typ, err
+			}
+			st.fill += n
+		}
+		if uint64(st.fill) == total {
+			d.sink.complete(st.env.pend)
+			delete(d.streams, stream)
+		}
+		return int64(tcpFrameHeader) + int64(tcpChunkExt) + int64(n), typ, nil
+
+	default:
+		return 0, typ, fmt.Errorf("%w: unknown frame type %d", errTCPProto, typ)
+	}
 }
 
 // RunTCP executes body on n ranks, one goroutine per rank, with all
@@ -214,13 +939,19 @@ func (ep *TCPEndpoint) dial(dst int, addr string) (*tcpConn, error) {
 // socket-transport twin of Run and is used to validate that DDR behaves
 // identically when messages cross a real network stack.
 func RunTCP(n int, body func(c *Comm) error) error {
+	return RunTCPOpts(n, DefaultTCPOptions(), body)
+}
+
+// RunTCPOpts is RunTCP with explicit transport options applied to every
+// rank's endpoint.
+func RunTCPOpts(n int, opts TCPOptions, body func(c *Comm) error) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: world size %d must be positive", n)
 	}
 	eps := make([]*TCPEndpoint, n)
 	addrs := make([]string, n)
 	for i := range eps {
-		ep, err := NewTCPEndpoint("127.0.0.1:0")
+		ep, err := NewTCPEndpoint("127.0.0.1:0", opts)
 		if err != nil {
 			for _, prev := range eps[:i] {
 				prev.Close()

@@ -22,10 +22,15 @@ type Telemetry struct {
 	wireRecv    *obs.Counter
 	pendingMsgs *obs.Gauge
 
-	// TCP frame-level counters, mirrored by the endpoint when the
-	// communicator rides the TCP transport (payload + 16-byte header).
-	tcpOut *obs.Counter
-	tcpIn  *obs.Counter
+	// TCP frame-level instruments, mirrored by the endpoint when the
+	// communicator rides the TCP transport (payload + frame headers).
+	tcpOut          *obs.Counter
+	tcpIn           *obs.Counter
+	tcpCoalesced    *obs.Counter
+	tcpChunksOut    *obs.Counter
+	tcpChunksIn     *obs.Counter
+	tcpBackpressure *obs.Counter
+	tcpQueueDepth   *obs.Gauge
 }
 
 // NewTelemetry derives a rank's instrument handles from the registry and
@@ -55,6 +60,16 @@ func NewTelemetry(reg *obs.Registry, rec *trace.Recorder, rank int) *Telemetry {
 			"Frame bytes (headers included) written to TCP peers.", rl),
 		tcpIn: reg.Counter("mpi_tcp_wire_bytes_in_total",
 			"Frame bytes (headers included) read from TCP peers.", rl),
+		tcpCoalesced: reg.Counter("mpi_tcp_frames_coalesced_total",
+			"Frames that shared a vectored write with at least one other frame.", rl),
+		tcpChunksOut: reg.Counter("mpi_tcp_chunks_out_total",
+			"Chunk sub-frames written for large-message streaming.", rl),
+		tcpChunksIn: reg.Counter("mpi_tcp_chunks_in_total",
+			"Chunk sub-frames read and reassembled.", rl),
+		tcpBackpressure: reg.Counter("mpi_tcp_backpressure_total",
+			"Sends that found their peer's queue full and had to block.", rl),
+		tcpQueueDepth: reg.Gauge("mpi_tcp_send_queue_depth",
+			"Frames enqueued to peer writers and not yet written.", rl),
 	}
 }
 
@@ -81,11 +96,7 @@ func (c *Comm) AttachTelemetry(t *Telemetry) {
 		}
 	}
 	if tt, ok := c.tr.(*tcpTransport); ok {
-		if t != nil {
-			tt.ep.setWireCounters(t.tcpOut, t.tcpIn)
-		} else {
-			tt.ep.setWireCounters(nil, nil)
-		}
+		tt.ep.attachObs(t)
 	}
 }
 

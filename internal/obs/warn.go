@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// Warnings are the observability layer's channel for rare, actionable
+// runtime conditions (backpressure engaging, protocol desyncs) that
+// should be visible in logs without threading a logger through every hot
+// path. Metrics count how often; a warning says it happened at all.
+
+var (
+	warnMu  sync.Mutex
+	warnOut io.Writer = os.Stderr
+)
+
+// SetWarnOutput redirects warnings (nil discards them) and returns the
+// previous writer so tests can capture and restore.
+func SetWarnOutput(w io.Writer) io.Writer {
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	prev := warnOut
+	warnOut = w
+	return prev
+}
+
+// Warnf emits a single timestamped warning line. Callers on hot paths
+// must rate-limit themselves (warn once per condition, count the rest in
+// a metric); Warnf itself only serializes concurrent writers.
+func Warnf(format string, args ...any) {
+	warnMu.Lock()
+	defer warnMu.Unlock()
+	if warnOut == nil {
+		return
+	}
+	fmt.Fprintf(warnOut, "%s WARN %s\n",
+		time.Now().Format("2006-01-02T15:04:05.000Z07:00"), fmt.Sprintf(format, args...))
+}
