@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify bench bench-json
+.PHONY: build test verify chaos bench bench-json
 
 build:
 	$(GO) build ./...
@@ -8,15 +8,27 @@ build:
 test:
 	$(GO) test ./...
 
+# chaos is the short randomized fault-injection suite: the injector's
+# determinism properties, the transport-level chaos regressions, and the
+# property-based redistribution harness (reduced case count, fixed
+# seeds), all under the race detector. See TESTING.md.
+chaos:
+	$(GO) test -race -short ./internal/chaos/ ./internal/ddrtest/
+	$(GO) test -race -short -run 'Chaos|Partial|WaitCtxAbandon' ./internal/mpi/
+
 # verify is the pre-merge gate: static analysis over the whole module,
 # the race detector on the packages with concurrent machinery (lock-free
 # counters, mailbox gauges, TCP wire counters, the pack/unpack worker
-# pool and staging-buffer arena), and a one-iteration smoke of the
-# exchange-engine benchmark so the serial/pooled/parallel/zero-copy
-# configurations all stay runnable.
-verify:
+# pool and staging-buffer arena), the chaos suite, the golden-plan
+# fixtures, a brief fuzz of both TCP wire decoders, and a one-iteration
+# smoke of the exchange-engine benchmarks so the serial/pooled/parallel/
+# zero-copy configurations all stay runnable.
+verify: chaos
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/... ./internal/datatype/...
+	$(GO) test -run TestGoldenPlans ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzTCPFrameDecoder -fuzztime 10s ./internal/mpi/
+	$(GO) test -run '^$$' -fuzz FuzzTCPSeqFrameDecoder -fuzztime 10s ./internal/mpi/
 	$(GO) test -run '^$$' -bench BenchmarkReorganizeEngine -benchtime 1x ./internal/core/
 	$(GO) test -run '^$$' -bench BenchmarkTCPExchange -benchtime 1x ./internal/mpi/
 

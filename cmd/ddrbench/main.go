@@ -49,8 +49,13 @@ func main() {
 		pprof    = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
+	applyChaos := experiments.RegisterChaosFlags(flag.CommandLine)
 	flag.Parse()
 	applyTCP()
+	if err := applyChaos(); err != nil {
+		fmt.Fprintln(os.Stderr, "ddrbench:", err)
+		os.Exit(2)
+	}
 	if !*all && *table == 0 && *figure == 0 && !*real && !*ablation && !*vol3d {
 		flag.Usage()
 		os.Exit(2)

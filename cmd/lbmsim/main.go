@@ -44,8 +44,13 @@ func main() {
 		pprof   = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
 	)
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
+	applyChaos := experiments.RegisterChaosFlags(flag.CommandLine)
 	flag.Parse()
 	applyTCP()
+	if err := applyChaos(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbmsim:", err)
+		os.Exit(2)
+	}
 	tel, flush, err := experiments.TelemetryFromFlags(*trace, *metrics, *pprof)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)

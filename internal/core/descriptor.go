@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"ddr/internal/grid"
 	"ddr/internal/obs"
@@ -140,8 +141,9 @@ type Descriptor struct {
 	elemSizeSet bool // WithElemSize was given (even an invalid value)
 	mode        ExchangeMode
 	validate    bool
-	pooled      bool // stage wire buffers through the shared arena
-	zeroCopy    bool // skip staging for contiguous regions
+	pooled      bool          // stage wire buffers through the shared arena
+	zeroCopy    bool          // skip staging for contiguous regions
+	deadline    time.Duration // per-exchange bound; > 0 enables degradation
 	tracer      *trace.Recorder
 	metrics     *obs.Registry
 
@@ -235,6 +237,18 @@ func WithMetrics(reg *obs.Registry) Option {
 // the precondition the paper states for the sending side.
 func WithValidation() Option {
 	return func(d *Descriptor) { d.validate = true }
+}
+
+// WithExchangeDeadline bounds every ReorganizeData exchange to at most d
+// of wall time and switches peer failures from fail-fast to graceful
+// degradation: a peer that is severed, crashed, or silent past the bound
+// is given up on, the exchange finishes with the remaining peers, and the
+// call returns a *PartialError naming the lost peers and the need-box
+// regions their data would have filled. Zero (the default) keeps the
+// historical behaviour — the exchange waits indefinitely and aborts on
+// the first transport error.
+func WithExchangeDeadline(dl time.Duration) Option {
+	return func(d *Descriptor) { d.deadline = dl }
 }
 
 // WithElemSize overrides the element byte size derived from the ElemType,

@@ -2,7 +2,9 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"ddr/internal/grid"
@@ -42,6 +44,109 @@ func (d *Descriptor) AppendTimings(dst []RoundTiming) []RoundTiming {
 // point-to-point exchange mode (one tag per round). Applications sharing a
 // communicator with DDR should stay below this range.
 const ddrTagBase = 1 << 20
+
+// ExchangeTagBase is the first tag of the range DDR reserves for its
+// exchange traffic, exported so fault-injection schedules can target the
+// data exchange (tags >= ExchangeTagBase) while sparing the mapping
+// collectives and application control traffic.
+const ExchangeTagBase = ddrTagBase
+
+// partialState tracks graceful degradation during one deadline-bounded
+// exchange: which peers have been given up on, from which round onward,
+// and why. It is nil when WithExchangeDeadline is unset, keeping the
+// fail-fast paths untouched.
+type partialState struct {
+	uctx  context.Context // caller's context; its cancellation still aborts
+	lost  map[int]int     // peer → earliest round whose data is compromised
+	cause error
+}
+
+// markLost records that peer's data is missing from round onward.
+func (ps *partialState) markLost(peer, round int) {
+	if r0, ok := ps.lost[peer]; !ok || round < r0 {
+		ps.lost[peer] = round
+	}
+}
+
+// isLost reports whether peer has already been given up on.
+func (ps *partialState) isLost(peer int) bool {
+	if ps == nil {
+		return false
+	}
+	_, ok := ps.lost[peer]
+	return ok
+}
+
+// degrade decides whether err from a round-r operation against peer is a
+// peer-loss condition the exchange should absorb (recording the peer as
+// lost) rather than abort on. A cancellation of the caller's own context
+// always aborts.
+func (ps *partialState) degrade(peer, round int, err error) bool {
+	if ps == nil {
+		return false
+	}
+	if ps.uctx != nil && ps.uctx.Err() != nil {
+		return false
+	}
+	if !mpi.IsPeerLoss(err) && !errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	ps.markLost(peer, round)
+	if ps.cause == nil {
+		ps.cause = err
+	}
+	return true
+}
+
+// absorb folds a round-level error into the partial state: a
+// *mpi.PartialExchangeError (alltoallw mode's degraded result) merges its
+// lost-peer set and the round is considered survived.
+func (ps *partialState) absorb(round int, err error) bool {
+	if ps == nil {
+		return false
+	}
+	var pe *mpi.PartialExchangeError
+	if !errors.As(err, &pe) {
+		return false
+	}
+	for _, r := range pe.LostPeers {
+		ps.markLost(r, round)
+	}
+	if ps.cause == nil {
+		ps.cause = pe.Cause
+	}
+	return true
+}
+
+// partialError builds the caller-facing completion report: the sorted
+// lost-peer set plus the need-box regions whose producing peer was lost.
+// Round r moves each rank's r-th chunk, so a peer lost at round r0 is
+// missing the intersections of its chunks r0..end with this rank's need
+// (its earlier rounds landed before the loss).
+func (d *Descriptor) partialError(ps *partialState) error {
+	if ps == nil || len(ps.lost) == 0 {
+		return nil
+	}
+	p := d.plan
+	lost := make([]int, 0, len(ps.lost))
+	for r := range ps.lost {
+		lost = append(lost, r)
+	}
+	sort.Ints(lost)
+	var missing []grid.Box
+	for _, peer := range lost {
+		if peer < 0 || peer >= len(p.allChunks) {
+			continue
+		}
+		chunks := p.allChunks[peer]
+		for r := ps.lost[peer]; r < len(chunks); r++ {
+			if iv, ok := chunks[r].Intersect(p.need); ok && !iv.Empty() {
+				missing = append(missing, iv)
+			}
+		}
+	}
+	return &PartialError{LostPeers: lost, Missing: missing, Cause: ps.cause}
+}
 
 // ReorganizeData exchanges the data between ranks according to the plan
 // compiled by SetupDataMapping. own holds one buffer per owned chunk, in
@@ -95,13 +200,29 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 			len(need), p.need, want, ErrBufferSize)
 	}
 
+	// WithExchangeDeadline bounds the whole exchange and arms graceful
+	// degradation: peer-loss and deadline failures park the peer on the
+	// lost list instead of aborting, and the call ends with a
+	// *PartialError describing what is missing.
+	var ps *partialState
+	if d.deadline > 0 {
+		ps = &partialState{uctx: ctx, lost: make(map[int]int)}
+		base := ctx
+		if base == nil {
+			base = context.Background()
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(base, d.deadline)
+		defer cancel()
+	}
+
 	d.timings = d.timings[:0]
 	o := d.obsv
 	endAll := d.tracer.Span(o.Rank(c), "exchange", 0)
 	defer endAll()
 	if d.mode == ModePointToPointFused {
 		start := time.Now()
-		if err := d.exchangeFused(ctx, o, c, own, need); err != nil {
+		if err := d.exchangeFused(ctx, o, c, own, need, ps); err != nil {
 			return fmt.Errorf("core: fused exchange: %w", err)
 		}
 		elapsed := time.Since(start)
@@ -115,7 +236,7 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 			o.roundLat.Observe(elapsed.Seconds())
 			o.exchangeBytes.Add(wire)
 		}
-		return nil
+		return d.partialError(ps)
 	}
 	var exchangeStart time.Time
 	if o.on() {
@@ -124,7 +245,22 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 	for r := 0; r < p.rounds; r++ {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
-				return err
+				if ps == nil || (ps.uctx != nil && ps.uctx.Err() != nil) {
+					return err
+				}
+				// The exchange deadline is spent: give up on every peer
+				// still owed data in the remaining rounds and report what
+				// landed rather than abort with the buffer state unknown.
+				for rr := r; rr < p.rounds; rr++ {
+					for _, peer := range p.recvPeers[rr] {
+						ps.markLost(peer, rr)
+					}
+				}
+				if ps.cause == nil {
+					ps.cause = fmt.Errorf("core: exchange deadline %v exhausted after round %d: %w",
+						d.deadline, r, mpi.ErrExchangeTimeout)
+				}
+				break
 			}
 		}
 		var sendBuf []byte
@@ -140,18 +276,19 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 		var err error
 		switch d.mode {
 		case ModePointToPoint:
-			err = d.exchangeP2P(ctx, o, c, r, sendBuf, need)
+			err = d.exchangeP2P(ctx, o, c, r, sendBuf, need, ps)
 		default:
 			err = c.AlltoallwOpt(sendBuf, p.send[r], need, p.recv[r], mpi.AlltoallwOptions{
 				Parallelism: d.parallelism(),
 				Pooled:      d.pooled,
 				ZeroCopy:    d.zeroCopy,
+				Deadline:    d.deadline,
 			})
 		}
 		if endRound != nil {
 			endRound()
 		}
-		if err != nil {
+		if err != nil && !ps.absorb(r, err) {
 			return fmt.Errorf("core: exchange round %d: %w", r, err)
 		}
 		elapsed := time.Since(start)
@@ -168,7 +305,7 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 	if o.on() {
 		o.exchangeLat.Observe(time.Since(exchangeStart).Seconds())
 	}
-	return nil
+	return d.partialError(ps)
 }
 
 // selfExchange moves round r's local contribution (this rank's owned
@@ -224,7 +361,7 @@ func (d *Descriptor) acceptRound(o *exchObs, round, peer int, data, need []byte)
 // only the ranks that share data — the sparse-communication optimization
 // the paper lists as future work. Semantically identical to the alltoallw
 // round.
-func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, round int, sendBuf, need []byte) error {
+func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, round int, sendBuf, need []byte, ps *partialState) error {
 	p := d.plan
 	tag := ddrTagBase + round
 
@@ -251,7 +388,21 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 	}
 	d.eng.run(o)
 	for i, peer := range p.sendPeers[round] {
-		if err := c.Send(peer, tag, s.wires[i]); err != nil {
+		if ps.isLost(peer) {
+			continue
+		}
+		var err error
+		if ctx == nil {
+			err = c.Send(peer, tag, s.wires[i])
+		} else {
+			// Context-bound sends always copy eagerly, so the staging
+			// recycle below stays unconditional.
+			err = c.SendCtx(ctx, peer, tag, s.wires[i])
+		}
+		if err != nil {
+			if ps.degrade(peer, round, err) {
+				continue
+			}
 			return err
 		}
 	}
@@ -286,15 +437,27 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 	} else {
 		s.reqs = s.reqs[:0]
 		for _, peer := range p.recvPeers[round] {
+			if ps.isLost(peer) {
+				// Nothing is coming: our own send already failed or the
+				// peer was lost in an earlier round.
+				s.reqs = append(s.reqs, nil)
+				continue
+			}
 			s.reqs = append(s.reqs, c.Irecv(peer, tag))
 		}
 		for i, peer := range p.recvPeers[round] {
+			if s.reqs[i] == nil {
+				continue
+			}
 			var waitStart time.Time
 			if o.tracing() {
 				waitStart = time.Now()
 			}
 			data, _, _, err := s.reqs[i].WaitCtx(ctx)
 			if err != nil {
+				if ps.degrade(peer, round, err) {
+					continue
+				}
 				return err
 			}
 			if o.tracing() {
@@ -343,7 +506,7 @@ func (d *Descriptor) acceptFused(o *exchObs, peer int, data, need []byte) error 
 // the sending side and unpacked in the same order on the receiving side.
 // When a single round contributes a contiguous region to a peer, the
 // message is the owned buffer's sub-slice and no staging happens at all.
-func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte) error {
+func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte, ps *partialState) error {
 	p := d.plan
 	const tag = ddrTagBase
 
@@ -380,7 +543,19 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 	}
 	d.eng.run(o)
 	for i, peer := range p.fusedSendPeers {
-		if err := c.Send(peer, tag, s.wires[i]); err != nil {
+		if ps.isLost(peer) {
+			continue
+		}
+		var err error
+		if ctx == nil {
+			err = c.Send(peer, tag, s.wires[i])
+		} else {
+			err = c.SendCtx(ctx, peer, tag, s.wires[i])
+		}
+		if err != nil {
+			if ps.degrade(peer, 0, err) {
+				continue
+			}
 			return err
 		}
 	}
@@ -410,15 +585,25 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 	} else {
 		s.reqs = s.reqs[:0]
 		for _, peer := range p.fusedRecvPeers {
+			if ps.isLost(peer) {
+				s.reqs = append(s.reqs, nil)
+				continue
+			}
 			s.reqs = append(s.reqs, c.Irecv(peer, tag))
 		}
 		for i, peer := range p.fusedRecvPeers {
+			if s.reqs[i] == nil {
+				continue
+			}
 			var waitStart time.Time
 			if o.tracing() {
 				waitStart = time.Now()
 			}
 			data, _, _, err := s.reqs[i].WaitCtx(ctx)
 			if err != nil {
+				if ps.degrade(peer, 0, err) {
+					continue
+				}
 				return err
 			}
 			if o.tracing() {

@@ -1,0 +1,32 @@
+package core
+
+// PerturbPlanForTest shifts one compiled contiguous receive span by one
+// element, simulating an off-by-one in the overlap math. It exists so the
+// property-based harness can prove it detects plan-compilation bugs: a
+// perturbed rank scatters one peer's payload one element away from where
+// it belongs, which must surface as an invariant violation. It returns
+// false when the plan has no entry that can be shifted while staying in
+// bounds of the need buffer. Never call outside tests.
+func (p *Plan) PerturbPlanForTest() bool {
+	if p == nil {
+		return false
+	}
+	total := p.need.Volume() * p.elemSize
+	for r := range p.recvSpan {
+		for peer := range p.recvSpan[r] {
+			sp := &p.recvSpan[r][peer]
+			if !sp.ok || sp.n == 0 || sp.n >= total {
+				continue
+			}
+			if sp.off+sp.n+p.elemSize <= total {
+				sp.off += p.elemSize
+				return true
+			}
+			if sp.off >= p.elemSize {
+				sp.off -= p.elemSize
+				return true
+			}
+		}
+	}
+	return false
+}

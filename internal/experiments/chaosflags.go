@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"flag"
+	"time"
+
+	"ddr/internal/chaos"
+	"ddr/internal/core"
+	"ddr/internal/mpi"
+)
+
+// RegisterChaosFlags installs the fault-injection flags shared by the
+// command-line binaries (-chaos-seed, -chaos-drop, -chaos-delay,
+// -chaos-dup, -chaos-reorder, -chaos-stall, -chaos-sever, ...) on fs and
+// returns a function that, called after fs.Parse, builds the deterministic
+// injector and installs it process-wide so every world the binary runs —
+// in-process or TCP — carries the schedule. With no chaos flags set the
+// apply function installs nothing and the transports stay on their
+// fault-free fast path.
+func RegisterChaosFlags(fs *flag.FlagSet) (apply func() error) {
+	var (
+		seed     uint64
+		drop     float64
+		delayP   float64
+		delayMax time.Duration
+		dup      float64
+		reorder  float64
+		stallP   float64
+		stallFor time.Duration
+		severs   string
+		tagFloor int
+	)
+	fs.Uint64Var(&seed, "chaos-seed", 1,
+		"seed of the deterministic fault schedule; equal seeds reproduce identical faults")
+	fs.Float64Var(&drop, "chaos-drop", 0,
+		"probability per delivery attempt of dropping the message (the transport retries with backoff)")
+	fs.Float64Var(&delayP, "chaos-delay", 0,
+		"probability per message of delaying its delivery")
+	fs.DurationVar(&delayMax, "chaos-delay-max", 0,
+		"upper bound of injected delivery delays (0 = 2ms default)")
+	fs.Float64Var(&dup, "chaos-dup", 0,
+		"probability per message of delivering it twice (deduplicated by the receiver)")
+	fs.Float64Var(&reorder, "chaos-reorder", 0,
+		"probability per message of letting the next queued message overtake it")
+	fs.Float64Var(&stallP, "chaos-stall", 0,
+		"probability per message of stalling its link for -chaos-stall-for")
+	fs.DurationVar(&stallFor, "chaos-stall-for", 0,
+		"duration of injected link stalls (0 = 20ms default)")
+	fs.StringVar(&severs, "chaos-sever", "",
+		"comma-separated link cuts of the form from>to@after, e.g. 0>1@5")
+	fs.IntVar(&tagFloor, "chaos-tag-floor", core.ExchangeTagBase,
+		"restrict faults to messages with tag >= this value (default spares the mapping collectives; 0 faults everything)")
+	return func() error {
+		sv, err := chaos.ParseSevers(severs)
+		if err != nil {
+			return err
+		}
+		inj := chaos.New(chaos.Options{
+			Seed:        seed,
+			DropProb:    drop,
+			DelayProb:   delayP,
+			DelayMax:    delayMax,
+			DupProb:     dup,
+			ReorderProb: reorder,
+			StallProb:   stallP,
+			StallFor:    stallFor,
+			TagFloor:    tagFloor,
+			Severs:      sv,
+		})
+		if inj.Enabled() {
+			mpi.SetDefaultFaultInjector(inj)
+		}
+		return nil
+	}
+}

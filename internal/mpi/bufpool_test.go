@@ -11,6 +11,7 @@ import (
 
 	"ddr/internal/datatype"
 	"ddr/internal/grid"
+	"ddr/internal/obs"
 )
 
 func TestBufferPoolClasses(t *testing.T) {
@@ -145,14 +146,16 @@ func TestWaitCtxCancel(t *testing.T) {
 		if _, _, _, err := req.WaitCtx(ctx); !errors.Is(err, context.DeadlineExceeded) {
 			return fmt.Errorf("got %v, want context.DeadlineExceeded", err)
 		}
-		// The request itself remains valid: the late message completes it.
-		data, from, tag, err := req.Wait()
+		// Cancellation released the mailbox slot without consuming the
+		// message: the late send stays matchable by a fresh Recv.
+		data, from, tag, err := c.Recv(1, 7)
 		if err != nil {
 			return err
 		}
 		if string(data) != "late" || from != 1 || tag != 7 {
-			return fmt.Errorf("abandoned request resolved to %q from %d tag %d", data, from, tag)
+			return fmt.Errorf("late message resolved to %q from %d tag %d", data, from, tag)
 		}
+		PutBuffer(data)
 		return nil
 	})
 	if err != nil {
@@ -180,6 +183,62 @@ func TestWaitCtxNilAndDone(t *testing.T) {
 		cancel()
 		if err := WaitAllCtx(ctx, done); err != nil && !errors.Is(err, context.Canceled) {
 			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWaitCtxAbandonAccounting is the regression test for the WaitCtx
+// abandonment leak: a cancelled wait used to pin its mailbox slot
+// forever, so the late message could never be matched and the pending
+// depth grew without bound. After many abandon-then-drain cycles the
+// mailbox must be empty and the depth gauge back at zero.
+func TestWaitCtxAbandonAccounting(t *testing.T) {
+	const cycles = 50
+	err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			for i := 0; i < cycles; i++ {
+				if _, _, _, err := c.Recv(0, 1); err != nil {
+					return err
+				}
+				if err := c.Send(0, 7, []byte("late")); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		g := obs.NewRegistry().Gauge("test_mailbox_depth", "")
+		c.box.setDepthGauge(g)
+		defer c.box.setDepthGauge(nil)
+		cancelled, cancel := context.WithCancel(context.Background())
+		cancel()
+		for i := 0; i < cycles; i++ {
+			// No message can be in flight yet, so the abandoned wait always
+			// cancels rather than matching.
+			req := c.Irecv(1, 7)
+			if _, _, _, err := req.WaitCtx(cancelled); !errors.Is(err, context.Canceled) {
+				return fmt.Errorf("cycle %d: got %v, want context.Canceled", i, err)
+			}
+			if err := c.Send(1, 1, nil); err != nil {
+				return err
+			}
+			data, _, _, err := c.Recv(1, 7)
+			if err != nil {
+				return fmt.Errorf("cycle %d: late message not matchable: %w", i, err)
+			}
+			PutBuffer(data)
+		}
+		if v := g.Value(); v != 0 {
+			return fmt.Errorf("depth gauge reads %d after drain, want 0", v)
+		}
+		c.box.mu.Lock()
+		n := len(c.box.queue)
+		c.box.mu.Unlock()
+		if n != 0 {
+			return fmt.Errorf("%d envelopes still queued after drain", n)
 		}
 		return nil
 	})

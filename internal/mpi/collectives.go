@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -8,6 +9,14 @@ import (
 
 	"ddr/internal/datatype"
 )
+
+// ctxDone projects a possibly-nil context onto an envelope cancel channel.
+func ctxDone(ctx context.Context) <-chan struct{} {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Done()
+}
 
 // nextCollTag returns the reserved (negative) tag for the next collective
 // operation on this communicator. Collectives must be invoked by all
@@ -280,6 +289,13 @@ type AlltoallwOptions struct {
 	// ZeroCopy replaces the gather/scatter loops with single memmoves for
 	// regions that are contiguous in the local arrays.
 	ZeroCopy bool
+	// Deadline bounds the whole exchange. When > 0, sends and receives
+	// that exceed it fail with ErrExchangeTimeout, and instead of aborting
+	// on the first lost or unresponsive peer the exchange degrades
+	// gracefully: it skips that peer, finishes with the healthy ones, and
+	// returns a *PartialExchangeError naming everyone it gave up on. Zero
+	// keeps the historical fail-fast, wait-forever behaviour.
+	Deadline time.Duration
 }
 
 // Alltoallw exchanges typed sub-regions between all ranks, the analogue of
@@ -314,6 +330,35 @@ func (c *Comm) AlltoallwOpt(sendBuf []byte, sendTypes []datatype.Type, recvBuf [
 			return GetBuffer(n)
 		}
 		return make([]byte, n)
+	}
+
+	// Graceful degradation under a deadline: peer-loss and timeout errors
+	// park the peer on the lost list instead of aborting the collective.
+	var dctx context.Context
+	if opt.Deadline > 0 {
+		var cancel context.CancelFunc
+		dctx, cancel = context.WithTimeout(context.Background(), opt.Deadline)
+		defer cancel()
+	}
+	var lostPeers []int
+	var lostCause error
+	degrade := func(r int, err error) bool {
+		if opt.Deadline <= 0 || !IsPeerLoss(err) {
+			return false
+		}
+		lostPeers = append(lostPeers, c.group[r])
+		if lostCause == nil {
+			lostCause = err
+		}
+		return true
+	}
+	isLost := func(r int) bool {
+		for _, lr := range lostPeers {
+			if lr == c.group[r] {
+				return true
+			}
+		}
+		return false
 	}
 
 	// Local exchange without touching the transport. One contiguous side
@@ -386,7 +431,10 @@ func (c *Comm) AlltoallwOpt(sendBuf []byte, sendTypes []datatype.Type, recvBuf [
 			tel.wireSent.Add(int64(n))
 			wireBytes += int64(n)
 		}
-		if err := c.tr.send(c.group[r], envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: wire}); err != nil {
+		if err := c.tr.send(c.group[r], envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: wire, cancel: ctxDone(dctx)}); err != nil {
+			if degrade(r, err) {
+				continue
+			}
 			return err
 		}
 	}
@@ -402,7 +450,10 @@ func (c *Comm) AlltoallwOpt(sendBuf []byte, sendTypes []datatype.Type, recvBuf [
 				tel.wireSent.Add(int64(len(wire)))
 				wireBytes += int64(len(wire))
 			}
-			if err := c.tr.send(c.group[r], envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: wire}); err != nil {
+			if err := c.tr.send(c.group[r], envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: wire, cancel: ctxDone(dctx)}); err != nil {
+				if degrade(r, err) {
+					continue
+				}
 				return err
 			}
 		}
@@ -424,12 +475,19 @@ func (c *Comm) AlltoallwOpt(sendBuf []byte, sendTypes []datatype.Type, recvBuf [
 		if want == 0 {
 			continue
 		}
+		if isLost(r) {
+			// Our send to this peer already failed; its reply is not coming.
+			continue
+		}
 		var recvStart time.Time
 		if tel != nil {
 			recvStart = time.Now()
 		}
-		got, _, _, err := c.Recv(r, tag)
+		got, _, _, err := c.RecvCtx(dctx, r, tag)
 		if err != nil {
+			if degrade(r, err) {
+				continue
+			}
 			return err
 		}
 		if len(got) != want {
@@ -471,6 +529,9 @@ func (c *Comm) AlltoallwOpt(sendBuf []byte, sendTypes []datatype.Type, recvBuf [
 		now := time.Now()
 		tel.rec.AddSpan(tel.rank, "alltoallw", collStart, now, wireBytes)
 		tel.collLatency.Observe(now.Sub(collStart).Seconds())
+	}
+	if len(lostPeers) > 0 {
+		return newPartialExchangeError(lostPeers, lostCause)
 	}
 	return nil
 }

@@ -1,0 +1,221 @@
+package mpi_test
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+
+	"ddr/internal/mpi"
+)
+
+// killPeerDeadline bounds how long a survivor may take to observe the
+// death of a killed peer.
+const killPeerDeadline = 10 * time.Second
+
+// TestTCPKillPeerMidExchange kills a real worker process mid-exchange and
+// verifies the surviving ranks observe mpi.ErrPeerLost within the
+// deadline instead of hanging. Rank 0 runs in this process; ranks 1
+// (survivor) and 2 (victim) are subprocesses over loopback TCP.
+func TestTCPKillPeerMidExchange(t *testing.T) {
+	if os.Getenv("DDR_KILL_WORKER") != "" {
+		return // worker mode is driven by TestTCPKillWorker below
+	}
+	if testing.Short() {
+		t.Skip("multi-process test skipped in -short mode")
+	}
+	const n = 3
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ep, err := mpi.NewTCPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	addrs := make([]string, n)
+	addrs[0] = ep.Addr()
+
+	type worker struct {
+		cmd   *exec.Cmd
+		stdin io.WriteCloser
+		out   *bufio.Reader
+	}
+	workers := make([]worker, 0, n-1)
+	for rank := 1; rank < n; rank++ {
+		cmd := exec.Command(exe, "-test.run", "TestTCPKillWorker$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			fmt.Sprintf("DDR_KILL_WORKER=%d", rank),
+			fmt.Sprintf("DDR_KILL_SIZE=%d", n))
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers = append(workers, worker{cmd: cmd, stdin: stdin, out: bufio.NewReader(stdout)})
+	}
+	defer func() {
+		for _, w := range workers {
+			w.cmd.Process.Kill() //nolint:errcheck // cleanup on failure paths
+		}
+	}()
+
+	readLine := func(i int, prefix string) string {
+		t.Helper()
+		for {
+			line, err := workers[i].out.ReadString('\n')
+			if err != nil {
+				t.Fatalf("worker %d: waiting for %q: %v", i+1, prefix, err)
+			}
+			if strings.HasPrefix(line, prefix) {
+				return strings.TrimSpace(strings.TrimPrefix(line, prefix))
+			}
+		}
+	}
+	for i := range workers {
+		addrs[i+1] = readLine(i, "ADDR ")
+	}
+	for _, w := range workers {
+		if _, err := fmt.Fprintln(w.stdin, strings.Join(addrs, " ")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c, err := ep.Join(0, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := killExchangeWarmup(c); err != nil {
+		t.Fatalf("rank 0 warmup: %v", err)
+	}
+
+	// The victim reports it is parked mid-exchange; kill it for real.
+	readLine(1, "VICTIM-READY")
+	if err := workers[1].cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	workers[1].cmd.Wait() //nolint:errcheck // killed on purpose
+
+	// Rank 0 is itself a survivor: its pending receive from the victim
+	// must fail with the typed loss error, within the deadline.
+	start := time.Now()
+	if err := killSurvivorCheck(c); err != nil {
+		t.Fatalf("rank 0 survivor check: %v", err)
+	}
+	if el := time.Since(start); el > killPeerDeadline {
+		t.Fatalf("rank 0 observed the loss only after %v", el)
+	}
+
+	// The subprocess survivor must reach the same verdict.
+	if got := readLine(0, "SURVIVOR "); got != "ok" {
+		t.Fatalf("worker survivor reported %q", got)
+	}
+	if err := workers[0].cmd.Wait(); err != nil {
+		t.Fatalf("survivor worker failed: %v", err)
+	}
+}
+
+// TestTCPKillWorker is the worker-process entry point for the kill test;
+// a no-op unless launched by TestTCPKillPeerMidExchange.
+func TestTCPKillWorker(t *testing.T) {
+	rankStr := os.Getenv("DDR_KILL_WORKER")
+	if rankStr == "" {
+		t.Skip("not in worker mode")
+	}
+	var rank, size int
+	if _, err := fmt.Sscan(rankStr, &rank); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscan(os.Getenv("DDR_KILL_SIZE"), &size); err != nil {
+		t.Fatal(err)
+	}
+	ep, err := mpi.NewTCPEndpoint("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ep.Close()
+	fmt.Printf("ADDR %s\n", ep.Addr())
+	os.Stdout.Sync() //nolint:errcheck
+
+	line, err := bufio.NewReader(os.Stdin).ReadString('\n')
+	if err != nil {
+		t.Fatalf("reading address list: %v", err)
+	}
+	c, err := ep.Join(rank, strings.Fields(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := killExchangeWarmup(c); err != nil {
+		t.Fatalf("rank %d warmup: %v", rank, err)
+	}
+	if rank == size-1 {
+		// Victim: park in a receive that never completes and wait for the
+		// parent's SIGKILL. Exiting normally would close the endpoint
+		// gracefully and dodge the abrupt-death path under test.
+		fmt.Println("VICTIM-READY")
+		os.Stdout.Sync() //nolint:errcheck
+		c.Recv(0, 99)    //nolint:errcheck // killed while blocked here
+		t.Fatal("victim outlived its execution")
+	}
+	if err := killSurvivorCheck(c); err != nil {
+		fmt.Printf("SURVIVOR %v\n", err)
+		t.Fatalf("rank %d: %v", rank, err)
+	}
+	fmt.Println("SURVIVOR ok")
+}
+
+// killExchangeWarmup exchanges one message along every directed pair so
+// every TCP connection in the world is established and proven healthy
+// before the victim goes down.
+func killExchangeWarmup(c *mpi.Comm) error {
+	for peer := 0; peer < c.Size(); peer++ {
+		if peer == c.Rank() {
+			continue
+		}
+		if err := c.Send(peer, 1, []byte{byte(c.Rank())}); err != nil {
+			return err
+		}
+	}
+	for peer := 0; peer < c.Size(); peer++ {
+		if peer == c.Rank() {
+			continue
+		}
+		data, _, _, err := c.Recv(peer, 1)
+		if err != nil {
+			return err
+		}
+		if len(data) != 1 || int(data[0]) != peer {
+			return fmt.Errorf("warmup from %d delivered %v", peer, data)
+		}
+		mpi.PutBuffer(data)
+	}
+	return nil
+}
+
+// killSurvivorCheck blocks receiving from the victim (the highest rank)
+// and requires the typed peer-loss error within the deadline.
+func killSurvivorCheck(c *mpi.Comm) error {
+	ctx, cancel := context.WithTimeout(context.Background(), killPeerDeadline)
+	defer cancel()
+	victim := c.Size() - 1
+	_, _, _, err := c.RecvCtx(ctx, victim, 2)
+	if !errors.Is(err, mpi.ErrPeerLost) {
+		return fmt.Errorf("recv from killed rank %d: got %v, want mpi.ErrPeerLost", victim, err)
+	}
+	return nil
+}

@@ -14,6 +14,7 @@
 package mpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -32,6 +33,17 @@ const (
 // been shut down.
 var ErrClosed = errors.New("mpi: communicator closed")
 
+// ErrPeerLost is wrapped by operations that fail because the remote rank
+// is unreachable: its connection died and could not be re-established, a
+// fault-injected link was severed, or delivery retries were exhausted.
+// Match with errors.Is(err, mpi.ErrPeerLost).
+var ErrPeerLost = errors.New("mpi: peer lost")
+
+// ErrExchangeTimeout is wrapped by deadline-bounded operations (RecvCtx,
+// SendCtx, Alltoallw with a Deadline) that ran out of time before the
+// peer produced or accepted the message. Match with errors.Is.
+var ErrExchangeTimeout = errors.New("mpi: exchange timeout")
+
 // envelope is one in-flight message. src is a world (global) rank; ctx
 // identifies the communicator (sub-communicators derived via Split get
 // their own context so their traffic cannot be confused with the
@@ -41,6 +53,17 @@ type envelope struct {
 	src  int
 	tag  int
 	data []byte
+
+	// seq is a per-(sender,receiver) link sequence number stamped by the
+	// fault-injection layer (zero means unsequenced). Mailboxes discard a
+	// second delivery of an already-seen sequence number, which is what
+	// makes chaos-injected duplicates harmless.
+	seq uint64
+
+	// cancel, when non-nil, aborts a transport enqueue that would
+	// otherwise block (TCP backpressure, a saturated fault-injection
+	// link). It is the deadline hook SendCtx threads through.
+	cancel <-chan struct{}
 
 	// pend is non-nil while the payload is still being reassembled from
 	// chunked transport frames. The envelope is inserted into the mailbox
@@ -83,6 +106,28 @@ func (e *envelope) matches(ctx uint32, src, tag int) bool {
 	return true
 }
 
+// seqWindow remembers the most recent link sequence numbers delivered by
+// one sender so duplicate deliveries (fault-injected or retransmitted)
+// can be discarded. A fixed ring bounds memory; the window only needs to
+// cover the transport's maximum duplication distance, which is a handful
+// of messages.
+type seqWindow struct {
+	ring [128]uint64
+	n    int
+}
+
+// seen reports whether seq was already recorded and records it if not.
+func (w *seqWindow) seen(seq uint64) bool {
+	for i := range w.ring {
+		if w.ring[i] == seq {
+			return true
+		}
+	}
+	w.ring[w.n%len(w.ring)] = seq
+	w.n++
+	return false
+}
+
 // mailbox holds a rank's unmatched incoming messages. put never blocks;
 // get blocks until a matching envelope arrives or the mailbox is closed.
 type mailbox struct {
@@ -91,7 +136,10 @@ type mailbox struct {
 	queue  []envelope
 	closed bool
 	err    error
-	depth  *obs.Gauge // pending-message depth, nil unless telemetry attached
+	depth  *obs.Gauge         // pending-message depth, nil unless telemetry attached
+	lost   map[int]error      // world src -> why that peer is unreachable
+	seen   map[int]*seqWindow // world src -> dedupe window for sequenced envelopes
+	lostC  *obs.Counter       // peers-lost counter, nil unless telemetry attached
 }
 
 // setDepthGauge attaches (or detaches, with nil) the pending-message
@@ -111,6 +159,23 @@ func newMailbox() *mailbox {
 func (m *mailbox) put(e envelope) {
 	m.mu.Lock()
 	if !m.closed {
+		if e.seq != 0 {
+			if m.seen == nil {
+				m.seen = make(map[int]*seqWindow)
+			}
+			w := m.seen[e.src]
+			if w == nil {
+				w = &seqWindow{}
+				m.seen[e.src] = w
+			}
+			if w.seen(e.seq) {
+				// Duplicate delivery: every sequenced duplicate owns its
+				// payload copy, so recycle it here.
+				m.mu.Unlock()
+				PutBuffer(e.data)
+				return
+			}
+		}
 		m.queue = append(m.queue, e)
 		m.depth.Add(1)
 	}
@@ -118,9 +183,67 @@ func (m *mailbox) put(e envelope) {
 	m.cond.Broadcast()
 }
 
-func (m *mailbox) get(ctx uint32, src, tag int) (envelope, error) {
+// markLost records that the given world rank is unreachable and wakes any
+// receiver blocked on it. Messages already queued from that rank remain
+// deliverable; only a receive that would otherwise wait forever fails.
+func (m *mailbox) markLost(src int, err error) {
+	m.mu.Lock()
+	if m.lost == nil {
+		m.lost = make(map[int]error)
+	}
+	if _, dup := m.lost[src]; !dup {
+		m.lost[src] = err
+		m.lostC.Add(1)
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// setLostCounter attaches (or detaches, with nil) the peers-lost counter.
+func (m *mailbox) setLostCounter(c *obs.Counter) {
+	m.mu.Lock()
+	m.lostC = c
+	m.mu.Unlock()
+}
+
+// removePending unlinks and recycles a still-reassembling envelope whose
+// transport stream died before completion, so the pinned slot and its
+// staging buffer are not leaked. Safe to call for envelopes that were
+// never inserted (no-op).
+func (m *mailbox) removePending(p *chunkPending) {
+	m.mu.Lock()
+	for i := range m.queue {
+		if m.queue[i].pend == p {
+			data := m.queue[i].data
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			m.depth.Add(-1)
+			m.mu.Unlock()
+			if data != nil {
+				PutBuffer(data)
+			}
+			return
+		}
+	}
+	m.mu.Unlock()
+}
+
+// get blocks until a matching envelope arrives, the mailbox closes, the
+// specific source rank is marked lost, or cancel (optional, may be nil)
+// fires. Waiting on AnySource is never failed by a lost peer — other
+// senders may still deliver.
+// get blocks until an envelope matching (ctx, src, tag) is available.
+// group and self describe the communicator the receive runs on (world
+// ranks): a wildcard receive fails once every peer in group except self
+// is marked lost, instead of waiting for a message that can never come.
+func (m *mailbox) get(cancel <-chan struct{}, ctx uint32, src, tag int, group []int, self int) (envelope, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	var stopWatch chan struct{}
+	defer func() {
+		if stopWatch != nil {
+			close(stopWatch)
+		}
+	}()
 	for {
 		for i := range m.queue {
 			if m.queue[i].matches(ctx, src, tag) {
@@ -136,6 +259,52 @@ func (m *mailbox) get(ctx uint32, src, tag int) (envelope, error) {
 				err = ErrClosed
 			}
 			return envelope{}, err
+		}
+		if src != AnySource {
+			if lerr, isLost := m.lost[src]; isLost {
+				return envelope{}, lerr
+			}
+		} else if len(m.lost) > 0 && len(group) > 0 {
+			var lerr error
+			for _, w := range group {
+				if w == self {
+					continue
+				}
+				e, isLost := m.lost[w]
+				if !isLost {
+					lerr = nil
+					break
+				}
+				lerr = e
+			}
+			if lerr != nil {
+				return envelope{}, lerr
+			}
+		}
+		if cancel != nil {
+			select {
+			case <-cancel:
+				return envelope{}, ErrExchangeTimeout
+			default:
+			}
+			if stopWatch == nil {
+				// A watcher turns the cancellation signal into a Broadcast.
+				// The Lock/Unlock pair means the Broadcast cannot fire in
+				// the gap between this goroutine's check above and its
+				// cond.Wait below (it holds m.mu throughout), so no wakeup
+				// is ever missed.
+				stopWatch = make(chan struct{})
+				go func(stop <-chan struct{}) {
+					select {
+					case <-cancel:
+						m.mu.Lock()
+						//lint:ignore SA2001 empty critical section orders the Broadcast after the waiter parks
+						m.mu.Unlock()
+						m.cond.Broadcast()
+					case <-stop:
+					}
+				}(stopWatch)
+			}
 		}
 		m.cond.Wait()
 	}
@@ -160,6 +329,11 @@ func (m *mailbox) peek(ctx uint32, src, tag int, wait bool) (gotSrc, gotTag, siz
 				err = ErrClosed
 			}
 			return 0, 0, 0, false, err
+		}
+		if src != AnySource {
+			if lerr, isLost := m.lost[src]; isLost {
+				return 0, 0, 0, false, lerr
+			}
 		}
 		if !wait {
 			return 0, 0, 0, false, nil
@@ -293,8 +467,25 @@ func (c *Comm) sendInternal(dst, tag int, data []byte) error {
 
 // Recv blocks until a message matching (src, tag) arrives and returns its
 // payload along with the sender's communicator rank and tag. src may be
-// AnySource and tag may be AnyTag.
+// AnySource and tag may be AnyTag. If the specific source rank becomes
+// unreachable while waiting, Recv fails with an error wrapping
+// ErrPeerLost instead of hanging.
 func (c *Comm) Recv(src, tag int) (data []byte, from, gotTag int, err error) {
+	return c.recvInternal(nil, src, tag)
+}
+
+// RecvCtx is Recv bounded by a context: when ctx is cancelled or its
+// deadline expires before a matching message arrives, it returns an
+// error wrapping ErrExchangeTimeout (and ctx.Err() is available via the
+// context). No message is consumed on the timeout path.
+func (c *Comm) RecvCtx(ctx context.Context, src, tag int) (data []byte, from, gotTag int, err error) {
+	if ctx == nil {
+		return c.recvInternal(nil, src, tag)
+	}
+	return c.recvInternal(ctx.Done(), src, tag)
+}
+
+func (c *Comm) recvInternal(cancel <-chan struct{}, src, tag int) (data []byte, from, gotTag int, err error) {
 	worldSrc := AnySource
 	if src != AnySource {
 		if err := c.checkRank(src); err != nil {
@@ -307,8 +498,11 @@ func (c *Comm) Recv(src, tag int) (data []byte, from, gotTag int, err error) {
 	if t != nil {
 		start = time.Now()
 	}
-	e, err := c.box.get(c.ctx, worldSrc, tag)
+	e, err := c.box.get(cancel, c.ctx, worldSrc, tag, c.group, c.group[c.rank])
 	if err != nil {
+		if errors.Is(err, ErrExchangeTimeout) {
+			err = fmt.Errorf("mpi: recv from rank %d tag %d: %w", src, tag, ErrExchangeTimeout)
+		}
 		return nil, 0, 0, err
 	}
 	c.counters.countRecv(e.src, len(e.data))
@@ -317,6 +511,36 @@ func (c *Comm) Recv(src, tag int) (data []byte, from, gotTag int, err error) {
 		t.wireRecv.Add(int64(len(e.data)))
 	}
 	return e.data, c.localRank(e.src), e.tag, nil
+}
+
+// SendCtx is Send bounded by a context: if the transport's outbound queue
+// to dst stays saturated past the deadline the call fails with an error
+// wrapping ErrExchangeTimeout instead of blocking. It always takes the
+// eager-copy path (never zero-copy), so the caller's buffer is reusable
+// immediately regardless of outcome.
+func (c *Comm) SendCtx(ctx context.Context, dst, tag int, data []byte) error {
+	if err := c.checkRank(dst); err != nil {
+		return err
+	}
+	if tag < 0 {
+		return fmt.Errorf("mpi: negative tag %d is reserved", tag)
+	}
+	var cancel <-chan struct{}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("mpi: send to rank %d tag %d: %w", dst, tag, ErrExchangeTimeout)
+		}
+		cancel = ctx.Done()
+	}
+	dstWorld := c.group[dst]
+	cp := GetBuffer(len(data))
+	copy(cp, data)
+	c.counters.countSend(dstWorld, len(cp))
+	err := c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp, cancel: cancel})
+	if err != nil && errors.Is(err, ErrExchangeTimeout) {
+		err = fmt.Errorf("mpi: send to rank %d tag %d: %w", dst, tag, ErrExchangeTimeout)
+	}
+	return err
 }
 
 // Probe blocks until a message matching (src, tag) is available and
@@ -403,14 +627,37 @@ func (t *inprocTransport) close() error { return nil }
 // Run executes body on n in-process ranks (one goroutine per rank) and
 // blocks until all return. It returns the first non-nil error any rank
 // produced; when a rank fails the remaining ranks' pending operations are
-// unblocked with ErrClosed so the world can drain.
+// unblocked with ErrClosed so the world can drain. If a process-wide
+// fault injector was installed with SetDefaultFaultInjector, every rank's
+// transport is wrapped with it.
 func Run(n int, body func(c *Comm) error) error {
+	return RunChaos(n, defaultInjector(), body)
+}
+
+// RunChaos is Run with a fault injector wrapped around every rank's
+// transport: each delivery consults inj for delays, drops (retried with
+// bounded exponential backoff), duplicates (deduplicated at the receiving
+// mailbox), reorderings, and link severance. A nil injector behaves
+// exactly like Run without faults.
+func RunChaos(n int, inj FaultInjector, body func(c *Comm) error) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: world size %d must be positive", n)
 	}
 	w := &inprocWorld{boxes: make([]*mailbox, n)}
 	for i := range w.boxes {
 		w.boxes[i] = newMailbox()
+	}
+	trs := make([]transport, n)
+	for rank := 0; rank < n; rank++ {
+		var tr transport = &inprocTransport{w: w}
+		if inj != nil {
+			tr = newFaultTransport(tr, inj, rank, func(dst, src int, err error) {
+				if dst >= 0 && dst < len(w.boxes) {
+					w.boxes[dst].markLost(src, err)
+				}
+			})
+		}
+		trs[rank] = tr
 	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -421,7 +668,7 @@ func Run(n int, body func(c *Comm) error) error {
 			c := &Comm{
 				rank:     rank,
 				group:    identityGroup(n),
-				tr:       &inprocTransport{w: w},
+				tr:       trs[rank],
 				box:      w.boxes[rank],
 				counters: newTraffic(n),
 			}
@@ -436,6 +683,9 @@ func Run(n int, body func(c *Comm) error) error {
 		}(rank)
 	}
 	wg.Wait()
+	for _, tr := range trs {
+		tr.close()
+	}
 	for _, b := range w.boxes {
 		b.close(nil)
 	}

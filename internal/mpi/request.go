@@ -6,11 +6,12 @@ import "context"
 // operation completes and returns its outcome. A Request must be waited
 // on exactly once.
 type Request struct {
-	done chan struct{}
-	data []byte
-	from int
-	tag  int
-	err  error
+	done   chan struct{}
+	cancel context.CancelFunc // non-nil for receives: releases the mailbox wait
+	data   []byte
+	from   int
+	tag    int
+	err    error
 }
 
 // Wait blocks until the operation completes. For receives, the returned
@@ -38,9 +39,11 @@ func (c *Comm) Isend(dst, tag int, data []byte) *Request {
 
 // Irecv starts a non-blocking receive for a message matching (src, tag).
 func (c *Comm) Irecv(src, tag int) *Request {
-	r := &Request{done: make(chan struct{})}
+	ctx, cancel := context.WithCancel(context.Background())
+	r := &Request{done: make(chan struct{}), cancel: cancel}
 	go func() {
-		r.data, r.from, r.tag, r.err = c.Recv(src, tag)
+		r.data, r.from, r.tag, r.err = c.RecvCtx(ctx, src, tag)
+		cancel()
 		close(r.done)
 	}()
 	return r
@@ -59,11 +62,11 @@ func WaitAll(reqs ...*Request) error {
 
 // WaitCtx is Wait with cancellation: it returns early with ctx.Err() when
 // the context is cancelled before the operation completes. A cancelled
-// request is abandoned, not aborted — the underlying operation keeps
-// running and may still consume a matching message from the mailbox, so
-// after a cancellation the communicator must not be reused for traffic
-// whose matching could collide with the abandoned receive (see the
-// cancellation contract in DESIGN.md). A nil context behaves like Wait.
+// receive releases its mailbox slot: the background receive is unblocked
+// without consuming a message, so a message that arrives later stays
+// matchable by a future Recv and no staging-arena buffer is pinned. If
+// the receive had already matched when the cancellation raced in, the
+// payload is recycled back to the arena. A nil context behaves like Wait.
 func (r *Request) WaitCtx(ctx context.Context) (data []byte, from, tag int, err error) {
 	if ctx == nil {
 		return r.Wait()
@@ -72,13 +75,25 @@ func (r *Request) WaitCtx(ctx context.Context) (data []byte, from, tag int, err 
 	case <-r.done:
 		return r.data, r.from, r.tag, r.err
 	case <-ctx.Done():
+		if r.cancel != nil {
+			r.cancel()
+			// The cancellable mailbox wait returns promptly, so this does
+			// not reintroduce the unbounded block WaitCtx exists to avoid.
+			<-r.done
+			if r.err == nil && r.data != nil {
+				// The receive won the race: the message is consumed and the
+				// caller is abandoning it, so recycle the payload.
+				PutBuffer(r.data)
+				r.data = nil
+			}
+		}
 		return nil, 0, 0, ctx.Err()
 	}
 }
 
 // WaitAllCtx waits on every request until done or the context is
-// cancelled, returning the first error encountered. Requests not yet
-// complete at cancellation are abandoned (see WaitCtx).
+// cancelled, returning the first error encountered. Receives not yet
+// complete at cancellation release their mailbox slots (see WaitCtx).
 func WaitAllCtx(ctx context.Context, reqs ...*Request) error {
 	var first error
 	for _, r := range reqs {

@@ -44,11 +44,22 @@ const (
 )
 
 // Frame types. The zero value is deliberately invalid so an all-zero or
-// desynchronized stream fails fast.
+// desynchronized stream fails fast. The Seq variants are the v3
+// extension used when reconnect-retry is enabled: they append an 8-byte
+// little-endian sequence number (after the chunk extension, when
+// present) stamped by the sending writer, letting the receiver discard
+// frames replayed by a post-reconnect retransmission. A retry-enabled
+// writer emits only Seq frames; the default configuration emits the v2
+// types byte-identically to before.
 const (
-	frameMsg   byte = 1
-	frameChunk byte = 2
+	frameMsg      byte = 1
+	frameChunk    byte = 2
+	frameMsgSeq   byte = 3
+	frameChunkSeq byte = 4
 )
+
+// tcpSeqExt is the size of the v3 sequence-number extension.
+const tcpSeqExt = 8
 
 // ErrFrameTooLarge reports a message that does not fit the wire format:
 // with chunked streaming disabled a single frame's length must fit the
@@ -89,6 +100,17 @@ type TCPOptions struct {
 	// WriteBatch is the maximum number of queued frames coalesced into
 	// one vectored write. 0 selects the default of 64.
 	WriteBatch int
+	// RetryMax enables at-least-once delivery: after a connection
+	// failure the peer writer redials up to RetryMax times with
+	// exponential backoff and retransmits the interrupted batch (and
+	// restarts in-flight chunk streams from offset zero). Frames then
+	// carry idempotent sequence numbers so the receiver discards
+	// replays. 0 (the default) keeps the fail-fast v2 behaviour.
+	RetryMax int
+	// RetryBackoff is the base delay of the reconnect backoff; attempt k
+	// sleeps RetryBackoff<<k. 0 selects the 50ms default. Only meaningful
+	// with RetryMax > 0.
+	RetryBackoff time.Duration
 }
 
 const (
@@ -135,6 +157,8 @@ type tcpConfig struct {
 	chunkSize      int
 	queueLen       int
 	batch          int
+	retryMax       int
+	retryBackoff   time.Duration
 }
 
 func (o TCPOptions) resolve() tcpConfig {
@@ -147,6 +171,11 @@ func (o TCPOptions) resolve() tcpConfig {
 		chunkSize:      o.ChunkSize,
 		queueLen:       o.SendQueueLen,
 		batch:          o.WriteBatch,
+		retryMax:       o.RetryMax,
+		retryBackoff:   o.RetryBackoff,
+	}
+	if cfg.retryMax > 0 && cfg.retryBackoff <= 0 {
+		cfg.retryBackoff = 50 * time.Millisecond
 	}
 	if cfg.chunkThreshold == 0 {
 		cfg.chunkThreshold = defaultChunkThreshold
@@ -192,6 +221,86 @@ type TCPStats struct {
 	ChunksIn           int64 // chunk sub-frames read
 	BackpressureEvents int64 // sends that found their queue full
 	SendQueueDepth     int64 // frames currently queued across all peers
+	Reconnects         int64 // writer redials after connection failures
+	DupFramesDropped   int64 // replayed frames discarded by sequence dedupe
+}
+
+// seqDeduper discards frames replayed by post-reconnect retransmission.
+// It keys on (communicator ctx, world src) and remembers a bounded FIFO
+// window of recently committed sequence numbers — membership, not a
+// high-water mark, because interleaved chunk streams commit out of
+// sequence-number order.
+type seqDeduper struct {
+	mu    sync.Mutex
+	peers map[uint64]*seqRing
+}
+
+const seqRingSize = 1024
+
+type seqRing struct {
+	set  map[uint64]struct{}
+	fifo [seqRingSize]uint64
+	n    int
+}
+
+func dedupeKey(ctx uint32, src int) uint64 {
+	return uint64(ctx)<<32 | uint64(uint32(src))
+}
+
+func (d *seqDeduper) ring(ctx uint32, src int) *seqRing {
+	if d.peers == nil {
+		d.peers = make(map[uint64]*seqRing)
+	}
+	k := dedupeKey(ctx, src)
+	r := d.peers[k]
+	if r == nil {
+		r = &seqRing{set: make(map[uint64]struct{}, seqRingSize)}
+		d.peers[k] = r
+	}
+	return r
+}
+
+// commit records seq as delivered; it returns false when seq was already
+// committed (the frame is a replay and must be dropped).
+func (d *seqDeduper) commit(ctx uint32, src int, seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	r := d.ring(ctx, src)
+	if _, dup := r.set[seq]; dup {
+		return false
+	}
+	if r.n >= seqRingSize {
+		delete(r.set, r.fifo[r.n%seqRingSize])
+	}
+	r.fifo[r.n%seqRingSize] = seq
+	r.n++
+	r.set[seq] = struct{}{}
+	return true
+}
+
+// committed reports whether seq was already delivered, without recording
+// it — used at chunk-stream open so an incomplete (and later restarted)
+// stream never poisons the window.
+func (d *seqDeduper) committed(ctx uint32, src int, seq uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	_, dup := d.ring(ctx, src).set[seq]
+	return dup
+}
+
+// activityOf returns a monotone count of frames committed from src across
+// all communicator contexts — the liveness signal lostAfterGrace polls to
+// tell a reconnected peer from a dead one.
+func (d *seqDeduper) activityOf(src int) uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var total uint64
+	for k, r := range d.peers {
+		if uint32(k) == uint32(src) {
+			total += uint64(r.n)
+		}
+	}
+	return total
 }
 
 // TCPEndpoint is one rank's attachment point to a TCP-transported world.
@@ -221,6 +330,12 @@ type TCPEndpoint struct {
 	chunksIn     atomic.Int64
 	backpressure atomic.Int64
 	queueDepth   atomic.Int64
+	reconnects   atomic.Int64
+	dupsDropped  atomic.Int64
+
+	// ded deduplicates retransmitted frames across this endpoint's inbound
+	// connections when peers send with retry enabled.
+	ded seqDeduper
 
 	obsOut          atomic.Pointer[obs.Counter]
 	obsIn           atomic.Pointer[obs.Counter]
@@ -229,6 +344,7 @@ type TCPEndpoint struct {
 	obsChunksIn     atomic.Pointer[obs.Counter]
 	obsBackpressure atomic.Pointer[obs.Counter]
 	obsQueueDepth   atomic.Pointer[obs.Gauge]
+	obsReconnects   atomic.Pointer[obs.Counter]
 
 	mu      sync.Mutex
 	peers   map[int]*tcpPeer
@@ -255,6 +371,8 @@ func (ep *TCPEndpoint) Stats() TCPStats {
 		ChunksIn:           ep.chunksIn.Load(),
 		BackpressureEvents: ep.backpressure.Load(),
 		SendQueueDepth:     ep.queueDepth.Load(),
+		Reconnects:         ep.reconnects.Load(),
+		DupFramesDropped:   ep.dupsDropped.Load(),
 	}
 }
 
@@ -269,6 +387,7 @@ func (ep *TCPEndpoint) attachObs(t *Telemetry) {
 		ep.obsChunksIn.Store(nil)
 		ep.obsBackpressure.Store(nil)
 		ep.obsQueueDepth.Store(nil)
+		ep.obsReconnects.Store(nil)
 		return
 	}
 	ep.obsOut.Store(t.tcpOut)
@@ -278,6 +397,18 @@ func (ep *TCPEndpoint) attachObs(t *Telemetry) {
 	ep.obsChunksIn.Store(t.tcpChunksIn)
 	ep.obsBackpressure.Store(t.tcpBackpressure)
 	ep.obsQueueDepth.Store(t.tcpQueueDepth)
+	ep.obsReconnects.Store(t.tcpReconnects)
+}
+
+func (ep *TCPEndpoint) countReconnect() {
+	ep.reconnects.Add(1)
+	ep.obsReconnects.Load().Add(1)
+}
+
+func (ep *TCPEndpoint) isClosed() bool {
+	ep.mu.Lock()
+	defer ep.mu.Unlock()
+	return ep.closed
 }
 
 func (ep *TCPEndpoint) countWireOut(n int64) {
@@ -365,13 +496,31 @@ func (ep *TCPEndpoint) acceptLoop() {
 }
 
 func (ep *TCPEndpoint) readLoop(conn net.Conn) {
+	dec := newFrameDecoder(ep.box, maxSingleFrame, maxChunkTotal, maxInboundChunks)
+	dec.ded = &ep.ded
+	dec.onDup = func() { ep.dupsDropped.Add(1) }
 	defer func() {
 		conn.Close()
 		ep.mu.Lock()
 		delete(ep.inbound, conn)
+		closed := ep.closed
 		ep.mu.Unlock()
+		// Incomplete chunk streams died with the connection: unpin their
+		// mailbox slots and recycle the reassembly buffers. A retrying
+		// sender restarts its streams from offset zero on a fresh
+		// connection, so nothing is lost that the sender still owns.
+		dec.cleanup()
+		if !closed {
+			// The connection died while the endpoint is still live: the
+			// ranks it carried are (probably) gone. With retry enabled the
+			// verdict is deferred one reconnect window so a sender that
+			// redials in time is never declared lost.
+			for src := range dec.srcs {
+				ep.lostAfterGrace(src, fmt.Errorf(
+					"mpi: tcp connection from rank %d (%s) died: %w", src, conn.RemoteAddr(), ErrPeerLost))
+			}
+		}
 	}()
-	dec := newFrameDecoder(ep.box, maxSingleFrame, maxChunkTotal, maxInboundChunks)
 	br := bufio.NewReaderSize(conn, readBufSize)
 	for {
 		wire, typ, err := dec.readFrame(br)
@@ -382,10 +531,36 @@ func (ep *TCPEndpoint) readLoop(conn net.Conn) {
 			return
 		}
 		ep.countWireIn(wire)
-		if typ == frameChunk {
+		if typ == frameChunk || typ == frameChunkSeq {
 			ep.countChunkIn()
 		}
 	}
+}
+
+// lostAfterGrace marks src unreachable in this endpoint's mailbox —
+// immediately without retry, or after one full reconnect window when
+// retry is enabled, cancelled if the peer delivers any frame in the
+// meantime.
+func (ep *TCPEndpoint) lostAfterGrace(src int, err error) {
+	if ep.cfg.retryMax <= 0 {
+		ep.box.markLost(src, err)
+		return
+	}
+	grace := ep.cfg.retryBackoff << uint(ep.cfg.retryMax)
+	go func() {
+		before := ep.ded.activityOf(src)
+		timer := time.NewTimer(grace)
+		defer timer.Stop()
+		select {
+		case <-timer.C:
+		case <-ep.stop:
+			return
+		}
+		if ep.isClosed() || ep.ded.activityOf(src) != before {
+			return
+		}
+		ep.box.markLost(src, err)
+	}()
 }
 
 // Join assembles the world communicator for this endpoint. rank is this
@@ -435,13 +610,13 @@ func (ep *TCPEndpoint) Close() error {
 		select {
 		case <-p.dead:
 		case <-timeout:
-			p.conn.Close()
+			p.closeConn()
 			<-p.dead
 		}
 	}
 	err := ep.listener.Close()
 	for _, p := range peers {
-		p.conn.Close()
+		p.closeConn()
 	}
 	for _, c := range inbound {
 		c.Close()
@@ -455,14 +630,60 @@ func (ep *TCPEndpoint) Close() error {
 type tcpPeer struct {
 	ep         *tcpEndpointRef
 	rank       int
-	conn       net.Conn
+	addr       string
 	queue      chan envelope
 	dead       chan struct{} // closed when the writer has exited
 	nextStream uint32
+	wireSeq    uint64 // writer-goroutine only: last stamped sequence number
 	warned     atomic.Bool
+
+	connMu sync.Mutex
+	conn   net.Conn // swapped on reconnect; guarded for Close's force-close
 
 	errMu sync.Mutex
 	err   error // sticky first write error, ErrClosed after clean shutdown
+}
+
+func (p *tcpPeer) getConn() net.Conn {
+	p.connMu.Lock()
+	defer p.connMu.Unlock()
+	return p.conn
+}
+
+func (p *tcpPeer) setConn(c net.Conn) {
+	p.connMu.Lock()
+	p.conn = c
+	p.connMu.Unlock()
+}
+
+func (p *tcpPeer) closeConn() {
+	p.connMu.Lock()
+	if p.conn != nil {
+		p.conn.Close()
+	}
+	p.connMu.Unlock()
+}
+
+// reconnect redials the peer after a write failure with bounded
+// exponential backoff, returning true once a fresh connection is
+// installed. It gives up when the endpoint closes or attempts run out.
+func (p *tcpPeer) reconnect() bool {
+	cfg := &p.ep.cfg
+	p.closeConn()
+	for attempt := 0; attempt < cfg.retryMax; attempt++ {
+		if p.ep.isClosed() {
+			return false
+		}
+		conn, err := net.Dial("tcp", p.addr)
+		if err == nil {
+			cfg.apply(conn)
+			p.ep.countReconnect()
+			p.setConn(conn)
+			return true
+		}
+		time.Sleep(cfg.retryBackoff << uint(attempt))
+	}
+	return false
 }
 
 // tcpEndpointRef only exists to keep tcpPeer methods readable.
@@ -504,11 +725,24 @@ func (p *tcpPeer) enqueue(e envelope) error {
 	default:
 	}
 	// Queue saturated: record the event, warn once per peer, then apply
-	// backpressure by blocking until the writer drains or dies.
+	// backpressure by blocking until the writer drains or dies (or the
+	// sender's deadline, when it set one, expires).
 	p.ep.countBackpressure()
 	if p.warned.CompareAndSwap(false, true) {
 		obs.Warnf("mpi: tcp send queue to rank %d saturated (cap %d frames); backpressure engaged — slow consumer or undersized SendQueueLen",
 			p.rank, cap(p.queue))
+	}
+	if e.cancel != nil {
+		select {
+		case p.queue <- e:
+			p.ep.queueDepthAdd(1)
+			return nil
+		case <-p.dead:
+			return p.error()
+		case <-e.cancel:
+			PutBuffer(e.data)
+			return ErrExchangeTimeout
+		}
 	}
 	select {
 	case p.queue <- e:
@@ -524,6 +758,7 @@ type outStream struct {
 	e   envelope
 	id  uint32
 	off int
+	seq uint64 // idempotency seq shared by every chunk of the stream
 }
 
 // writeLoop drains the queue, coalescing pending frames into vectored
@@ -537,9 +772,10 @@ func (p *tcpPeer) writeLoop() {
 		iov       [][]byte // reused iovec backing
 		hdrs      []byte   // reused header arena; pointers into it live in iov
 		items     []envelope
+		carry     []envelope // whole messages to retransmit after a reconnect
 		streams   []*outStream
-		recycle   [][]byte
-		completed []chan<- error // zero-copy senders finished this batch
+		batchMsgs []envelope   // whole messages in the current batch (payloads still owned)
+		batchDone []*outStream // streams fully emitted in the current batch
 		loopErr   error
 		draining  bool
 	)
@@ -571,10 +807,30 @@ func (p *tcpPeer) writeLoop() {
 			}
 		}
 	}()
+	// stamp returns the idempotency sequence number for a message: a
+	// fault-injection layer above may have stamped one already (unique per
+	// link); otherwise, with retry enabled, the writer assigns its own.
+	// Zero means "unsequenced" and selects the v2 frame types.
+	stamp := func(e *envelope) uint64 {
+		if e.seq != 0 {
+			return e.seq
+		}
+		if cfg.retryMax > 0 {
+			p.wireSeq++
+			return p.wireSeq
+		}
+		return 0
+	}
 	for {
 		items = items[:0]
+		if len(carry) > 0 {
+			// Retransmission after a reconnect: the interrupted batch's
+			// whole messages go out again ahead of new queue traffic.
+			items = append(items, carry...)
+			carry = carry[:0]
+		}
 		if !draining {
-			if len(streams) == 0 {
+			if len(streams) == 0 && len(items) == 0 {
 				// Nothing in flight: block for work or shutdown.
 				select {
 				case e := <-p.queue:
@@ -614,29 +870,18 @@ func (p *tcpPeer) writeLoop() {
 
 		// Reserve header space up front: growing hdrs mid-batch would
 		// invalidate the pointers already appended to the iovec. Each item
-		// contributes at most one header+extension and may open a stream
+		// contributes at most one header+extensions and may open a stream
 		// that advances once more in the same batch.
-		need := (2*len(items) + len(streams)) * (tcpFrameHeader + tcpChunkExt)
+		need := (2*len(items) + len(streams)) * (tcpFrameHeader + tcpChunkExt + tcpSeqExt)
 		if cap(hdrs) < need {
 			hdrs = make([]byte, 0, need)
 		} else {
 			hdrs = hdrs[:0]
 		}
 		iov = iov[:0]
-		recycle = recycle[:0]
-		completed = completed[:0]
+		batchMsgs = batchMsgs[:0]
+		batchDone = batchDone[:0]
 		var frames, chunks int64
-
-		// finish records a fully-emitted stream: writer-owned payloads are
-		// recycled after the write; borrowed (zero-copy) payloads release
-		// their blocked caller once the batch hits the socket.
-		finish := func(s *outStream) {
-			if s.e.done != nil {
-				completed = append(completed, s.e.done)
-			} else {
-				recycle = append(recycle, s.e.data)
-			}
-		}
 
 		grab := func(n int) []byte {
 			h := hdrs[len(hdrs) : len(hdrs)+n]
@@ -655,11 +900,20 @@ func (p *tcpPeer) writeLoop() {
 			if n > cfg.chunkSize {
 				n = cfg.chunkSize
 			}
-			h := grab(tcpFrameHeader + tcpChunkExt)
-			putHeader(h, frameChunk, &s.e, n)
+			ext := tcpChunkExt
+			typ := frameChunk
+			if s.seq != 0 {
+				ext += tcpSeqExt
+				typ = frameChunkSeq
+			}
+			h := grab(tcpFrameHeader + ext)
+			putHeader(h, typ, &s.e, n)
 			binary.LittleEndian.PutUint32(h[tcpFrameHeader:], s.id)
 			binary.LittleEndian.PutUint32(h[tcpFrameHeader+4:], 0)
 			binary.LittleEndian.PutUint64(h[tcpFrameHeader+8:], uint64(len(s.e.data)))
+			if s.seq != 0 {
+				binary.LittleEndian.PutUint64(h[tcpFrameHeader+tcpChunkExt:], s.seq)
+			}
 			iov = append(iov, h, s.e.data[s.off:s.off+n])
 			s.off += n
 			frames++
@@ -671,23 +925,32 @@ func (p *tcpPeer) writeLoop() {
 		// slot at the receiver so matching order is preserved.
 		for _, e := range items {
 			if cfg.chunk && len(e.data) > cfg.chunkThreshold {
-				s := &outStream{e: e, id: p.nextStream}
+				s := &outStream{e: e, id: p.nextStream, seq: stamp(&e)}
 				p.nextStream++
 				emitChunk(s)
 				if s.off < len(s.e.data) {
 					streams = append(streams, s)
 				} else {
-					finish(s)
+					batchDone = append(batchDone, s)
 				}
 				continue
 			}
-			h := grab(tcpFrameHeader)
-			putHeader(h, frameMsg, &e, len(e.data))
-			iov = append(iov, h)
+			seq := stamp(&e)
+			e.seq = seq
+			if seq != 0 {
+				h := grab(tcpFrameHeader + tcpSeqExt)
+				putHeader(h, frameMsgSeq, &e, len(e.data))
+				binary.LittleEndian.PutUint64(h[tcpFrameHeader:], seq)
+				iov = append(iov, h)
+			} else {
+				h := grab(tcpFrameHeader)
+				putHeader(h, frameMsg, &e, len(e.data))
+				iov = append(iov, h)
+			}
 			if len(e.data) > 0 {
 				iov = append(iov, e.data)
 			}
-			recycle = append(recycle, e.data)
+			batchMsgs = append(batchMsgs, e)
 			frames++
 		}
 		// Then one more chunk per in-flight stream, round-robin.
@@ -697,30 +960,58 @@ func (p *tcpPeer) writeLoop() {
 			if s.off < len(s.e.data) {
 				live = append(live, s)
 			} else {
-				finish(s)
+				batchDone = append(batchDone, s)
 			}
 		}
 		streams = live
 
+		conn := p.getConn()
 		if draining {
-			p.conn.SetWriteDeadline(time.Now().Add(tcpFlushTimeout)) //nolint:errcheck
+			conn.SetWriteDeadline(time.Now().Add(tcpFlushTimeout)) //nolint:errcheck
 		}
 		wb := net.Buffers(iov)
-		nw, werr := wb.WriteTo(p.conn)
+		nw, werr := wb.WriteTo(conn)
 		ep.countWireOut(nw)
 		ep.countBatch(frames, chunks)
-		for _, b := range recycle {
-			PutBuffer(b)
-		}
 		if werr != nil {
-			loopErr = fmt.Errorf("mpi: tcp send to rank %d: %w", p.rank, werr)
-			for _, ch := range completed {
-				ch <- loopErr
+			if cfg.retryMax > 0 && !draining && p.reconnect() {
+				// At-least-once retransmission: the whole interrupted batch
+				// goes out again on the fresh connection, and in-flight
+				// chunk streams restart from offset zero (the receiver's
+				// partial reassembly state died with the old connection).
+				// Sequence numbers make the replays idempotent.
+				carry = append(carry[:0], batchMsgs...)
+				for _, s := range batchDone {
+					s.off = 0
+					streams = append(streams, s)
+				}
+				for _, s := range streams {
+					s.off = 0
+				}
+				continue
+			}
+			loopErr = fmt.Errorf("mpi: tcp send to rank %d: %v: %w", p.rank, werr, ErrPeerLost)
+			for _, e := range batchMsgs {
+				PutBuffer(e.data)
+			}
+			for _, s := range batchDone {
+				if s.e.done != nil {
+					s.e.done <- loopErr
+				} else {
+					PutBuffer(s.e.data)
+				}
 			}
 			return
 		}
-		for _, ch := range completed {
-			ch <- nil
+		for _, e := range batchMsgs {
+			PutBuffer(e.data)
+		}
+		for _, s := range batchDone {
+			if s.e.done != nil {
+				s.e.done <- nil
+			} else {
+				PutBuffer(s.e.data)
+			}
 		}
 	}
 }
@@ -799,12 +1090,13 @@ func (ep *TCPEndpoint) dial(dst int, addr string) (*tcpPeer, error) {
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, fmt.Errorf("mpi: tcp dial rank %d (%s): %w", dst, addr, err)
+		return nil, fmt.Errorf("mpi: tcp dial rank %d (%s): %v: %w", dst, addr, err, ErrPeerLost)
 	}
 	ep.cfg.apply(conn)
 	p := &tcpPeer{
 		ep:    ep,
 		rank:  dst,
+		addr:  addr,
 		conn:  conn,
 		queue: make(chan envelope, ep.cfg.queueLen),
 		dead:  make(chan struct{}),
@@ -826,24 +1118,38 @@ type frameDecoder struct {
 	maxTotal   uint64
 	maxStreams int
 	streams    map[uint32]*inStream
+	// ded, when non-nil, drops sequenced frames (v3) whose sequence
+	// number was already delivered — the receive half of reconnect-retry.
+	ded *seqDeduper
+	// onDup, when non-nil, is called once per dropped replay.
+	onDup func()
+	// srcs records every world rank that delivered at least one frame on
+	// this connection, so a dying connection can mark exactly those ranks
+	// lost.
+	srcs map[int]struct{}
 	// hdr is the header/extension read scratch. A local array would
 	// escape through the io.Reader interface and cost one allocation per
 	// frame; as a decoder field it is allocated once per connection.
-	hdr [tcpFrameHeader + tcpChunkExt]byte
+	hdr [tcpFrameHeader + tcpChunkExt + tcpSeqExt]byte
 }
 
 // chunkSink is where decoded messages land; satisfied by *mailbox.
 type chunkSink interface {
 	put(e envelope)
 	complete(p *chunkPending)
+	removePending(p *chunkPending)
 }
 
 // inStream is a chunk stream being reassembled. The envelope (and the
 // arena buffer its data field points to) is already pinned in the
-// mailbox; fill tracks how much of it has arrived.
+// mailbox; fill tracks how much of it has arrived. A discard stream (a
+// replay of an already-delivered message) reassembles into a throwaway
+// buffer and is never pinned.
 type inStream struct {
-	env  envelope
-	fill int
+	env     envelope
+	fill    int
+	seq     uint64
+	discard bool
 }
 
 func newFrameDecoder(sink chunkSink, maxFrame, maxTotal uint64, maxStreams int) *frameDecoder {
@@ -870,9 +1176,25 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 	src := int(binary.LittleEndian.Uint32(hdr[8:]))
 	tag := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
 	n := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if _, ok := d.srcs[src]; !ok {
+		if d.srcs == nil {
+			d.srcs = make(map[int]struct{})
+		}
+		d.srcs[src] = struct{}{}
+	}
 
 	switch typ {
-	case frameMsg:
+	case frameMsg, frameMsgSeq:
+		var seq uint64
+		wire = int64(tcpFrameHeader)
+		if typ == frameMsgSeq {
+			ext := d.hdr[tcpFrameHeader : tcpFrameHeader+tcpSeqExt]
+			if _, err := io.ReadFull(r, ext); err != nil {
+				return 0, typ, err
+			}
+			seq = binary.LittleEndian.Uint64(ext)
+			wire += int64(tcpSeqExt)
+		}
 		if uint64(n) > d.maxFrame {
 			return 0, typ, fmt.Errorf("%w: %d-byte frame exceeds limit", errTCPProto, n)
 		}
@@ -884,16 +1206,32 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 				return 0, typ, err
 			}
 		}
+		if typ == frameMsgSeq && d.ded != nil && !d.ded.commit(ctx, src, seq) {
+			// Replay of a frame already delivered on a previous connection.
+			PutBuffer(data)
+			if d.onDup != nil {
+				d.onDup()
+			}
+			return wire + int64(n), typ, nil
+		}
 		d.sink.put(envelope{ctx: ctx, src: src, tag: tag, data: data})
-		return int64(tcpFrameHeader) + int64(n), typ, nil
+		return wire + int64(n), typ, nil
 
-	case frameChunk:
-		ext := d.hdr[tcpFrameHeader:]
+	case frameChunk, frameChunkSeq:
+		extLen := tcpChunkExt
+		if typ == frameChunkSeq {
+			extLen += tcpSeqExt
+		}
+		ext := d.hdr[tcpFrameHeader : tcpFrameHeader+extLen]
 		if _, err := io.ReadFull(r, ext); err != nil {
 			return 0, typ, err
 		}
 		stream := binary.LittleEndian.Uint32(ext[0:])
 		total := binary.LittleEndian.Uint64(ext[8:])
+		var seq uint64
+		if typ == frameChunkSeq {
+			seq = binary.LittleEndian.Uint64(ext[tcpChunkExt:])
+		}
 		if total == 0 || total > d.maxTotal {
 			return 0, typ, fmt.Errorf("%w: chunk stream of %d bytes out of range", errTCPProto, total)
 		}
@@ -906,11 +1244,18 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 				ctx: ctx, src: src, tag: tag,
 				data: GetBuffer(int(total)),
 				pend: &chunkPending{},
-			}}
+			}, seq: seq}
+			if typ == frameChunkSeq && d.ded != nil && d.ded.committed(ctx, src, seq) {
+				// Replay of a stream that already completed: reassemble to
+				// keep the wire in sync, then throw the payload away.
+				st.discard = true
+			}
 			d.streams[stream] = st
-			// Pin the message's matching position now; it becomes
-			// matchable when the last chunk lands.
-			d.sink.put(st.env)
+			if !st.discard {
+				// Pin the message's matching position now; it becomes
+				// matchable when the last chunk lands.
+				d.sink.put(st.env)
+			}
 		} else if st.env.ctx != ctx || st.env.src != src || st.env.tag != tag || uint64(len(st.env.data)) != total {
 			return 0, typ, fmt.Errorf("%w: chunk stream %d changed identity mid-flight", errTCPProto, stream)
 		}
@@ -924,13 +1269,48 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 			st.fill += n
 		}
 		if uint64(st.fill) == total {
-			d.sink.complete(st.env.pend)
+			d.finishStream(st)
 			delete(d.streams, stream)
 		}
-		return int64(tcpFrameHeader) + int64(tcpChunkExt) + int64(n), typ, nil
+		return int64(tcpFrameHeader) + int64(extLen) + int64(n), typ, nil
 
 	default:
 		return 0, typ, fmt.Errorf("%w: unknown frame type %d", errTCPProto, typ)
+	}
+}
+
+// finishStream commits a fully reassembled stream: discarded replays are
+// recycled, and a replay that raced in through another connection after
+// this stream was pinned is unpinned again.
+func (d *frameDecoder) finishStream(st *inStream) {
+	if st.discard {
+		PutBuffer(st.env.data)
+		if d.onDup != nil {
+			d.onDup()
+		}
+		return
+	}
+	if st.seq != 0 && d.ded != nil && !d.ded.commit(st.env.ctx, st.env.src, st.seq) {
+		d.sink.removePending(st.env.pend)
+		if d.onDup != nil {
+			d.onDup()
+		}
+		return
+	}
+	d.sink.complete(st.env.pend)
+}
+
+// cleanup releases the reassembly state of streams the connection left
+// incomplete: pinned mailbox envelopes are unlinked (recycling their
+// buffers), discard buffers go straight back to the arena.
+func (d *frameDecoder) cleanup() {
+	for id, st := range d.streams {
+		if st.discard {
+			PutBuffer(st.env.data)
+		} else {
+			d.sink.removePending(st.env.pend)
+		}
+		delete(d.streams, id)
 	}
 }
 
@@ -943,8 +1323,18 @@ func RunTCP(n int, body func(c *Comm) error) error {
 }
 
 // RunTCPOpts is RunTCP with explicit transport options applied to every
-// rank's endpoint.
+// rank's endpoint. When a process-wide fault injector is installed (see
+// SetDefaultFaultInjector) it is wrapped around every rank's transport.
 func RunTCPOpts(n int, opts TCPOptions, body func(c *Comm) error) error {
+	return RunTCPChaos(n, opts, defaultInjector(), body)
+}
+
+// RunTCPChaos is RunTCPOpts with an explicit fault injector wrapped
+// around every rank's TCP transport: outgoing messages pass through the
+// chaos engine before reaching the socket, and a severed link notifies
+// the destination rank's mailbox so blocked receivers fail with
+// ErrPeerLost instead of hanging. A nil injector runs fault-free.
+func RunTCPChaos(n int, opts TCPOptions, inj FaultInjector, body func(c *Comm) error) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: world size %d must be positive", n)
 	}
@@ -961,18 +1351,32 @@ func RunTCPOpts(n int, opts TCPOptions, body func(c *Comm) error) error {
 		eps[i] = ep
 		addrs[i] = ep.Addr()
 	}
+	comms := make([]*Comm, n)
+	fts := make([]*faultTransport, 0, n)
+	for rank := range comms {
+		c, err := eps[rank].Join(rank, addrs)
+		if err != nil {
+			for _, ep := range eps {
+				ep.Close()
+			}
+			return err
+		}
+		if inj != nil {
+			ft := newFaultTransport(c.tr, inj, rank, func(dst, src int, err error) {
+				eps[dst].box.markLost(src, err)
+			})
+			c.tr = ft
+			fts = append(fts, ft)
+		}
+		comms[rank] = c
+	}
 	errs := make([]error, n)
 	var wg sync.WaitGroup
 	for rank := 0; rank < n; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			c, err := eps[rank].Join(rank, addrs)
-			if err != nil {
-				errs[rank] = err
-				return
-			}
-			if err := body(c); err != nil {
+			if err := body(comms[rank]); err != nil {
 				errs[rank] = fmt.Errorf("rank %d: %w", rank, err)
 				for _, ep := range eps {
 					ep.box.close(fmt.Errorf("mpi: rank %d failed: %w", rank, err))
@@ -981,6 +1385,11 @@ func RunTCPOpts(n int, opts TCPOptions, body func(c *Comm) error) error {
 		}(rank)
 	}
 	wg.Wait()
+	// Fault transports flush their queued traffic into the raw transport
+	// (and close it) before the endpoints shut down for good.
+	for _, ft := range fts {
+		ft.close()
+	}
 	for _, ep := range eps {
 		ep.Close()
 	}

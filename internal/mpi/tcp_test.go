@@ -459,6 +459,10 @@ func (s *recycleSink) complete(p *chunkPending) {
 	PutBuffer(s.last.data)
 }
 
+func (s *recycleSink) removePending(p *chunkPending) {
+	PutBuffer(s.last.data)
+}
+
 // buildMsgFrame assembles a frameMsg wire image for decoder tests.
 func buildMsgFrame(ctx uint32, src int, tag int, payload []byte) []byte {
 	f := make([]byte, tcpFrameHeader+len(payload))

@@ -31,6 +31,15 @@ type Telemetry struct {
 	tcpChunksIn     *obs.Counter
 	tcpBackpressure *obs.Counter
 	tcpQueueDepth   *obs.Gauge
+
+	// Fault-tolerance instruments: chaos-engine verdicts mirrored by the
+	// fault transport, TCP reconnect attempts, and peers this rank's
+	// mailbox declared lost.
+	faultDrops    *obs.Counter
+	faultRetries  *obs.Counter
+	faultSevers   *obs.Counter
+	tcpReconnects *obs.Counter
+	peersLost     *obs.Counter
 }
 
 // NewTelemetry derives a rank's instrument handles from the registry and
@@ -70,6 +79,16 @@ func NewTelemetry(reg *obs.Registry, rec *trace.Recorder, rank int) *Telemetry {
 			"Sends that found their peer's queue full and had to block.", rl),
 		tcpQueueDepth: reg.Gauge("mpi_tcp_send_queue_depth",
 			"Frames enqueued to peer writers and not yet written.", rl),
+		faultDrops: reg.Counter("mpi_fault_drops_total",
+			"Delivery attempts discarded by the fault injector.", rl),
+		faultRetries: reg.Counter("mpi_fault_retries_total",
+			"Backoff retries after fault-injected drops.", rl),
+		faultSevers: reg.Counter("mpi_fault_severed_links_total",
+			"Peer links cut by the fault injector.", rl),
+		tcpReconnects: reg.Counter("mpi_tcp_reconnects_total",
+			"Peer writer reconnect attempts after connection failures.", rl),
+		peersLost: reg.Counter("mpi_peers_lost_total",
+			"Peer ranks this rank's mailbox declared unreachable.", rl),
 	}
 }
 
@@ -91,12 +110,20 @@ func (c *Comm) AttachTelemetry(t *Telemetry) {
 	if c.box != nil {
 		if t != nil {
 			c.box.setDepthGauge(t.pendingMsgs)
+			c.box.setLostCounter(t.peersLost)
 		} else {
 			c.box.setDepthGauge(nil)
+			c.box.setLostCounter(nil)
 		}
 	}
-	if tt, ok := c.tr.(*tcpTransport); ok {
-		tt.ep.attachObs(t)
+	switch tr := c.tr.(type) {
+	case *tcpTransport:
+		tr.ep.attachObs(t)
+	case *faultTransport:
+		tr.attachObs(t)
+		if tt, ok := tr.raw.(*tcpTransport); ok {
+			tt.ep.attachObs(t)
+		}
 	}
 }
 
