@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-json
+.PHONY: build test verify chaos bench bench-json bench-mapping
 
 build:
 	$(GO) build ./...
@@ -19,18 +19,24 @@ chaos:
 # verify is the pre-merge gate: static analysis over the whole module,
 # the race detector on the packages with concurrent machinery (lock-free
 # counters, mailbox gauges, TCP wire counters, the pack/unpack worker
-# pool and staging-buffer arena), the chaos suite, the golden-plan
-# fixtures, a brief fuzz of both TCP wire decoders, and a one-iteration
-# smoke of the exchange-engine benchmarks so the serial/pooled/parallel/
-# zero-copy configurations all stay runnable.
+# pool and staging-buffer arena, and the parallel plan compiler — the
+# compiler-equivalence differential tests run under race explicitly so a
+# data race in the ForkJoin'd construction fails the gate by name), the
+# chaos suite, the golden-plan fixtures, a brief fuzz of both TCP wire
+# decoders, and one-iteration smokes of the exchange-engine and mapping
+# benchmarks so every measured configuration stays runnable.
 verify: chaos
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/... ./internal/datatype/...
+	$(GO) test -race -run 'TestCompilerEquivalence' ./internal/core/
+	$(GO) test -race -run 'TestRegridderReconnect' ./internal/transit/
 	$(GO) test -run TestGoldenPlans ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzTCPFrameDecoder -fuzztime 10s ./internal/mpi/
 	$(GO) test -run '^$$' -fuzz FuzzTCPSeqFrameDecoder -fuzztime 10s ./internal/mpi/
 	$(GO) test -run '^$$' -bench BenchmarkReorganizeEngine -benchtime 1x ./internal/core/
 	$(GO) test -run '^$$' -bench BenchmarkTCPExchange -benchtime 1x ./internal/mpi/
+	$(GO) test -run '^$$' -bench 'BenchmarkSetupMapping/(schedule|plan)/P=64' -benchtime 1x ./internal/core/
+	$(GO) test -run '^$$' -bench BenchmarkRegridderReconnect -benchtime 1x ./internal/transit/
 
 bench:
 	$(GO) test -run XXX -bench BenchmarkReorganizeTelemetry -benchmem ./internal/core/
@@ -45,3 +51,15 @@ bench-json:
 	  $(GO) test -run '^$$' -bench BenchmarkReorganizeEngine -benchmem ./internal/core/ ; } | \
 	  $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_tcp.json
 	@echo wrote BENCH_tcp.json
+
+# bench-mapping snapshots the mapping-engine benchmarks — indexed vs
+# brute-force plan compilation across process counts, and the plan-cache
+# cold/warm reconnect pair — as BENCH_mapping.json. Pass BASELINE=<file>
+# to embed a prior snapshot for before/after ratios.
+bench-mapping:
+	{ $(GO) test -run '^$$' -bench BenchmarkSetupMapping -benchtime 5x ./internal/core/ && \
+	  $(GO) test -run '^$$' -bench BenchmarkRegridderReconnect -benchtime 5x ./internal/transit/ ; } | \
+	  $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) \
+	  -note "mapping engine: indexed sparse compiler vs brute-force baseline; plan-cache reconnect" \
+	  -o BENCH_mapping.json
+	@echo wrote BENCH_mapping.json

@@ -9,12 +9,21 @@
 //
 // The per-round table shows each rank's wire bytes per round (max/avg),
 // exposing imbalance the aggregate stats can hide.
+//
+// With -sweep, ddrplan instead profiles compile-time scaling across a
+// list of process counts, printing the per-phase cost of establishing the
+// mapping at each scale — geometry allgather payload, cache-key
+// fingerprint, spatial-index build, and plan compile:
+//
+//	ddrplan -mode stack -sweep 64,256,1024 -par 8
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"ddr/internal/core"
 	"ddr/internal/experiments"
@@ -35,12 +44,79 @@ func main() {
 		perRound  = flag.Bool("rounds", false, "print the per-round traffic table")
 		save      = flag.String("save", "", "write the geometry as JSON to this path")
 		load      = flag.String("load", "", "analyze a geometry JSON instead of -mode")
+		sweep     = flag.String("sweep", "", "comma-separated process counts: profile compile-time scaling with per-phase timings")
+		par       = flag.Int("par", 0, "compile parallelism for -sweep (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
+	if *sweep != "" {
+		if err := runSweep(*mode, *width, *height, *depth, *elem, *technique, *producers, *consumers, *sweep, *par); err != nil {
+			fmt.Fprintln(os.Stderr, "ddrplan:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(*mode, *width, *height, *depth, *elem, *procs, *technique, *producers, *consumers, *perRound, *save, *load); err != nil {
 		fmt.Fprintln(os.Stderr, "ddrplan:", err)
 		os.Exit(1)
 	}
+}
+
+// buildGeometry constructs the selected geometry family at a given
+// process count.
+func buildGeometry(mode string, width, height, depth, procs int, technique string, producers, consumers int) ([][]grid.Box, []grid.Box, error) {
+	switch mode {
+	case "stack":
+		tech := experiments.Consecutive
+		if technique == "round-robin" {
+			tech = experiments.RoundRobin
+		} else if technique != "consecutive" {
+			return nil, nil, fmt.Errorf("unknown technique %q", technique)
+		}
+		domain := grid.Box3(0, 0, 0, width, height, depth)
+		chunks, needs := experiments.StackGeometry(domain, procs, tech)
+		return chunks, needs, nil
+	case "regrid":
+		// Scale the flags' producer:consumer ratio to the requested size.
+		cons := max(1, procs*consumers/max(1, producers))
+		m, err := experiments.Figure5(procs, cons, width, height)
+		if err != nil {
+			return nil, nil, err
+		}
+		return m.ChunksPerCons, m.ConsumerNeeds, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown mode %q", mode)
+	}
+}
+
+// runSweep profiles the offline compile across a list of process counts.
+func runSweep(mode string, width, height, depth, elem int, technique string, producers, consumers int, sweep string, par int) error {
+	var counts []int
+	for _, f := range strings.Split(sweep, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -sweep entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	fmt.Printf("compile-time scaling, %s geometry, par=%d\n", mode, par)
+	fmt.Printf("%-8s %8s %12s %12s %10s %10s %10s  %s\n",
+		"procs", "chunks", "gather KiB", "max enc B", "encode", "index", "compile", "cache key")
+	for _, p := range counts {
+		chunks, needs, err := buildGeometry(mode, width, height, depth, p, technique, producers, consumers)
+		if err != nil {
+			return err
+		}
+		_, prof, err := core.ProfileMapping(0, elem, chunks, needs, par)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8d %8d %12.1f %12d %10s %10s %10s  %016x (%s)\n",
+			prof.Procs, prof.TotalChunks,
+			float64(prof.AllgatherBytes)/1024, prof.MaxEncodedBytes,
+			prof.EncodeTime.Round(10e3), prof.IndexTime.Round(10e3), prof.CompileTime.Round(10e3),
+			prof.Fingerprint, prof.FingerprintTime.Round(1e3))
+	}
+	return nil
 }
 
 func run(mode string, width, height, depth, elem, procs int, technique string, producers, consumers int, perRound bool, save, load string) error {
@@ -67,25 +143,17 @@ func run(mode string, width, height, depth, elem, procs int, technique string, p
 	}
 	switch mode {
 	case "stack":
-		tech := experiments.Consecutive
-		if technique == "round-robin" {
-			tech = experiments.RoundRobin
-		} else if technique != "consecutive" {
-			return fmt.Errorf("unknown technique %q", technique)
-		}
-		domain := grid.Box3(0, 0, 0, width, height, depth)
-		allChunks, allNeeds = experiments.StackGeometry(domain, procs, tech)
-		label = fmt.Sprintf("stack %dx%dx%d, %d procs, %v chunking", width, height, depth, procs, tech)
+		label = fmt.Sprintf("stack %dx%dx%d, %d procs, %s chunking", width, height, depth, procs, technique)
 	case "regrid":
-		m, err := experiments.Figure5(producers, consumers, width, height)
-		if err != nil {
-			return err
-		}
-		allChunks = m.ChunksPerCons
-		allNeeds = m.ConsumerNeeds
+		procs = producers
 		label = fmt.Sprintf("regrid %dx%d, %d producers -> %d consumers", width, height, producers, consumers)
 	default:
 		return fmt.Errorf("unknown mode %q", mode)
+	}
+	var err error
+	allChunks, allNeeds, err = buildGeometry(mode, width, height, depth, procs, technique, producers, consumers)
+	if err != nil {
+		return err
 	}
 
 	plan, err := core.NewPlanFromGeometry(0, elem, allChunks, allNeeds)

@@ -182,7 +182,8 @@ func TestE1PlanShape(t *testing.T) {
 		}
 		for peer, w := range wantSend {
 			for r := 0; r < 2; r++ {
-				if got := p.send[r][peer].PackedSize(); got != w[r] {
+				if st, _ := p.sendE.at(r, peer); st.PackedSize() != w[r] {
+				got := st.PackedSize()
 					return fmt.Errorf("send round %d to rank %d: %d bytes, want %d", r, peer, got, w[r])
 				}
 			}
@@ -190,10 +191,12 @@ func TestE1PlanShape(t *testing.T) {
 		// Rank 0 needs quadrant (0,0)+(4,4): rows y=0..3, owned as chunk 0
 		// of ranks 0..3 respectively.
 		for peer := 0; peer < 4; peer++ {
-			if got := p.recv[0][peer].PackedSize(); got != 16 {
+			if rt, _ := p.recvE.at(0, peer); rt.PackedSize() != 16 {
+			got := rt.PackedSize()
 				return fmt.Errorf("recv round 0 from rank %d: %d bytes, want 16", peer, got)
 			}
-			if got := p.recv[1][peer].PackedSize(); got != 0 {
+			if rt, _ := p.recvE.at(1, peer); rt.PackedSize() != 0 {
+			got := rt.PackedSize()
 				return fmt.Errorf("recv round 1 from rank %d: %d bytes, want 0", peer, got)
 			}
 		}

@@ -20,6 +20,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"ddr/internal/grid"
@@ -146,10 +147,13 @@ type Descriptor struct {
 	deadline    time.Duration // per-exchange bound; > 0 enables degradation
 	tracer      *trace.Recorder
 	metrics     *obs.Registry
+	cacheCap    int // plan-cache capacity; <= 0 disables
 
-	plan    *Plan // nil until SetupDataMapping
-	timings []RoundTiming
-	obsv    *exchObs // nil unless a tracer or registry is attached
+	plan                   *Plan            // nil until SetupDataMapping
+	cache                  *planCache[*Plan] // nil when caching is disabled
+	cacheHits, cacheMisses atomic.Int64
+	timings                []RoundTiming
+	obsv                   *exchObs // nil unless a tracer or registry is attached
 
 	eng     engine // pack/unpack worker pool + reusable job batch
 	scratch exchScratch
@@ -165,12 +169,19 @@ type exchObs struct {
 	rank int // world rank, so all comms of a process share one lane
 
 	planCompile   *obs.Histogram
+	compilePar    *obs.Histogram
+	cacheHits     *obs.Counter
+	cacheMisses   *obs.Counter
 	exchangeLat   *obs.Histogram
 	roundLat      *obs.Histogram
 	exchangeBytes *obs.Counter
 	packLat       *obs.Histogram
 	unpackLat     *obs.Histogram
 }
+
+// parallelismBuckets covers worker-pool widths from serial through large
+// SMP nodes for the compile-parallelism histogram.
+var parallelismBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
 // on reports whether observation is attached; helpers gate every
 // time.Now and name formatting behind it.
@@ -196,6 +207,12 @@ func (d *Descriptor) buildObs(rank int) {
 		rank: rank,
 		planCompile: d.metrics.Histogram("ddr_plan_compile_seconds",
 			"Time to gather geometry and compile the communication plan.", obs.LatencyBuckets, rl),
+		compilePar: d.metrics.Histogram("ddr_plan_compile_parallelism",
+			"Worker-pool width used for each plan compilation.", parallelismBuckets, rl),
+		cacheHits: d.metrics.Counter("ddr_plan_cache_hits_total",
+			"SetupDataMapping calls satisfied by a cached plan.", rl),
+		cacheMisses: d.metrics.Counter("ddr_plan_cache_misses_total",
+			"SetupDataMapping calls that compiled a new plan with caching enabled.", rl),
 		exchangeLat: d.metrics.Histogram("ddr_exchange_seconds",
 			"Wall time of one complete ReorganizeData exchange.", obs.LatencyBuckets, rl, ml),
 		roundLat: d.metrics.Histogram("ddr_exchange_round_seconds",
@@ -269,6 +286,15 @@ func WithParallelism(n int) Option {
 	return func(d *Descriptor) { d.eng.par = n }
 }
 
+// WithPlanCache sets the capacity of the descriptor's plan cache
+// (default 8). Cached plans let SetupDataMapping skip the geometry
+// exchange and compilation entirely when a previously mapped layout
+// recurs — the collective agreement costs two small collectives. n <= 0
+// disables caching, forcing every setup through the full compile path.
+func WithPlanCache(n int) Option {
+	return func(d *Descriptor) { d.cacheCap = n }
+}
+
 // WithBufferPooling toggles staging-buffer pooling (default on). When on,
 // wire buffers cycle through a process-wide arena so repeated exchanges
 // on one plan allocate nothing in steady state; turn it off to isolate
@@ -303,9 +329,13 @@ func NewDescriptor(nProcs int, layout Layout, elem ElemType, opts ...Option) (*D
 		elemSize: elem.Size(),
 		pooled:   true,
 		zeroCopy: true,
+		cacheCap: 8,
 	}
 	for _, opt := range opts {
 		opt(d)
+	}
+	if d.cacheCap > 0 {
+		d.cache = newPlanCache[*Plan](d.cacheCap)
 	}
 	if !d.elemSizeSet && elem.Size() == 0 {
 		return nil, fmt.Errorf("core: unknown element type %v", elem)
@@ -345,6 +375,13 @@ func (d *Descriptor) ElemSize() int { return d.elemSize }
 // Plan returns the compiled communication plan, or nil before
 // SetupDataMapping has run.
 func (d *Descriptor) Plan() *Plan { return d.plan }
+
+// PlanCacheStats reports how many SetupDataMapping calls were satisfied
+// by a cached plan and how many compiled a new one while caching was
+// enabled. Both are zero when the cache is disabled.
+func (d *Descriptor) PlanCacheStats() (hits, misses int64) {
+	return d.cacheHits.Load(), d.cacheMisses.Load()
+}
 
 // checkBoxDims verifies a box matches the descriptor's dimensionality.
 func (d *Descriptor) checkBoxDims(b grid.Box, what string) error {

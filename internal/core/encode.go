@@ -7,76 +7,122 @@ import (
 	"ddr/internal/grid"
 )
 
-// Geometry exchange wire format: every rank contributes its need box
-// followed by its owned chunk list. All integers are little-endian int32;
-// coordinates in DDR's use cases are raster indices, far below 2^31.
+// Geometry exchange wire format v2: every rank contributes its need box
+// followed by its owned chunk list, encoded compactly — the allgather
+// payload is O(P·chunks) per rank and O(P²·chunks) in flight, so its size
+// is what bounds SetupDataMapping's communication at scale.
+//
+// All integers are varints. Box coordinates are delta-encoded against the
+// previous box in the same stream (zigzag for the signed deltas): chunk
+// lists are typically adjacent slabs or slices of one another, so deltas
+// are tiny and a box costs a few bytes instead of the fixed 28 of the v1
+// fixed-width encoding. The encoding is canonical — one byte stream per
+// geometry — which lets the same bytes double as the input of the plan
+// cache's geometry fingerprint (see plancache.go).
 
-func appendBox(buf []byte, b grid.Box) []byte {
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(int32(b.NDims)))
-	buf = append(buf, tmp[:]...)
-	for i := 0; i < b.NDims; i++ {
-		binary.LittleEndian.PutUint32(tmp[:], uint32(int32(b.Offset[i])))
-		buf = append(buf, tmp[:]...)
-		binary.LittleEndian.PutUint32(tmp[:], uint32(int32(b.Dims[i])))
-		buf = append(buf, tmp[:]...)
+// geomVersion guards against mixed-build worlds decoding each other's
+// geometry streams.
+const geomVersion = 2
+
+// zigzag maps a signed delta onto the unsigned varint space.
+func zigzag(v int) uint64 { return uint64((int64(v) << 1) ^ (int64(v) >> 63)) }
+
+// unzigzag reverses zigzag.
+func unzigzag(u uint64) int { return int(int64(u>>1) ^ -int64(u&1)) }
+
+// appendUvarint appends u as a varint.
+func appendUvarint(buf []byte, u uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], u)
+	return append(buf, tmp[:n]...)
+}
+
+// readUvarint consumes one varint from buf.
+func readUvarint(buf []byte) (uint64, []byte, error) {
+	u, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, fmt.Errorf("core: truncated or malformed varint")
 	}
+	return u, buf[n:], nil
+}
+
+// appendBox appends b delta-encoded against prev and advances prev.
+func appendBox(buf []byte, b grid.Box, prev *grid.Box) []byte {
+	buf = appendUvarint(buf, uint64(b.NDims))
+	for i := 0; i < b.NDims; i++ {
+		buf = appendUvarint(buf, zigzag(b.Offset[i]-prev.Offset[i]))
+		buf = appendUvarint(buf, zigzag(b.Dims[i]-prev.Dims[i]))
+	}
+	*prev = b
 	return buf
 }
 
-func readBox(buf []byte) (grid.Box, []byte, error) {
-	if len(buf) < 4 {
-		return grid.Box{}, nil, fmt.Errorf("core: truncated box header")
+// readBox consumes one delta-encoded box and advances prev.
+func readBox(buf []byte, prev *grid.Box) (grid.Box, []byte, error) {
+	u, buf, err := readUvarint(buf)
+	if err != nil {
+		return grid.Box{}, nil, fmt.Errorf("core: box header: %w", err)
 	}
-	nd := int(int32(binary.LittleEndian.Uint32(buf)))
-	buf = buf[4:]
+	nd := int(u)
 	if nd < 1 || nd > grid.MaxDims {
 		return grid.Box{}, nil, fmt.Errorf("core: box dimensionality %d out of range", nd)
-	}
-	if len(buf) < 8*nd {
-		return grid.Box{}, nil, fmt.Errorf("core: truncated box body")
 	}
 	offset := make([]int, nd)
 	dims := make([]int, nd)
 	for i := 0; i < nd; i++ {
-		offset[i] = int(int32(binary.LittleEndian.Uint32(buf)))
-		dims[i] = int(int32(binary.LittleEndian.Uint32(buf[4:])))
-		buf = buf[8:]
+		if u, buf, err = readUvarint(buf); err != nil {
+			return grid.Box{}, nil, fmt.Errorf("core: box offset axis %d: %w", i, err)
+		}
+		offset[i] = prev.Offset[i] + unzigzag(u)
+		if u, buf, err = readUvarint(buf); err != nil {
+			return grid.Box{}, nil, fmt.Errorf("core: box extent axis %d: %w", i, err)
+		}
+		dims[i] = prev.Dims[i] + unzigzag(u)
 	}
 	b, err := grid.NewBox(offset, dims)
-	return b, buf, err
+	if err != nil {
+		return grid.Box{}, nil, err
+	}
+	*prev = b
+	return b, buf, nil
 }
 
 // encodeGeometry packs a rank's need box and owned chunks for the
-// allgather in SetupDataMapping.
+// allgather in SetupDataMapping. The output is canonical: equal
+// geometries encode to equal bytes.
 func encodeGeometry(need grid.Box, own []grid.Box) []byte {
-	buf := appendBox(nil, need)
-	var tmp [4]byte
-	binary.LittleEndian.PutUint32(tmp[:], uint32(int32(len(own))))
-	buf = append(buf, tmp[:]...)
+	buf := append(make([]byte, 0, 16+8*len(own)), geomVersion)
+	var prev grid.Box
+	buf = appendBox(buf, need, &prev)
+	buf = appendUvarint(buf, uint64(len(own)))
 	for _, b := range own {
-		buf = appendBox(buf, b)
+		buf = appendBox(buf, b, &prev)
 	}
 	return buf
 }
 
 // decodeGeometry reverses encodeGeometry.
 func decodeGeometry(buf []byte) (need grid.Box, own []grid.Box, err error) {
-	need, buf, err = readBox(buf)
+	if len(buf) < 1 || buf[0] != geomVersion {
+		return grid.Box{}, nil, fmt.Errorf("core: unsupported geometry encoding version")
+	}
+	buf = buf[1:]
+	var prev grid.Box
+	need, buf, err = readBox(buf, &prev)
 	if err != nil {
 		return grid.Box{}, nil, err
 	}
-	if len(buf) < 4 {
-		return grid.Box{}, nil, fmt.Errorf("core: truncated chunk count")
+	u, buf, err := readUvarint(buf)
+	if err != nil {
+		return grid.Box{}, nil, fmt.Errorf("core: chunk count: %w", err)
 	}
-	n := int(int32(binary.LittleEndian.Uint32(buf)))
-	buf = buf[4:]
-	if n < 0 {
-		return grid.Box{}, nil, fmt.Errorf("core: negative chunk count %d", n)
+	n := int(u)
+	if n < 0 || n > len(buf)+1 { // every box costs at least one byte
+		return grid.Box{}, nil, fmt.Errorf("core: implausible chunk count %d", n)
 	}
 	own = make([]grid.Box, n)
 	for i := range own {
-		own[i], buf, err = readBox(buf)
+		own[i], buf, err = readBox(buf, &prev)
 		if err != nil {
 			return grid.Box{}, nil, err
 		}

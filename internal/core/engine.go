@@ -120,6 +120,13 @@ type exchScratch struct {
 	staged [][]byte       // staged wires to recycle once sent
 	datas  [][]byte       // received payloads pending the unpack batch
 	reqs   []*mpi.Request // cancellable-path receive requests
+
+	// Dense alltoallw rows, materialized per round from the plan's sparse
+	// tables (the collective's wire format wants one slot per peer).
+	// Allocated once per descriptor and reset to the Empty sentinel after
+	// each call, so the steady state allocates nothing.
+	rowSend []datatype.Type
+	rowRecv []datatype.Type
 }
 
 // parallelism resolves the configured worker count, defaulting to

@@ -23,83 +23,12 @@ var updateGolden = flag.Bool("update", false, "rewrite the golden plan fixtures 
 // silently reshaping the traffic. Regenerate with: go test ./internal/core
 // -run TestGoldenPlans -update.
 
-// spanDTO serializes a contigSpan.
-type spanDTO struct {
-	Off int  `json:"off"`
-	N   int  `json:"n"`
-	OK  bool `json:"ok"`
-}
-
-// entryDTO is one (round, peer) plan entry.
-type entryDTO struct {
-	Peer int     `json:"peer"`
-	Size int     `json:"size"`
-	Span spanDTO `json:"span"`
-}
-
-// roundDTO is one exchange round of one rank's plan.
-type roundDTO struct {
-	Sends []entryDTO `json:"sends"`
-	Recvs []entryDTO `json:"recvs"`
-}
-
-// fusedDTO is one peer of the fused schedule.
-type fusedDTO struct {
-	Peer  int `json:"peer"`
-	Bytes int `json:"bytes"`
-	One   int `json:"one_round"`
-}
-
-// planDTO is the serialized summary of one rank's compiled plan.
-type planDTO struct {
-	Rank       int        `json:"rank"`
-	Rounds     int        `json:"rounds"`
-	RoundPlans []roundDTO `json:"round_plans"`
-	FusedSends []fusedDTO `json:"fused_sends"`
-	FusedRecvs []fusedDTO `json:"fused_recvs"`
-}
-
-// goldenDTO is the whole fixture: per-rank plans plus the global schedule
-// stats (identical on every rank, recorded once).
+// goldenDTO is the whole fixture: per-rank plan summaries (the canonical
+// JSON shape from planjson.go) plus the global schedule stats (identical
+// on every rank, recorded once).
 type goldenDTO struct {
 	Stats ScheduleStats `json:"stats"`
-	Plans []planDTO     `json:"plans"`
-}
-
-func summarizePlan(p *Plan) planDTO {
-	out := planDTO{Rank: p.rank, Rounds: p.rounds}
-	for r := 0; r < p.rounds; r++ {
-		rd := roundDTO{Sends: []entryDTO{}, Recvs: []entryDTO{}}
-		for _, peer := range p.sendPeers[r] {
-			rd.Sends = append(rd.Sends, entryDTO{
-				Peer: peer,
-				Size: p.send[r][peer].PackedSize(),
-				Span: spanDTO{Off: p.sendSpan[r][peer].off, N: p.sendSpan[r][peer].n, OK: p.sendSpan[r][peer].ok},
-			})
-		}
-		for _, peer := range p.recvPeers[r] {
-			rd.Recvs = append(rd.Recvs, entryDTO{
-				Peer: peer,
-				Size: p.recv[r][peer].PackedSize(),
-				Span: spanDTO{Off: p.recvSpan[r][peer].off, N: p.recvSpan[r][peer].n, OK: p.recvSpan[r][peer].ok},
-			})
-		}
-		out.RoundPlans = append(out.RoundPlans, rd)
-	}
-	out.FusedSends = []fusedDTO{}
-	for i, peer := range p.fusedSendPeers {
-		_ = i
-		out.FusedSends = append(out.FusedSends, fusedDTO{
-			Peer: peer, Bytes: p.fusedSendBytes[peer], One: p.fusedSendOne[peer],
-		})
-	}
-	out.FusedRecvs = []fusedDTO{}
-	for _, peer := range p.fusedRecvPeers {
-		out.FusedRecvs = append(out.FusedRecvs, fusedDTO{
-			Peer: peer, Bytes: p.fusedRecvBytes[peer], One: p.fusedRecvOne[peer],
-		})
-	}
-	return out
+	Plans []PlanSummary `json:"plans"`
 }
 
 // goldenCase is one named geometry in the shape of the paper's cases.
@@ -159,7 +88,7 @@ func TestGoldenPlans(t *testing.T) {
 	for _, gc := range goldenCases() {
 		t.Run(gc.name, func(t *testing.T) {
 			n := len(gc.chunks)
-			plans := make([]planDTO, n)
+			plans := make([]PlanSummary, n)
 			var stats ScheduleStats
 			var mu sync.Mutex
 			err := mpi.Run(n, func(c *mpi.Comm) error {
@@ -171,7 +100,7 @@ func TestGoldenPlans(t *testing.T) {
 					return err
 				}
 				mu.Lock()
-				plans[c.Rank()] = summarizePlan(d.Plan())
+				plans[c.Rank()] = d.Plan().Summary()
 				if c.Rank() == 0 {
 					stats = d.Plan().Stats()
 				}

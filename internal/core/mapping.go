@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"ddr/internal/datatype"
@@ -13,7 +14,9 @@ import (
 // SetupDataMapping. It is immutable and may be replayed by
 // ReorganizeData any number of times while the data layout stays the
 // same — only the data values need to be fresh (the paper's "dynamic
-// data" property).
+// data" property). Because it is immutable it may also be shared: the
+// plan cache hands the same *Plan back to repeated setups of one
+// geometry.
 type Plan struct {
 	elemSize int
 	rank     int
@@ -26,31 +29,66 @@ type Plan struct {
 	allChunks [][]grid.Box // [rank][chunk]
 	allNeeds  []grid.Box   // [rank]
 
-	send [][]datatype.Type // [round][peer], packing from the round's chunk buffer
-	recv [][]datatype.Type // [round][peer], scattering into the need buffer
+	// The per-round exchange tables, stored sparsely: one entry per
+	// actual overlap instead of a dense (round, peer) matrix. A rank's
+	// plan at P processes holds O(overlaps) state rather than O(R·P) —
+	// the dense tables were >99% Empty sentinels at scale, and their
+	// allocation and zeroing dominated plan compilation long before the
+	// overlap math did. Entries carry the packing type and its contiguity
+	// span together (a contiguous send needs no pack, a contiguous
+	// receive no scatter — detected at compile time so the exchange fast
+	// paths pay no per-call analysis). The alltoallw exchange, whose wire
+	// format is a dense row per round, materializes rows into reusable
+	// descriptor scratch.
+	sendE planEntries // packing from the round's chunk buffer
+	recvE planEntries // scattering into the need buffer
 
 	sendPeers [][]int // [round] peers with non-empty sends (excluding self)
 	recvPeers [][]int // [round] peers with non-empty receives (excluding self)
 
-	// Contiguity of each entry in its local array, detected at compile
-	// time so the exchange fast paths pay no per-call analysis. A
-	// contiguous send needs no pack (the wire bytes are a sub-slice of the
-	// owned buffer); a contiguous receive needs no scatter (the payload is
-	// copied straight into the need buffer).
-	sendSpan [][]contigSpan // [round][peer]
-	recvSpan [][]contigSpan // [round][peer]
-
 	// Fused-mode schedule, precomputed so the fused exchange allocates
-	// nothing per call: the peers this rank exchanges fused messages with,
-	// the total fused bytes per peer, and — when exactly one round
-	// contributes to a peer's message — that round's index (enabling the
-	// zero-copy send/receive of a single contiguous region).
+	// nothing per call: the peers this rank exchanges fused messages
+	// with, and — parallel to those peer lists — the total fused bytes
+	// per peer plus, when exactly one round contributes to a peer's
+	// message, that round's index (enabling the zero-copy send/receive
+	// of a single contiguous region).
 	fusedSendPeers []int
 	fusedRecvPeers []int
-	fusedSendBytes []int // [peer]
-	fusedRecvBytes []int // [peer]
-	fusedSendOne   []int // [peer] sole contributing round, or -1
-	fusedRecvOne   []int // [peer] sole contributing round, or -1
+	fusedSendBytes []int // parallel to fusedSendPeers
+	fusedRecvBytes []int // parallel to fusedRecvPeers
+	fusedSendOne   []int // parallel to fusedSendPeers; sole round, or -1
+	fusedRecvOne   []int // parallel to fusedRecvPeers; sole round, or -1
+}
+
+// planEntries is one direction's sparse exchange table: the overlap
+// entries of all rounds concatenated round-major, peers ascending within
+// each round (self included), with off[r]..off[r+1] delimiting round r.
+type planEntries struct {
+	off   []int // [rounds+1]
+	peers []int
+	types []datatype.Type
+	spans []contigSpan
+
+	left []int // compile-time scratch: unassigned slots per round
+}
+
+// at returns round r's entry for peer, or the Empty sentinel when the
+// pair exchanges nothing. Peers are sorted within a round, so the lookup
+// is a binary search over that round's few entries.
+func (e *planEntries) at(r, peer int) (datatype.Type, contigSpan) {
+	lo, hi := e.off[r], e.off[r+1]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if e.peers[mid] < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < e.off[r+1] && e.peers[lo] == peer {
+		return e.types[lo], e.spans[lo]
+	}
+	return datatype.Empty{}, contigSpan{}
 }
 
 // contigSpan records whether a plan entry is contiguous in its local
@@ -82,6 +120,14 @@ func (p *Plan) MyChunks() []grid.Box { return p.myChunks }
 // complete over the domain; need boxes may overlap and need not cover the
 // domain (paper §III-B). With WithValidation the exclusivity/completeness
 // precondition is checked collectively and violations are reported.
+//
+// When the plan cache is enabled (the default, see WithPlanCache), the
+// ranks first agree collectively on a fingerprint of the global geometry;
+// if every rank holds a cached plan for it, the geometry allgather,
+// validation, and compilation are all skipped and the cached plan is
+// replayed — the steady-state cost of re-establishing a mapping whose
+// layout did not change (the in-transit reconnect cycle) is two tiny
+// collectives.
 func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box) error {
 	if c.Size() != d.nProcs {
 		return fmt.Errorf("core: descriptor is for %d processes but communicator has %d: %w",
@@ -104,7 +150,30 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 	}
 	endSpan := d.tracer.Span(o.Rank(c), "mapping", 0)
 	defer endSpan()
-	packed, err := c.Allgather(encodeGeometry(need, own))
+
+	enc := encodeGeometry(need, own)
+	if d.cache != nil {
+		cached, ok, err := d.cache.lookup(c, enc, func(p *Plan) bool {
+			return planMatchesLocal(p, c.Rank(), own, need)
+		})
+		if err != nil {
+			return fmt.Errorf("core: plan cache agreement: %w", err)
+		}
+		if ok {
+			d.plan = cached
+			d.cacheHits.Add(1)
+			if o.on() {
+				o.cacheHits.Inc()
+			}
+			return nil
+		}
+		d.cacheMisses.Add(1)
+		if o.on() {
+			o.cacheMisses.Inc()
+		}
+	}
+
+	packed, err := c.Allgather(enc)
 	if err != nil {
 		return fmt.Errorf("core: geometry exchange: %w", err)
 	}
@@ -127,7 +196,7 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 	if o.on() {
 		compileStart = time.Now()
 	}
-	plan, err := compilePlan(c.Rank(), d.elemSize, allChunks, allNeeds)
+	plan, err := compilePlan(c.Rank(), d.elemSize, allChunks, allNeeds, d.parallelism())
 	if err != nil {
 		return err
 	}
@@ -135,9 +204,30 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 		now := time.Now()
 		o.rec.AddSpan(o.rank, "compile", compileStart, now, 0)
 		o.planCompile.Observe(now.Sub(mapStart).Seconds())
+		o.compilePar.Observe(float64(d.parallelism()))
+	}
+	if d.cache != nil {
+		d.cache.store(plan)
 	}
 	d.plan = plan
 	return nil
+}
+
+// planMatchesLocal confirms a cached plan was compiled from exactly this
+// rank's current contribution — the local half of the defense against a
+// fingerprint collision handing back a plan for a different geometry. A
+// rank whose contribution differs reports a cache miss, and the collective
+// agreement then routes every rank through the full compile path.
+func planMatchesLocal(p *Plan, rank int, own []grid.Box, need grid.Box) bool {
+	if p.rank != rank || !p.need.Equal(need) || len(p.myChunks) != len(own) {
+		return false
+	}
+	for i, b := range own {
+		if !p.myChunks[i].Equal(b) {
+			return false
+		}
+	}
+	return true
 }
 
 // Rank returns the trace lane for spans recorded against the
@@ -152,7 +242,9 @@ func (o *exchObs) Rank(c *mpi.Comm) int {
 
 // validateOwnership enforces the paper's sending-side precondition: the
 // owned chunks of all ranks are pairwise disjoint and tile their bounding
-// box exactly.
+// box exactly. Overlap reports carry the owning ranks and every
+// conflicting pair (bounded), so a broken layout at scale is diagnosable
+// from one error.
 func validateOwnership(allChunks [][]grid.Box) error {
 	var flat []grid.Box
 	owner := make([]int, 0)
@@ -166,10 +258,9 @@ func validateOwnership(allChunks [][]grid.Box) error {
 	if !ok {
 		return fmt.Errorf("core: no rank owns any data")
 	}
-	if err := grid.VerifyTiling(domain, flat); err != nil {
-		if ce, ok := err.(*grid.CoverageError); ok && ce.Overlap != nil {
-			return fmt.Errorf("core: owned data is not mutually exclusive: rank %d chunk %v overlaps rank %d chunk %v",
-				owner[ce.Overlap[0]], flat[ce.Overlap[0]], owner[ce.Overlap[1]], flat[ce.Overlap[1]])
+	if err := grid.VerifyTilingOwned(domain, flat, owner); err != nil {
+		if ce, ok := err.(*grid.CoverageError); ok && len(ce.Overlaps) > 0 {
+			return fmt.Errorf("core: owned data is not mutually exclusive: %w", ce)
 		}
 		return fmt.Errorf("core: owned data does not tile the domain %v: %w", domain, err)
 	}
@@ -192,126 +283,305 @@ func NewPlanFromGeometry(rank, elemSize int, allChunks [][]grid.Box, allNeeds []
 	if rank < 0 || rank >= len(allNeeds) {
 		return nil, fmt.Errorf("core: rank %d out of range [0,%d)", rank, len(allNeeds))
 	}
-	return compilePlan(rank, elemSize, allChunks, allNeeds)
+	return compilePlan(rank, elemSize, allChunks, allNeeds, 0)
 }
 
-// compilePlan builds the per-round send/recv datatypes from the gathered
-// global geometry.
-func compilePlan(rank, elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box) (*Plan, error) {
-	nProcs := len(allNeeds)
-	rounds := 0
+// typeJob is one subarray-type construction the compiler fans across the
+// worker pool: a (round, peer, direction) slot plus the geometry the type
+// is built from. Slots are unique per job, so the batch runs at any
+// parallelism with no synchronization beyond the join.
+type typeJob struct {
+	r, peer int
+	base    grid.Box // the array the type addresses (chunk or need box)
+	region  grid.Box // the overlap packed/scattered
+	recv    bool
+	pos     int // the entry slot in the plan's sparse table
+}
+
+// scheduleCompiler holds the geometry-wide state of plan compilation: the
+// spatial index over the need boxes (driving send discovery), the
+// flattened chunk list with its index (driving receive discovery), and
+// the round count. Building it costs O(C log C) in the total chunk count;
+// compiling one rank against it costs only that rank's overlaps. The
+// separation is what makes whole-schedule analysis (CompileSchedule, the
+// ddrplan sweeps) scale: the indexes are built once and shared across all
+// P rank compiles instead of being rebuilt — or worse, replaced by P
+// brute-force scans of all P peers — per rank.
+type scheduleCompiler struct {
+	elemSize  int
+	allChunks [][]grid.Box
+	allNeeds  []grid.Box
+	rounds    int
+
+	needIx    *grid.Index
+	chunkIx   *grid.Index
+	flat      []grid.Box // all chunks, peer-major, round ascending
+	flatPeer  []int
+	flatRound []int
+
+}
+
+func newScheduleCompiler(elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box) *scheduleCompiler {
+	sc := &scheduleCompiler{elemSize: elemSize, allChunks: allChunks, allNeeds: allNeeds}
+	totalChunks := 0
 	for _, chunks := range allChunks {
-		rounds = max(rounds, len(chunks))
+		sc.rounds = max(sc.rounds, len(chunks))
+		totalChunks += len(chunks)
 	}
+	sc.flat = make([]grid.Box, 0, totalChunks)
+	sc.flatPeer = make([]int, 0, totalChunks)
+	sc.flatRound = make([]int, 0, totalChunks)
+	for peer, chunks := range allChunks {
+		for r, b := range chunks {
+			sc.flat = append(sc.flat, b)
+			sc.flatPeer = append(sc.flatPeer, peer)
+			sc.flatRound = append(sc.flatRound, r)
+		}
+	}
+	sc.needIx = grid.NewIndex(allNeeds)
+	sc.chunkIx = grid.NewIndex(sc.flat)
+	return sc
+}
+
+// fillEmpty stamps the Empty sentinel into every slot by doubling copy —
+// memmove speed instead of an interface store per element.
+func fillEmpty(ts []datatype.Type) {
+	if len(ts) == 0 {
+		return
+	}
+	ts[0] = datatype.Empty{}
+	for n := 1; n < len(ts); n *= 2 {
+		copy(ts[n:], ts[:n])
+	}
+}
+
+
+// compile builds rank's plan against the shared indexes. Subarray
+// construction and contiguity analysis fan out across par workers
+// (datatype.ForkJoin); the result is byte-identical to the brute-force
+// reference at any parallelism.
+func (sc *scheduleCompiler) compile(rank, par int) (*Plan, error) {
+	nProcs := len(sc.allNeeds)
+	rounds := sc.rounds
 	p := &Plan{
-		elemSize:  elemSize,
+		elemSize:  sc.elemSize,
 		rank:      rank,
 		nProcs:    nProcs,
 		rounds:    rounds,
-		myChunks:  allChunks[rank],
-		need:      allNeeds[rank],
-		allChunks: allChunks,
-		allNeeds:  allNeeds,
-		send:      make([][]datatype.Type, rounds),
-		recv:      make([][]datatype.Type, rounds),
+		myChunks:  sc.allChunks[rank],
+		need:      sc.allNeeds[rank],
+		allChunks: sc.allChunks,
+		allNeeds:  sc.allNeeds,
 		sendPeers: make([][]int, rounds),
 		recvPeers: make([][]int, rounds),
-		sendSpan:  make([][]contigSpan, rounds),
-		recvSpan:  make([][]contigSpan, rounds),
 	}
-	for r := 0; r < rounds; r++ {
-		p.send[r] = make([]datatype.Type, nProcs)
-		p.recv[r] = make([]datatype.Type, nProcs)
-		p.sendSpan[r] = make([]contigSpan, nProcs)
-		p.recvSpan[r] = make([]contigSpan, nProcs)
-		for peer := 0; peer < nProcs; peer++ {
-			p.send[r][peer] = datatype.Empty{}
-			p.recv[r][peer] = datatype.Empty{}
-		}
-		// Sends: the overlap of my round-r chunk with each peer's need.
-		if r < len(p.myChunks) {
-			chunk := p.myChunks[r]
-			for peer := 0; peer < nProcs; peer++ {
-				ov, ok := chunk.Intersect(allNeeds[peer])
-				if !ok {
-					continue
-				}
-				st, err := datatype.NewSubarray(elemSize, chunk, ov)
-				if err != nil {
-					return nil, fmt.Errorf("core: send type to rank %d: %w", peer, err)
-				}
-				p.send[r][peer] = st
-				if peer != rank {
-					p.sendPeers[r] = append(p.sendPeers[r], peer)
-				}
-			}
-		}
-		// Receives: the overlap of each peer's round-r chunk with my need.
-		for peer := 0; peer < nProcs; peer++ {
-			if r >= len(allChunks[peer]) {
-				continue
-			}
-			ov, ok := allChunks[peer][r].Intersect(p.need)
+
+	// Discovery: collect the (round, peer) pairs that actually overlap.
+	// Candidate sets come back from the indexes ascending, preserving the
+	// peer ordering the brute-force compiler produced.
+	var jobs []typeJob
+	var hits []int
+
+	// Sends: my round-r chunk against the indexed need boxes. Jobs arrive
+	// round-major with peers ascending inside each round â already the
+	// entry order of the sparse table.
+	for r, chunk := range p.myChunks {
+		hits = sc.needIx.QueryAppend(hits[:0], chunk)
+		for _, peer := range hits {
+			ov, ok := chunk.Intersect(sc.allNeeds[peer])
 			if !ok {
 				continue
 			}
-			rt, err := datatype.NewSubarray(elemSize, p.need, ov)
-			if err != nil {
-				return nil, fmt.Errorf("core: recv type from rank %d: %w", peer, err)
-			}
-			p.recv[r][peer] = rt
+			jobs = append(jobs, typeJob{r: r, peer: peer, base: chunk, region: ov})
 			if peer != rank {
-				p.recvPeers[r] = append(p.recvPeers[r], peer)
+				p.sendPeers[r] = append(p.sendPeers[r], peer)
 			}
 		}
 	}
-	// Contiguity detection and fused-mode precomputation.
-	for r := 0; r < rounds; r++ {
-		for peer := 0; peer < nProcs; peer++ {
-			if p.send[r][peer].PackedSize() > 0 {
-				off, n, ok := p.send[r][peer].ContiguousSpan()
-				p.sendSpan[r][peer] = contigSpan{off: off, n: n, ok: ok}
-			}
-			if p.recv[r][peer].PackedSize() > 0 {
-				off, n, ok := p.recv[r][peer].ContiguousSpan()
-				p.recvSpan[r][peer] = contigSpan{off: off, n: n, ok: ok}
-			}
+	nSend := len(jobs)
+
+	// Receives: my need box against the indexed flattened chunk list.
+	// Flat order is peer-major, so hits arrive with ascending peers and
+	// recvPeers[r] stays sorted without an extra pass; the sparse table is
+	// round-major, so these jobs are bucketed by round below.
+	hits = sc.chunkIx.QueryAppend(hits[:0], p.need)
+	for _, id := range hits {
+		peer, r := sc.flatPeer[id], sc.flatRound[id]
+		ov, ok := sc.flat[id].Intersect(p.need)
+		if !ok {
+			continue
 		}
-	}
-	p.fusedSendBytes = make([]int, nProcs)
-	p.fusedRecvBytes = make([]int, nProcs)
-	p.fusedSendOne = make([]int, nProcs)
-	p.fusedRecvOne = make([]int, nProcs)
-	for peer := 0; peer < nProcs; peer++ {
-		p.fusedSendOne[peer] = -1
-		p.fusedRecvOne[peer] = -1
-		sendRounds, recvRounds := 0, 0
-		for r := 0; r < rounds; r++ {
-			if n := p.send[r][peer].PackedSize(); n > 0 {
-				p.fusedSendBytes[peer] += n
-				p.fusedSendOne[peer] = r
-				sendRounds++
-			}
-			if n := p.recv[r][peer].PackedSize(); n > 0 {
-				p.fusedRecvBytes[peer] += n
-				p.fusedRecvOne[peer] = r
-				recvRounds++
-			}
-		}
-		if sendRounds != 1 {
-			p.fusedSendOne[peer] = -1
-		}
-		if recvRounds != 1 {
-			p.fusedRecvOne[peer] = -1
-		}
+		jobs = append(jobs, typeJob{r: r, peer: peer, base: p.need, region: ov, recv: true})
 		if peer != rank {
-			if p.fusedSendBytes[peer] > 0 {
-				p.fusedSendPeers = append(p.fusedSendPeers, peer)
-			}
-			if p.fusedRecvBytes[peer] > 0 {
-				p.fusedRecvPeers = append(p.fusedRecvPeers, peer)
-			}
+			p.recvPeers[r] = append(p.recvPeers[r], peer)
 		}
 	}
+
+	// Lay out the sparse tables: prefix-sum the per-round entry counts
+	// into offsets and assign each job its slot. Send jobs are already
+	// round-major; receive jobs land at their round's next free slot,
+	// which keeps peers ascending because they arrived peer-major.
+	p.sendE = newPlanEntries(rounds, jobs[:nSend])
+	p.recvE = newPlanEntries(rounds, jobs[nSend:])
+	for i := range jobs {
+		j := &jobs[i]
+		e := &p.sendE
+		if j.recv {
+			e = &p.recvE
+		}
+		j.pos = e.off[j.r+1] - e.left[j.r]
+		e.left[j.r]--
+		e.peers[j.pos] = j.peer
+	}
+	p.sendE.left, p.recvE.left = nil, nil
+
+	// Construction: build the subarray types and their contiguity spans
+	// across the pool. Each job owns its slot, and errors are reported by
+	// the lowest failing job for determinism.
+	errs := make([]error, len(jobs))
+	datatype.ForkJoin(len(jobs), par, func(i int) {
+		j := &jobs[i]
+		t, err := datatype.NewSubarray(sc.elemSize, j.base, j.region)
+		if err != nil {
+			dir := "send type to"
+			if j.recv {
+				dir = "recv type from"
+			}
+			errs[i] = fmt.Errorf("core: %s rank %d: %w", dir, j.peer, err)
+			return
+		}
+		off, n, ok := t.ContiguousSpan()
+		e := &p.sendE
+		if j.recv {
+			e = &p.recvE
+		}
+		e.types[j.pos] = t
+		e.spans[j.pos] = contigSpan{off: off, n: n, ok: ok}
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sc.precomputeFusedFromJobs(p, jobs, nSend)
 	return p, nil
 }
+
+// newPlanEntries sizes one direction's sparse table for a job batch:
+// counts per round become the off prefix sums, and left temporarily
+// tracks each round's unassigned slots while jobs claim positions.
+func newPlanEntries(rounds int, jobs []typeJob) planEntries {
+	e := planEntries{off: make([]int, rounds+1), left: make([]int, rounds)}
+	for i := range jobs {
+		e.left[jobs[i].r]++
+	}
+	for r := 0; r < rounds; r++ {
+		e.off[r+1] = e.off[r] + e.left[r]
+	}
+	n := len(jobs)
+	e.peers = make([]int, n)
+	e.types = make([]datatype.Type, n)
+	e.spans = make([]contigSpan, n)
+	return e
+}
+
+// precomputeFusedFromJobs derives the fused-mode schedule straight from
+// the discovered overlap jobs — O(entries log entries) — instead of the
+// reference compiler's O(R·P) sweep of PackedSize calls over dense
+// tables. The output is identical: per peer, the byte total sums that
+// peer's rounds, and the sole-round election matches the sweep's
+// last-nonempty-then-reset rule because rounds ascend within each run.
+func (sc *scheduleCompiler) precomputeFusedFromJobs(p *Plan, jobs []typeJob, nSend int) {
+	// Send jobs arrive round-major; regroup them peer-major for the
+	// per-peer runs. Receive jobs arrived peer-major already.
+	send := jobs[:nSend]
+	order := make([]int, nSend)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ja, jb := &send[order[a]], &send[order[b]]
+		if ja.peer != jb.peer {
+			return ja.peer < jb.peer
+		}
+		return ja.r < jb.r
+	})
+	p.fusedSendPeers, p.fusedSendBytes, p.fusedSendOne = fusedRuns(send, order, p.rank, sc.elemSize)
+	p.fusedRecvPeers, p.fusedRecvBytes, p.fusedRecvOne = fusedRuns(jobs[nSend:], nil, p.rank, sc.elemSize)
+}
+
+// fusedRuns walks peer-major jobs (through order when the batch needs
+// reindexing) and folds each peer's run into one fused entry. Self is
+// skipped: the fused exchange moves local data through selfExchange.
+func fusedRuns(jobs []typeJob, order []int, rank, elemSize int) (peers, bytes, one []int) {
+	get := func(i int) *typeJob {
+		if order != nil {
+			return &jobs[order[i]]
+		}
+		return &jobs[i]
+	}
+	for i := 0; i < len(jobs); {
+		peer := get(i).peer
+		total, count, last := 0, 0, -1
+		for ; i < len(jobs); i++ {
+			j := get(i)
+			if j.peer != peer {
+				break
+			}
+			total += j.region.Volume() * elemSize
+			count++
+			last = j.r
+		}
+		if peer == rank {
+			continue
+		}
+		peers = append(peers, peer)
+		bytes = append(bytes, total)
+		if count == 1 {
+			one = append(one, last)
+		} else {
+			one = append(one, -1)
+		}
+	}
+	return peers, bytes, one
+}
+
+// compilePlan builds one rank's plan from the gathered global geometry —
+// the path SetupDataMapping takes after its allgather. Overlap discovery
+// runs through the spatial indexes of a fresh scheduleCompiler.
+func compilePlan(rank, elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box, par int) (*Plan, error) {
+	return newScheduleCompiler(elemSize, allChunks, allNeeds).compile(rank, par)
+}
+
+// CompileSchedule compiles every rank's plan from a full global geometry
+// with one shared set of spatial indexes — the whole-schedule analogue of
+// NewPlanFromGeometry for offline analysis (ddrplan sweeps, capacity
+// planning, the paper's Table II at arbitrary scale). Sharing the indexes
+// is what removes the O(P²) cost of constructing all P schedules by
+// brute-force peer scans. par bounds the construction parallelism per
+// rank compile; <= 0 means GOMAXPROCS.
+func CompileSchedule(elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box, par int) ([]*Plan, error) {
+	if elemSize <= 0 {
+		return nil, fmt.Errorf("core: element size %d must be positive", elemSize)
+	}
+	if len(allChunks) != len(allNeeds) {
+		return nil, fmt.Errorf("core: %d chunk lists for %d need boxes", len(allChunks), len(allNeeds))
+	}
+	sc := newScheduleCompiler(elemSize, allChunks, allNeeds)
+	plans := make([]*Plan, len(allNeeds))
+	errs := make([]error, len(allNeeds))
+	// Ranks compile independently against the shared read-only indexes, so
+	// the schedule fans out rank-per-worker; each rank's own construction
+	// then runs serially (par 1) to avoid nested pools. Errors surface from
+	// the lowest failing rank for determinism.
+	datatype.ForkJoin(len(plans), par, func(rank int) {
+		plans[rank], errs[rank] = sc.compile(rank, 1)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plans, nil
+}
+

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"ddr/internal/grid"
+)
+
+// benchMappingGeometry builds the mapping benchmark's geometry: a 3-D
+// stack of procs bricks along z, each rank's brick split into chunksPer
+// z-slabs, with every rank needing its brick shifted by half a brick —
+// the halo-style regrid where each rank exchanges with a handful of
+// neighbours regardless of scale, so discovery cost is what separates
+// the compilers.
+func benchMappingGeometry(procs, chunksPer int) ([][]grid.Box, []grid.Box) {
+	const w, h, slab = 64, 64, 8
+	bd := slab * chunksPer
+	chunks := make([][]grid.Box, procs)
+	needs := make([]grid.Box, procs)
+	for r := 0; r < procs; r++ {
+		z0 := r * bd
+		for c := 0; c < chunksPer; c++ {
+			chunks[r] = append(chunks[r], grid.Box3(0, 0, z0+c*slab, w, h, slab))
+		}
+		needs[r] = grid.Box3(0, 0, z0+bd/2, w, h, bd)
+	}
+	return chunks, needs
+}
+
+// gcQuiesce disables the collector for a benchmark that retains a whole
+// schedule per iteration; the caller forces a collection between
+// iterations with the timer stopped, so both compilers are measured on
+// raw compile cost rather than GC pacing noise.
+func gcQuiesce() func() {
+	old := debug.SetGCPercent(-1)
+	return func() { debug.SetGCPercent(old) }
+}
+
+// BenchmarkSetupMapping sweeps offline plan compilation across process
+// counts, comparing the indexed sparse compiler against the brute-force
+// reference (the pre-PR path, retained in mapping_brute.go):
+//
+//	plan/*:           one rank's plan via NewPlanFromGeometry
+//	plan-brute/*:     one rank's plan via the brute-force compiler
+//	schedule/*:       all P plans via CompileSchedule (shared indexes)
+//	schedule-brute/*: all P plans by looping the brute-force compiler
+//
+// The schedule pair is the paper's offline-analysis scenario (ddrplan,
+// capacity planning): the acceptance target is the schedule ratio at
+// P=1024 with 4 chunks per rank.
+func BenchmarkSetupMapping(b *testing.B) {
+	const chunksPer = 4
+	for _, procs := range []int{64, 256, 1024} {
+		chunks, needs := benchMappingGeometry(procs, chunksPer)
+		rank := procs / 2
+
+		b.Run(fmt.Sprintf("plan/P=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := NewPlanFromGeometry(rank, 4, chunks, needs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("plan-brute/P=%d", procs), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := compilePlanBrute(rank, 4, chunks, needs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("schedule/P=%d", procs), func(b *testing.B) {
+			defer gcQuiesce()()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				runtime.GC()
+				b.StartTimer()
+				if _, err := CompileSchedule(4, chunks, needs, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("schedule-brute/P=%d", procs), func(b *testing.B) {
+			defer gcQuiesce()()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				runtime.GC()
+				b.StartTimer()
+				plans := make([]*Plan, procs)
+				for r := range plans {
+					p, err := compilePlanBrute(r, 4, chunks, needs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					plans[r] = p
+				}
+				runtime.KeepAlive(plans)
+			}
+		})
+	}
+}

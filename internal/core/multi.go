@@ -1,8 +1,8 @@
 package core
 
 import (
-	"encoding/binary"
 	"fmt"
+	"sync/atomic"
 
 	"ddr/internal/datatype"
 	"ddr/internal/grid"
@@ -23,7 +23,9 @@ type MultiDescriptor struct {
 	layout   Layout
 	elemSize int
 
-	plan *multiPlan
+	plan                   *multiPlan
+	cache                  *planCache[*multiPlan]
+	cacheHits, cacheMisses atomic.Int64
 }
 
 // multiXfer is one packed region within a pair's fused message.
@@ -59,41 +61,57 @@ func NewMultiDescriptor(nProcs int, layout Layout, elem ElemType) (*MultiDescrip
 	if layout < Layout1D || layout > Layout3D {
 		return nil, fmt.Errorf("core: unsupported layout %v", layout)
 	}
-	return &MultiDescriptor{nProcs: nProcs, layout: layout, elemSize: elem.Size()}, nil
+	return &MultiDescriptor{
+		nProcs:   nProcs,
+		layout:   layout,
+		elemSize: elem.Size(),
+		cache:    newPlanCache[*multiPlan](8),
+	}, nil
 }
 
-// encodeBoxLists packs two box lists for the geometry allgather.
+// PlanCacheStats reports how many SetupDataMapping calls were satisfied
+// by a cached plan and how many compiled a new one.
+func (d *MultiDescriptor) PlanCacheStats() (hits, misses int64) {
+	return d.cacheHits.Load(), d.cacheMisses.Load()
+}
+
+// encodeBoxLists packs two box lists for the geometry allgather, in the
+// same canonical varint/delta stream encodeGeometry uses.
 func encodeBoxLists(a, b []grid.Box) []byte {
-	var tmp [4]byte
-	out := make([]byte, 0, 8+28*(len(a)+len(b)))
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(a)))
-	out = append(out, tmp[:]...)
+	out := append(make([]byte, 0, 16+8*(len(a)+len(b))), geomVersion)
+	var prev grid.Box
+	out = appendUvarint(out, uint64(len(a)))
 	for _, box := range a {
-		out = appendBox(out, box)
+		out = appendBox(out, box, &prev)
 	}
-	binary.LittleEndian.PutUint32(tmp[:], uint32(len(b)))
-	out = append(out, tmp[:]...)
+	out = appendUvarint(out, uint64(len(b)))
 	for _, box := range b {
-		out = appendBox(out, box)
+		out = appendBox(out, box, &prev)
 	}
 	return out
 }
 
 // decodeBoxLists reverses encodeBoxLists.
 func decodeBoxLists(buf []byte) (a, b []grid.Box, err error) {
+	if len(buf) < 1 || buf[0] != geomVersion {
+		return nil, nil, fmt.Errorf("core: unsupported geometry encoding version")
+	}
+	buf = buf[1:]
+	var prev grid.Box
 	readList := func() ([]grid.Box, error) {
-		if len(buf) < 4 {
-			return nil, fmt.Errorf("core: truncated box list")
+		u, rest, err := readUvarint(buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: box count: %w", err)
 		}
-		n := int(int32(binary.LittleEndian.Uint32(buf)))
-		buf = buf[4:]
-		if n < 0 {
-			return nil, fmt.Errorf("core: negative box count")
+		buf = rest
+		n := int(u)
+		if n < 0 || n > len(buf)+1 {
+			return nil, fmt.Errorf("core: implausible box count %d", n)
 		}
 		out := make([]grid.Box, n)
 		for i := range out {
 			var e error
-			out[i], buf, e = readBox(buf)
+			out[i], buf, e = readBox(buf, &prev)
 			if e != nil {
 				return nil, e
 			}
@@ -131,7 +149,21 @@ func (d *MultiDescriptor) SetupDataMapping(c *mpi.Comm, own, needs []grid.Box) e
 			return fmt.Errorf("core: need chunk %d is %dD but descriptor is %v", i, b.NDims, d.layout)
 		}
 	}
-	packed, err := c.Allgather(encodeBoxLists(own, needs))
+	enc := encodeBoxLists(own, needs)
+	cached, ok, err := d.cache.lookup(c, enc, func(p *multiPlan) bool {
+		return multiPlanMatchesLocal(p, c.Rank(), own, needs)
+	})
+	if err != nil {
+		return fmt.Errorf("core: plan cache agreement: %w", err)
+	}
+	if ok {
+		d.plan = cached
+		d.cacheHits.Add(1)
+		return nil
+	}
+	d.cacheMisses.Add(1)
+
+	packed, err := c.Allgather(enc)
 	if err != nil {
 		return fmt.Errorf("core: geometry exchange: %w", err)
 	}
@@ -214,8 +246,29 @@ func (d *MultiDescriptor) SetupDataMapping(c *mpi.Comm, own, needs []grid.Box) e
 	if err != nil {
 		return err
 	}
+	d.cache.store(p)
 	d.plan = p
 	return nil
+}
+
+// multiPlanMatchesLocal is the fingerprint-collision defense for the
+// multi-chunk cache: a cached plan counts as a hit only when it was
+// compiled for this rank from exactly these owned and needed chunks.
+func multiPlanMatchesLocal(p *multiPlan, rank int, own, needs []grid.Box) bool {
+	if p.rank != rank || len(p.myChunks) != len(own) || len(p.myNeeds) != len(needs) {
+		return false
+	}
+	for i, b := range own {
+		if !p.myChunks[i].Equal(b) {
+			return false
+		}
+	}
+	for i, b := range needs {
+		if !p.myNeeds[i].Equal(b) {
+			return false
+		}
+	}
+	return true
 }
 
 // WireBytes returns the bytes this rank transmits per ReorganizeData call;

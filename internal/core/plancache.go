@@ -1,0 +1,150 @@
+package core
+
+import (
+	"container/list"
+	"encoding/binary"
+
+	"ddr/internal/mpi"
+)
+
+// Plan caching. SetupDataMapping is a collective whose cost — a geometry
+// allgather plus an O(chunks·overlaps) compile — is pure waste when the
+// layout it describes was already mapped: in-transit couplings reconnect
+// with the producer and consumer grids unchanged, and simulations cycle
+// through a small set of decompositions (compute layout ↔ I/O layout).
+// The cache keys compiled plans by a fingerprint of the canonical
+// geometry encoding, so re-establishing a known mapping costs two small
+// collectives instead of a full compile.
+//
+// Correctness hinges on the decision being collectively consistent: a
+// rank that replays a cached plan while another compiles would leave the
+// compiler's allgather short one participant and deadlock the world. The
+// lookup therefore agrees collectively — an allgather of per-rank
+// geometry hashes (from which every rank derives the same global
+// fingerprint) followed by one min-allreduce that simultaneously checks
+// the fingerprint is unanimous and that every rank holds a matching
+// entry. Only a unanimous yes replays the cache; any dissent routes all
+// ranks through the compile path together.
+//
+// A fingerprint collision (two geometries, one hash) is defended locally:
+// the hit callback compares the cached plan's own geometry against the
+// rank's current contribution, and any mismatch votes miss.
+
+// FNV-1a, the 64-bit variant — stable across processes and runs, unlike
+// maphash, so fingerprints can be compared between ranks.
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+)
+
+// hash64 folds b into the running FNV-1a state h.
+func hash64(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// cacheKey identifies a cached plan: the global-geometry fingerprint plus
+// the rank the plan was compiled for (plans are rank-specific — each holds
+// only its own rank's schedule).
+type cacheKey struct {
+	fp   uint64
+	rank int
+}
+
+// planCache is a small LRU of compiled plans, generic over the plan type
+// so the single-need Descriptor (*Plan) and the MultiDescriptor
+// (*multiPlan) share one implementation. Like the descriptors that embed
+// it, it is not safe for concurrent use.
+type planCache[T any] struct {
+	limit int
+	ll    *list.List // front = most recently used
+	byKey map[cacheKey]*list.Element
+
+	// lastKey carries the fingerprint computed by the latest lookup to the
+	// store call that follows a miss.
+	lastKey cacheKey
+}
+
+type cacheEntry[T any] struct {
+	key cacheKey
+	val T
+}
+
+func newPlanCache[T any](limit int) *planCache[T] {
+	return &planCache[T]{limit: limit, ll: list.New(), byKey: make(map[cacheKey]*list.Element)}
+}
+
+// lookup fingerprints the global geometry from this rank's canonical
+// encoding enc and collectively decides whether every rank can replay a
+// cached plan. match confirms a candidate was compiled from exactly this
+// rank's current geometry (the collision defense). Returns the plan and
+// true only on a unanimous hit; otherwise the caller must compile and
+// then call store, on every rank.
+func (pc *planCache[T]) lookup(c *mpi.Comm, enc []byte, match func(T) bool) (T, bool, error) {
+	var zero T
+
+	// Every rank contributes the hash of its own geometry; the global
+	// fingerprint folds the gathered hashes in rank order, so all ranks
+	// derive the same 64-bit value for the same global geometry.
+	var local [8]byte
+	binary.LittleEndian.PutUint64(local[:], hash64(fnvOffset64, enc))
+	gathered, err := c.Allgather(local[:])
+	if err != nil {
+		return zero, false, err
+	}
+	fp := uint64(fnvOffset64)
+	for _, h := range gathered {
+		fp = hash64(fp, h)
+	}
+	key := cacheKey{fp: fp, rank: c.Rank()}
+	pc.lastKey = key
+
+	have := int64(0)
+	var hit T
+	if el, ok := pc.byKey[key]; ok {
+		ent := el.Value.(*cacheEntry[T])
+		if match(ent.val) {
+			have = 1
+			hit = ent.val
+		}
+	}
+
+	// One allreduce settles both questions. min(x) == x and min(-x) == -x
+	// together mean x is unanimous, so the fingerprint halves (split to
+	// stay inside AllreduceInt64's exact float64 range) verify every rank
+	// fingerprinted the same geometry, and min(have) == 1 means every rank
+	// holds a matching plan. Anything less is a collective miss.
+	hi, lo := int64(fp>>32), int64(fp&0xffffffff)
+	votes, err := c.AllreduceInt64([]int64{hi, lo, -hi, -lo, have}, mpi.OpMin)
+	if err != nil {
+		return zero, false, err
+	}
+	if votes[0] != hi || votes[1] != lo || votes[2] != -hi || votes[3] != -lo || votes[4] != 1 {
+		return zero, false, nil
+	}
+	pc.ll.MoveToFront(pc.byKey[key])
+	return hit, true, nil
+}
+
+// store records the plan compiled after a miss under the fingerprint that
+// lookup computed, evicting the least recently used entry beyond the
+// cache's capacity.
+func (pc *planCache[T]) store(val T) {
+	if el, ok := pc.byKey[pc.lastKey]; ok {
+		el.Value.(*cacheEntry[T]).val = val
+		pc.ll.MoveToFront(el)
+		return
+	}
+	pc.byKey[pc.lastKey] = pc.ll.PushFront(&cacheEntry[T]{key: pc.lastKey, val: val})
+	for pc.ll.Len() > pc.limit {
+		back := pc.ll.Back()
+		pc.ll.Remove(back)
+		delete(pc.byKey, back.Value.(*cacheEntry[T]).key)
+	}
+}
+
+// len reports the number of cached plans.
+func (pc *planCache[T]) len() int { return pc.ll.Len() }

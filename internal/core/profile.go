@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/binary"
+	"time"
+
+	"ddr/internal/grid"
+)
+
+// MappingProfile is the per-phase cost breakdown of one offline plan
+// compilation, the measurement behind cmd/ddrplan -sweep. It separates
+// what a live SetupDataMapping would spend on the wire (the geometry
+// allgather payload), on the cache key (canonical encoding + fingerprint),
+// and on the compile itself (spatial-index construction plus plan
+// assembly), so compile-time scaling can be reproduced at process counts
+// far beyond the running world.
+type MappingProfile struct {
+	Procs       int
+	TotalChunks int
+
+	// MaxEncodedBytes is the largest single rank's canonical geometry
+	// encoding; AllgatherBytes is the sum over ranks — the payload each
+	// rank holds after the geometry allgather completes.
+	MaxEncodedBytes int
+	AllgatherBytes  int64
+
+	// Fingerprint is the plan-cache key for this global geometry.
+	Fingerprint uint64
+
+	EncodeTime      time.Duration // canonical encoding of every rank's geometry
+	FingerprintTime time.Duration // folding the per-rank hashes into the cache key
+	IndexTime       time.Duration // building the need and chunk spatial indexes
+	CompileTime     time.Duration // full plan compilation (includes its own indexing)
+}
+
+// ProfileMapping compiles rank's plan offline from a full global geometry
+// (as NewPlanFromGeometry does) and returns it together with the
+// per-phase timing breakdown. par sets the compile parallelism; <= 0
+// means GOMAXPROCS.
+func ProfileMapping(rank, elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box, par int) (*Plan, MappingProfile, error) {
+	prof := MappingProfile{Procs: len(allNeeds)}
+	for _, chunks := range allChunks {
+		prof.TotalChunks += len(chunks)
+	}
+
+	// Phase 1: the canonical encoding every rank would contribute to the
+	// geometry allgather — its total size bounds the setup's wire cost.
+	start := time.Now()
+	encodings := make([][]byte, len(allNeeds))
+	for r := range allNeeds {
+		enc := encodeGeometry(allNeeds[r], allChunks[r])
+		encodings[r] = enc
+		prof.AllgatherBytes += int64(len(enc))
+		prof.MaxEncodedBytes = max(prof.MaxEncodedBytes, len(enc))
+	}
+	prof.EncodeTime = time.Since(start)
+
+	// Phase 2: the cache key, exactly as planCache.lookup derives it —
+	// per-rank FNV-1a hashes folded in rank order.
+	start = time.Now()
+	fp := uint64(fnvOffset64)
+	var h [8]byte
+	for _, enc := range encodings {
+		binary.LittleEndian.PutUint64(h[:], hash64(fnvOffset64, enc))
+		fp = hash64(fp, h[:])
+	}
+	prof.Fingerprint = fp
+	prof.FingerprintTime = time.Since(start)
+
+	// Phase 3: spatial-index construction alone, isolated from the plan
+	// assembly it accelerates.
+	start = time.Now()
+	_ = grid.NewIndex(allNeeds)
+	flat := make([]grid.Box, 0, prof.TotalChunks)
+	for _, chunks := range allChunks {
+		flat = append(flat, chunks...)
+	}
+	_ = grid.NewIndex(flat)
+	prof.IndexTime = time.Since(start)
+
+	// Phase 4: the compile proper.
+	start = time.Now()
+	plan, err := compilePlan(rank, elemSize, allChunks, allNeeds, par)
+	if err != nil {
+		return nil, prof, err
+	}
+	prof.CompileTime = time.Since(start)
+	return plan, prof, nil
+}

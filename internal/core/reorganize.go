@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"ddr/internal/datatype"
 	"ddr/internal/grid"
 	"ddr/internal/mpi"
 )
@@ -278,12 +279,14 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 		case ModePointToPoint:
 			err = d.exchangeP2P(ctx, o, c, r, sendBuf, need, ps)
 		default:
-			err = c.AlltoallwOpt(sendBuf, p.send[r], need, p.recv[r], mpi.AlltoallwOptions{
+			rowSend, rowRecv := d.alltoallwRows(p, r)
+			err = c.AlltoallwOpt(sendBuf, rowSend, need, rowRecv, mpi.AlltoallwOptions{
 				Parallelism: d.parallelism(),
 				Pooled:      d.pooled,
 				ZeroCopy:    d.zeroCopy,
 				Deadline:    d.deadline,
 			})
+			d.resetAlltoallwRows(p, r)
 		}
 		if endRound != nil {
 			endRound()
@@ -314,14 +317,12 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 // move to a single memmove.
 func (d *Descriptor) selfExchange(round int, src, need []byte) {
 	p := d.plan
-	st := p.send[round][p.rank]
+	st, ss := p.sendE.at(round, p.rank)
 	n := st.PackedSize()
 	if n == 0 {
 		return
 	}
-	rt := p.recv[round][p.rank]
-	ss := p.sendSpan[round][p.rank]
-	rs := p.recvSpan[round][p.rank]
+	rt, rs := p.recvE.at(round, p.rank)
 	switch {
 	case d.zeroCopy && ss.ok && rs.ok:
 		copy(need[rs.off:rs.off+n], src[ss.off:ss.off+n])
@@ -343,11 +344,11 @@ func (d *Descriptor) selfExchange(round int, src, need []byte) {
 // recycled after the batch runs).
 func (d *Descriptor) acceptRound(o *exchObs, round, peer int, data, need []byte) error {
 	p := d.plan
-	rt := p.recv[round][peer]
+	rt, sp := p.recvE.at(round, peer)
 	if len(data) != rt.PackedSize() {
 		return fmt.Errorf("core: expected %d bytes from rank %d, got %d", rt.PackedSize(), peer, len(data))
 	}
-	if sp := p.recvSpan[round][peer]; d.zeroCopy && sp.ok {
+	if d.zeroCopy && sp.ok {
 		directUnpack(o, need[sp.off:sp.off+sp.n], data, peer)
 		d.releaseRecv(data)
 		return nil
@@ -375,9 +376,9 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 	s.wires = s.wires[:0]
 	s.staged = s.staged[:0]
 	for _, peer := range p.sendPeers[round] {
-		st := p.send[round][peer]
+		st, sp := p.sendE.at(round, peer)
 		n := st.PackedSize()
-		if sp := p.sendSpan[round][peer]; d.zeroCopy && sp.ok {
+		if d.zeroCopy && sp.ok {
 			s.wires = append(s.wires, sendBuf[sp.off:sp.off+n])
 			continue
 		}
@@ -478,22 +479,23 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 
 // acceptFused consumes one received fused payload, splitting it back into
 // its per-round segments in round order.
-func (d *Descriptor) acceptFused(o *exchObs, peer int, data, need []byte) error {
+func (d *Descriptor) acceptFused(o *exchObs, i, peer int, data, need []byte) error {
 	p := d.plan
-	if len(data) != p.fusedRecvBytes[peer] {
+	if len(data) != p.fusedRecvBytes[i] {
 		return fmt.Errorf("core: expected %d fused bytes from rank %d, got %d",
-			p.fusedRecvBytes[peer], peer, len(data))
+			p.fusedRecvBytes[i], peer, len(data))
 	}
 	off := 0
 	for r := 0; r < p.rounds; r++ {
-		n := p.recv[r][peer].PackedSize()
+		rt, sp := p.recvE.at(r, peer)
+		n := rt.PackedSize()
 		if n == 0 {
 			continue
 		}
-		if sp := p.recvSpan[r][peer]; d.zeroCopy && sp.ok {
+		if d.zeroCopy && sp.ok {
 			directUnpack(o, need[sp.off:sp.off+sp.n], data[off:off+n], peer)
 		} else {
-			d.eng.add(exchJob{t: p.recv[r][peer], local: need, wire: data[off : off+n], unpack: true, peer: peer})
+			d.eng.add(exchJob{t: rt, local: need, wire: data[off : off+n], unpack: true, peer: peer})
 		}
 		off += n
 	}
@@ -518,23 +520,25 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 	s := &d.scratch
 	s.wires = s.wires[:0]
 	s.staged = s.staged[:0]
-	for _, peer := range p.fusedSendPeers {
-		if r := p.fusedSendOne[peer]; d.zeroCopy && r >= 0 && p.sendSpan[r][peer].ok {
-			sp := p.sendSpan[r][peer]
-			s.wires = append(s.wires, own[r][sp.off:sp.off+sp.n])
-			continue
+	for i, peer := range p.fusedSendPeers {
+		if r := p.fusedSendOne[i]; d.zeroCopy && r >= 0 {
+			if _, sp := p.sendE.at(r, peer); sp.ok {
+				s.wires = append(s.wires, own[r][sp.off:sp.off+sp.n])
+				continue
+			}
 		}
-		wire := d.stage(p.fusedSendBytes[peer])
+		wire := d.stage(p.fusedSendBytes[i])
 		off := 0
 		for r := 0; r < len(p.myChunks); r++ {
-			n := p.send[r][peer].PackedSize()
+			st, sp := p.sendE.at(r, peer)
+			n := st.PackedSize()
 			if n == 0 {
 				continue
 			}
-			if sp := p.sendSpan[r][peer]; d.zeroCopy && sp.ok {
+			if d.zeroCopy && sp.ok {
 				copy(wire[off:off+n], own[r][sp.off:sp.off+n])
 			} else {
-				d.eng.add(exchJob{t: p.send[r][peer], local: own[r], wire: wire[off : off+n], peer: peer})
+				d.eng.add(exchJob{t: st, local: own[r], wire: wire[off : off+n], peer: peer})
 			}
 			off += n
 		}
@@ -566,7 +570,7 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 
 	s.datas = s.datas[:0]
 	if ctx == nil {
-		for _, peer := range p.fusedRecvPeers {
+		for i, peer := range p.fusedRecvPeers {
 			var waitStart time.Time
 			if o.tracing() {
 				waitStart = time.Now()
@@ -578,7 +582,7 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 			if o.tracing() {
 				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
 			}
-			if err := d.acceptFused(o, peer, data, need); err != nil {
+			if err := d.acceptFused(o, i, peer, data, need); err != nil {
 				return err
 			}
 		}
@@ -609,7 +613,7 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 			if o.tracing() {
 				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
 			}
-			if err := d.acceptFused(o, peer, data, need); err != nil {
+			if err := d.acceptFused(o, i, peer, data, need); err != nil {
 				return err
 			}
 		}
@@ -620,6 +624,40 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 	}
 	s.datas = s.datas[:0]
 	return nil
+}
+
+// alltoallwRows materializes round r's dense send/recv type rows — the
+// alltoallw collective's wire format — from the plan's sparse tables
+// into the descriptor's reusable scratch. resetAlltoallwRows must run
+// after the collective returns to restore the Empty sentinels, so the
+// rows are clean for the next round at O(entries) cost.
+func (d *Descriptor) alltoallwRows(p *Plan, r int) (rowSend, rowRecv []datatype.Type) {
+	s := &d.scratch
+	if len(s.rowSend) != p.nProcs {
+		s.rowSend = make([]datatype.Type, p.nProcs)
+		s.rowRecv = make([]datatype.Type, p.nProcs)
+		fillEmpty(s.rowSend)
+		fillEmpty(s.rowRecv)
+	}
+	for i := p.sendE.off[r]; i < p.sendE.off[r+1]; i++ {
+		s.rowSend[p.sendE.peers[i]] = p.sendE.types[i]
+	}
+	for i := p.recvE.off[r]; i < p.recvE.off[r+1]; i++ {
+		s.rowRecv[p.recvE.peers[i]] = p.recvE.types[i]
+	}
+	return s.rowSend, s.rowRecv
+}
+
+// resetAlltoallwRows restores the Empty sentinel in the slots round r
+// populated.
+func (d *Descriptor) resetAlltoallwRows(p *Plan, r int) {
+	s := &d.scratch
+	for i := p.sendE.off[r]; i < p.sendE.off[r+1]; i++ {
+		s.rowSend[p.sendE.peers[i]] = datatype.Empty{}
+	}
+	for i := p.recvE.off[r]; i < p.recvE.off[r+1]; i++ {
+		s.rowRecv[p.recvE.peers[i]] = datatype.Empty{}
+	}
 }
 
 // Chunk pairs an owned box with its data buffer, for the one-shot

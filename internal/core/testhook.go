@@ -1,5 +1,21 @@
 package core
 
+import "ddr/internal/grid"
+
+// CompileForTest compiles a plan through the production indexed compiler
+// at an explicit parallelism, bypassing the communicator. It exists for
+// the compiler-equivalence tests. Never call outside tests.
+func CompileForTest(rank, elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box, par int) (*Plan, error) {
+	return compilePlan(rank, elemSize, allChunks, allNeeds, par)
+}
+
+// CompileBruteForTest compiles a plan through the brute-force reference
+// compiler (mapping_brute.go), the differential-testing oracle for
+// CompileForTest. Never call outside tests.
+func CompileBruteForTest(rank, elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box) (*Plan, error) {
+	return compilePlanBrute(rank, elemSize, allChunks, allNeeds)
+}
+
 // PerturbPlanForTest shifts one compiled contiguous receive span by one
 // element, simulating an off-by-one in the overlap math. It exists so the
 // property-based harness can prove it detects plan-compilation bugs: a
@@ -12,20 +28,18 @@ func (p *Plan) PerturbPlanForTest() bool {
 		return false
 	}
 	total := p.need.Volume() * p.elemSize
-	for r := range p.recvSpan {
-		for peer := range p.recvSpan[r] {
-			sp := &p.recvSpan[r][peer]
-			if !sp.ok || sp.n == 0 || sp.n >= total {
-				continue
-			}
-			if sp.off+sp.n+p.elemSize <= total {
-				sp.off += p.elemSize
-				return true
-			}
-			if sp.off >= p.elemSize {
-				sp.off -= p.elemSize
-				return true
-			}
+	for i := range p.recvE.spans {
+		sp := &p.recvE.spans[i]
+		if !sp.ok || sp.n == 0 || sp.n >= total {
+			continue
+		}
+		if sp.off+sp.n+p.elemSize <= total {
+			sp.off += p.elemSize
+			return true
+		}
+		if sp.off >= p.elemSize {
+			sp.off -= p.elemSize
+			return true
 		}
 	}
 	return false

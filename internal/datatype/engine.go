@@ -35,7 +35,19 @@ func (j *CopyJob) Do() {
 // a shared atomic cursor, so imbalanced job sizes still spread across the
 // pool.
 func RunJobs(jobs []CopyJob, par int) {
-	n := len(jobs)
+	ForkJoin(len(jobs), par, func(i int) { jobs[i].Do() })
+}
+
+// ForkJoin runs f(0..n-1) with up to par concurrent workers and returns
+// when every call has completed — the fork-join engine behind RunJobs,
+// exposed so other fixed-size batches of independent work (plan
+// compilation, contiguity analysis) share one scheduling idiom. par <= 0
+// means runtime.GOMAXPROCS(0); par == 1 (or n == 1) runs inline on the
+// calling goroutine with no synchronization. Workers claim indices from a
+// shared atomic cursor, so imbalanced item costs still spread across the
+// pool. Calls of f must be independent: they may run in any order and
+// concurrently.
+func ForkJoin(n, par int, f func(i int)) {
 	if n == 0 {
 		return
 	}
@@ -46,8 +58,8 @@ func RunJobs(jobs []CopyJob, par int) {
 		par = n
 	}
 	if par == 1 {
-		for i := range jobs {
-			jobs[i].Do()
+		for i := 0; i < n; i++ {
+			f(i)
 		}
 		return
 	}
@@ -62,7 +74,7 @@ func RunJobs(jobs []CopyJob, par int) {
 				if i >= n {
 					return
 				}
-				jobs[i].Do()
+				f(i)
 			}
 		}()
 	}

@@ -1,0 +1,110 @@
+package ddrtest
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+
+	"ddr/internal/core"
+)
+
+// TestCompilerEquivalenceSweep differentially tests the production
+// indexed + parallel plan compiler against the brute-force reference over
+// seeded random geometries: random tilings, uneven chunk counts, empty
+// ranks, and needs poking past the domain. Every rank of every case must
+// compile to an identical plan at every parallelism. Run under -race this
+// also shakes down the parallel construction phase.
+func TestCompilerEquivalenceSweep(t *testing.T) {
+	seeds := 30
+	if testing.Short() {
+		seeds = 8
+	}
+	pars := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for seed := 0; seed < seeds; seed++ {
+		tc := GenCase(uint64(seed), core.ModeAlltoallw, 12, 24)
+		for rank := 0; rank < tc.NProcs; rank++ {
+			brute, err := core.CompileBruteForTest(rank, tc.ElemSize, tc.Chunks, tc.Needs)
+			if err != nil {
+				t.Fatalf("%v rank %d: brute: %v", &tc, rank, err)
+			}
+			want, err := json.Marshal(brute.Summary())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, par := range pars {
+				indexed, err := core.CompileForTest(rank, tc.ElemSize, tc.Chunks, tc.Needs, par)
+				if err != nil {
+					t.Fatalf("%v rank %d par %d: %v", &tc, rank, par, err)
+				}
+				got, err := json.Marshal(indexed.Summary())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if string(got) != string(want) {
+					t.Fatalf("%v rank %d par %d: plan diverges from brute force\nbrute:   %s\nindexed: %s",
+						&tc, rank, par, want, got)
+				}
+				if brute.Stats() != indexed.Stats() {
+					t.Fatalf("%v rank %d par %d: stats diverge: brute %+v indexed %+v",
+						&tc, rank, par, brute.Stats(), indexed.Stats())
+				}
+			}
+		}
+	}
+}
+
+// TestCacheReuseSchedule runs the three-pass cache-reuse schedule over a
+// few seeds: identical geometry twice (one compile, one hit) plus a
+// perturbed geometry (a second compile), all passes preserving the fill
+// invariant.
+func TestCacheReuseSchedule(t *testing.T) {
+	for _, seed := range []uint64{3, 11, 27} {
+		tc := GenCase(seed, core.ModePointToPoint, 6, 20)
+		results, err := tc.RunCacheReuse(false)
+		if err != nil {
+			t.Fatalf("%v: %v", &tc, err)
+		}
+		for rank, res := range results {
+			for pass, cerr := range res.CheckErrs {
+				if cerr != nil {
+					t.Errorf("%v rank %d pass %d: %v", &tc, rank, pass, cerr)
+				}
+			}
+			if res.Hits != 1 || res.Misses != 2 {
+				t.Errorf("%v rank %d: %d hits / %d misses, want 1 / 2", &tc, rank, res.Hits, res.Misses)
+			}
+		}
+	}
+}
+
+// TestCacheReuseCatchesStalePlan plants a corrupted cached plan on rank 0
+// (via PerturbPlanForTest) between the cold and warm passes. The warm
+// pass replays the poisoned plan, and the invariant check must flag the
+// misplaced data — proving the harness would catch a stale-cache bug such
+// as a hit returning a plan for the wrong geometry.
+func TestCacheReuseCatchesStalePlan(t *testing.T) {
+	applied, caught := false, false
+	for seed := uint64(1); seed <= 40 && !caught; seed++ {
+		tc := GenCase(seed, core.ModePointToPoint, 6, 20)
+		results, err := tc.RunCacheReuse(true)
+		if err != nil {
+			t.Fatalf("%v: %v", &tc, err)
+		}
+		if !results[0].PerturbApplied {
+			continue // no shiftable span in this plan; try the next seed
+		}
+		applied = true
+		if results[0].CheckErrs[0] != nil {
+			t.Fatalf("%v: cold pass dirty before perturbation: %v", &tc, results[0].CheckErrs[0])
+		}
+		if results[0].CheckErrs[1] != nil {
+			caught = true
+		}
+	}
+	if !applied {
+		t.Fatal("no seed produced a perturbable plan; the stale-cache property was never exercised")
+	}
+	if !caught {
+		t.Fatal("no warm pass surfaced the corrupted cached plan; the stale-cache bug escaped")
+	}
+}

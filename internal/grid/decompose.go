@@ -2,7 +2,7 @@ package grid
 
 import (
 	"fmt"
-	"sort"
+	"strings"
 )
 
 // SplitEven partitions length n into parts pieces whose sizes differ by at
@@ -297,17 +297,51 @@ func ConsecutiveSlices(domain Box, axis, nRanks int) [][]Box {
 	return out
 }
 
+// MaxReportedOverlaps bounds how many overlapping pairs a CoverageError
+// enumerates; a broken layout at scale can overlap nearly everywhere, and
+// the first few pairs are what a human needs to locate the bug.
+const MaxReportedOverlaps = 10
+
+// OverlapPair is one violation of mutual exclusivity: two boxes sharing
+// at least one element, with their owning ranks when known.
+type OverlapPair struct {
+	Boxes  [2]int // indices into the verified slice, ascending
+	Owners [2]int // owning ranks, or -1 when the caller gave no owners
+	Region Box    // the shared region
+}
+
+func (p OverlapPair) String() string {
+	if p.Owners[0] >= 0 || p.Owners[1] >= 0 {
+		return fmt.Sprintf("box %d (rank %d) and box %d (rank %d) share %v",
+			p.Boxes[0], p.Owners[0], p.Boxes[1], p.Owners[1], p.Region)
+	}
+	return fmt.Sprintf("boxes %d and %d share %v", p.Boxes[0], p.Boxes[1], p.Region)
+}
+
 // CoverageError describes how a set of boxes fails to tile a domain.
 type CoverageError struct {
-	Overlap  *[2]int // indices of two overlapping boxes, if any
-	Escapee  *int    // index of a box not contained in the domain, if any
-	Shortage int     // number of domain elements covered by no box
+	// Overlaps lists the overlapping pairs found, up to
+	// MaxReportedOverlaps; Truncated is true when more exist.
+	Overlaps  []OverlapPair
+	Truncated bool
+	Escapee   *int // index of a box not contained in the domain, if any
+	Shortage  int  // number of domain elements covered by no box
 }
 
 func (e *CoverageError) Error() string {
 	switch {
-	case e.Overlap != nil:
-		return fmt.Sprintf("grid: boxes %d and %d overlap", e.Overlap[0], e.Overlap[1])
+	case len(e.Overlaps) > 0:
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "grid: %d overlapping pair(s):", len(e.Overlaps))
+		for _, p := range e.Overlaps {
+			sb.WriteString(" [")
+			sb.WriteString(p.String())
+			sb.WriteByte(']')
+		}
+		if e.Truncated {
+			sb.WriteString(" (more overlaps not shown)")
+		}
+		return sb.String()
 	case e.Escapee != nil:
 		return fmt.Sprintf("grid: box %d extends outside the domain", *e.Escapee)
 	default:
@@ -320,8 +354,18 @@ func (e *CoverageError) Error() string {
 // complete" requirement the paper places on owned data. Empty boxes are
 // ignored. Returns nil when the tiling is exact.
 func VerifyTiling(domain Box, boxes []Box) error {
+	return VerifyTilingOwned(domain, boxes, nil)
+}
+
+// VerifyTilingOwned is VerifyTiling with owner attribution: owners[i] is
+// the rank that contributed boxes[i], carried into any CoverageError so
+// callers need not reconstruct the mapping. A nil owners reports ranks as
+// -1. The pairwise-disjointness check runs through a spatial index, one
+// O(log n + k) overlap query per box instead of the historical pairwise
+// sweep, so verification stays near O(n log n) for every layout shape
+// (stacked slabs included, which degenerated the axis-0 sweep).
+func VerifyTilingOwned(domain Box, boxes []Box, owners []int) error {
 	vol := 0
-	live := make([]int, 0, len(boxes))
 	for i, b := range boxes {
 		if b.Empty() {
 			continue
@@ -331,24 +375,42 @@ func VerifyTiling(domain Box, boxes []Box) error {
 			return &CoverageError{Escapee: &i}
 		}
 		vol += b.Volume()
-		live = append(live, i)
 	}
-	// Sweep by low corner on axis 0 to keep the pairwise test near O(n log n)
-	// for typical slab-like inputs.
-	sort.Slice(live, func(a, b int) bool {
-		return boxes[live[a]].Offset[0] < boxes[live[b]].Offset[0]
-	})
-	for ai := range live {
-		a := boxes[live[ai]]
-		for bi := ai + 1; bi < len(live); bi++ {
-			b := boxes[live[bi]]
-			if b.Offset[0] >= a.End(0) {
-				break
-			}
-			if a.Overlaps(b) {
-				return &CoverageError{Overlap: &[2]int{live[ai], live[bi]}}
-			}
+	ownerOf := func(i int) int {
+		if owners == nil {
+			return -1
 		}
+		return owners[i]
+	}
+	ix := NewIndex(boxes)
+	var ce *CoverageError
+	var hits []int
+	for i, b := range boxes {
+		if b.Empty() {
+			continue
+		}
+		hits = ix.QueryAppend(hits[:0], b)
+		for _, j := range hits {
+			if j <= i { // each pair once, self excluded
+				continue
+			}
+			if ce == nil {
+				ce = &CoverageError{}
+			}
+			if len(ce.Overlaps) >= MaxReportedOverlaps {
+				ce.Truncated = true
+				return ce
+			}
+			region, _ := b.Intersect(boxes[j])
+			ce.Overlaps = append(ce.Overlaps, OverlapPair{
+				Boxes:  [2]int{i, j},
+				Owners: [2]int{ownerOf(i), ownerOf(j)},
+				Region: region,
+			})
+		}
+	}
+	if ce != nil {
+		return ce
 	}
 	if vol != domain.Volume() {
 		return &CoverageError{Shortage: domain.Volume() - vol}

@@ -318,8 +318,16 @@ func TestVerifyTilingDetectsErrors(t *testing.T) {
 		t.Errorf("valid tiling rejected: %v", err)
 	}
 	err := VerifyTiling(domain, []Box{Box2(0, 0, 8, 5), Box2(0, 4, 8, 4)})
-	if ce, ok := err.(*CoverageError); !ok || ce.Overlap == nil {
+	if ce, ok := err.(*CoverageError); !ok || len(ce.Overlaps) == 0 {
 		t.Errorf("overlap not detected: %v", err)
+	} else if p := ce.Overlaps[0]; p.Boxes != [2]int{0, 1} || p.Owners != [2]int{-1, -1} {
+		t.Errorf("wrong pair attribution: %+v", p)
+	}
+	err = VerifyTilingOwned(domain, []Box{Box2(0, 0, 8, 5), Box2(0, 4, 8, 4)}, []int{3, 7})
+	if ce, ok := err.(*CoverageError); !ok || len(ce.Overlaps) != 1 {
+		t.Errorf("owned overlap not detected: %v", err)
+	} else if p := ce.Overlaps[0]; p.Owners != [2]int{3, 7} || !p.Region.Equal(Box2(0, 4, 8, 1)) {
+		t.Errorf("wrong owned pair: %+v", p)
 	}
 	err = VerifyTiling(domain, []Box{Box2(0, 0, 8, 4), Box2(0, 4, 9, 4)})
 	if ce, ok := err.(*CoverageError); !ok || ce.Escapee == nil {

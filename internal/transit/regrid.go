@@ -1,0 +1,75 @@
+package transit
+
+import (
+	"fmt"
+
+	"ddr/internal/core"
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+// Regridder owns the consumer-side DDR state of an in-transit coupling
+// across connection epochs. In the paper's use case B the producer
+// application comes and goes — it restarts from a checkpoint, rescales to
+// a different rank count, or simply opens a new stream epoch — and each
+// (re)connection requires the consumer group to re-establish the mapping
+// from the producers' current chunk layout to the analysis layout.
+//
+// Most reconnects are steady-state: the producers return with the
+// geometry they had before (a restart at the same scale), or cycle
+// through a small set of layouts (alternating compute and I/O phases).
+// The Regridder routes every Connect through one long-lived Descriptor so
+// its plan cache recognizes those recurrences; a warm reconnect skips the
+// geometry allgather, validation, and plan compilation entirely and costs
+// two small collectives.
+type Regridder struct {
+	desc *core.Descriptor
+	need grid.Box
+
+	epochs int
+	own    []grid.Box // chunk layout of the current epoch
+}
+
+// NewRegridder wraps a descriptor and the fixed analysis-side need box.
+// The descriptor should have its plan cache enabled (the default); every
+// consumer rank must construct its Regridder collectively and call
+// Connect/Regrid in lockstep.
+func NewRegridder(desc *core.Descriptor, need grid.Box) *Regridder {
+	return &Regridder{desc: desc, need: need}
+}
+
+// Connect establishes (or re-establishes) the mapping for the chunk
+// layout the producers declared for this epoch: own lists the producer
+// chunks this consumer rank receives, in stream order. Collective over
+// the consumer communicator. Reconnecting with a previously seen global
+// geometry is satisfied from the plan cache without recompiling.
+func (rg *Regridder) Connect(c *mpi.Comm, own []grid.Box) error {
+	if err := rg.desc.SetupDataMapping(c, own, rg.need); err != nil {
+		return fmt.Errorf("transit: reconnect epoch %d: %w", rg.epochs, err)
+	}
+	rg.own = append(rg.own[:0], own...)
+	rg.epochs++
+	return nil
+}
+
+// Regrid redistributes one step's payloads — one buffer per chunk passed
+// to the latest Connect, in the same order — into the need buffer.
+func (rg *Regridder) Regrid(c *mpi.Comm, bufs [][]byte, needBuf []byte) error {
+	if rg.epochs == 0 {
+		return fmt.Errorf("transit: Regrid before Connect")
+	}
+	return rg.desc.ReorganizeData(c, bufs, needBuf)
+}
+
+// Epochs returns how many Connect calls have completed.
+func (rg *Regridder) Epochs() int { return rg.epochs }
+
+// Chunks returns the chunk layout of the current epoch, in the order
+// Regrid expects its buffers.
+func (rg *Regridder) Chunks() []grid.Box { return rg.own }
+
+// CacheStats reports the underlying descriptor's plan-cache hits and
+// misses — in steady state every epoch past the first is a hit.
+func (rg *Regridder) CacheStats() (hits, misses int64) {
+	return rg.desc.PlanCacheStats()
+}

@@ -1,0 +1,74 @@
+package transit
+
+import (
+	"testing"
+
+	"ddr/internal/core"
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+// reconnectGeometry is the producers' chunk layout for the reconnect
+// benchmark: a 3-D brick stack along z, each consumer rank owning
+// chunksPer z-slabs of its brick and needing the brick shifted by half —
+// the same halo-style regrid the mapping benchmarks use, sized so a cold
+// Connect does a realistic amount of compilation work per rank.
+func reconnectGeometry(procs, chunksPer int) ([][]grid.Box, []grid.Box) {
+	const w, h, slab = 64, 64, 8
+	bd := slab * chunksPer
+	chunks := make([][]grid.Box, procs)
+	needs := make([]grid.Box, procs)
+	for r := 0; r < procs; r++ {
+		z0 := r * bd
+		for c := 0; c < chunksPer; c++ {
+			chunks[r] = append(chunks[r], grid.Box3(0, 0, z0+c*slab, w, h, slab))
+		}
+		needs[r] = grid.Box3(0, 0, z0+bd/2, w, h, bd)
+	}
+	return chunks, needs
+}
+
+// benchReconnect times one full Connect epoch across the consumer group,
+// with Regridders (and their descriptors' plan caches) persisting across
+// epochs exactly as a long-lived coupling would hold them. cacheCap 0
+// disables the plan cache, so every epoch is a cold compile; a positive
+// cap makes every epoch after the priming one a warm cache hit.
+func benchReconnect(b *testing.B, procs, chunksPer, cacheCap int) {
+	chunks, needs := reconnectGeometry(procs, chunksPer)
+	rgs := make([]*Regridder, procs)
+	for r := 0; r < procs; r++ {
+		desc, err := core.NewDescriptor(procs, core.Layout3D, core.Uint8,
+			core.WithElemSize(4), core.WithPlanCache(cacheCap))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rgs[r] = NewRegridder(desc, needs[r])
+	}
+	epoch := func() error {
+		return mpi.Run(procs, func(c *mpi.Comm) error {
+			return rgs[c.Rank()].Connect(c, chunks[c.Rank()])
+		})
+	}
+	// Priming epoch: populates the cache in the warm configuration and
+	// puts both configurations in the same steady state before timing.
+	if err := epoch(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := epoch(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegridderReconnect measures use case B's steady-state
+// reconnect: the producers return with a geometry the consumers have seen
+// before. cold disables the plan cache so the epoch pays the full
+// geometry exchange, validation, and compile; warm is the same epoch
+// satisfied from the cache — two small collectives and a fingerprint.
+func BenchmarkRegridderReconnect(b *testing.B) {
+	const procs, chunksPer = 64, 16
+	b.Run("cold", func(b *testing.B) { benchReconnect(b, procs, chunksPer, 0) })
+	b.Run("warm", func(b *testing.B) { benchReconnect(b, procs, chunksPer, 8) })
+}
