@@ -24,11 +24,18 @@ chaos:
 # data race in the ForkJoin'd construction fails the gate by name), the
 # chaos suite, the golden-plan fixtures, a brief fuzz of both TCP wire
 # decoders, and one-iteration smokes of the exchange-engine and mapping
-# benchmarks so every measured configuration stays runnable.
+# benchmarks so every measured configuration stays runnable. The
+# observability gate runs by name: the merged-trace round trip (4-rank
+# exchange -> gathered, clock-corrected Perfetto timeline with a track
+# per rank), the scrape-while-writing race, and the detached-cost guards
+# (no tracer attached => zero allocations, no wire growth).
 verify: chaos
 	$(GO) vet ./...
 	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/... ./internal/datatype/...
 	$(GO) test -race -run 'TestCompilerEquivalence' ./internal/core/
+	$(GO) test -race -run 'TestTraceMergeRoundTrip|TestGatherTrace' ./internal/core/ ./internal/mpi/
+	$(GO) test -race -run 'TestMetricsScrapeWhileWriting|TestFlightRecHandler' ./internal/obs/
+	$(GO) test -run 'TestZeroAllocSteadyState|TestTracingDetachedZeroAlloc|TestFlightRecorderRecordZeroAlloc|TestTCPUntracedWireIdentical' ./internal/core/ ./internal/obs/ ./internal/mpi/
 	$(GO) test -race -run 'TestRegridderReconnect' ./internal/transit/
 	$(GO) test -run TestGoldenPlans ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzTCPFrameDecoder -fuzztime 10s ./internal/mpi/

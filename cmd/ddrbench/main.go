@@ -15,7 +15,13 @@
 // The real-execution experiments (-ablation, -figure 4) can emit their
 // telemetry: -trace-out writes a Perfetto-loadable timeline, -metrics-out
 // a Prometheus text file, and -pprof-addr serves live /metrics and
-// /debug/pprof while the run is in flight.
+// /debug/pprof while the run is in flight. -trace-merge gathers every
+// rank's spans at rank 0 — clock-corrected by a ping-pong offset
+// estimate — and writes one multi-rank Perfetto timeline plus a
+// straggler report; -flightrec N arms a per-process postmortem ring of
+// the last N transport events, dumped on peer loss, SIGQUIT, and
+// /debug/flightrec; -tcp runs the in-transit ranks over the loopback TCP
+// transport so the traced frames are real wire frames.
 package main
 
 import (
@@ -47,6 +53,9 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the instrumented runs to this JSON file")
 		metrics  = flag.String("metrics-out", "", "write Prometheus text-format metrics of the instrumented runs to this file")
 		pprof    = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
+		mergeOut = flag.String("trace-merge", "", "gather every rank's spans at rank 0, clock-correct them, and write one merged multi-rank Perfetto timeline (plus a straggler report on stderr) to this JSON file")
+		flightN  = flag.Int("flightrec", 0, "arm a flight recorder keeping the last N transport events, dumped on peer loss, SIGQUIT, and /debug/flightrec (0 disables)")
+		useTCP   = flag.Bool("tcp", false, "run the in-transit pipeline ranks over the loopback TCP transport instead of the in-process mailbox")
 	)
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
 	applyChaos := experiments.RegisterChaosFlags(flag.CommandLine)
@@ -60,12 +69,16 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	tel, flush, err := experiments.TelemetryFromFlags(*traceOut, *metrics, *pprof)
+	tel, flush, err := experiments.TelemetryFromFlags(*traceOut, *metrics, *pprof, *mergeOut, *flightN)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ddrbench:", err)
 		os.Exit(1)
 	}
-	if err := run(tel, *table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
+	transport := ""
+	if *useTCP {
+		transport = "tcp"
+	}
+	if err := run(tel, transport, *table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
 		fmt.Fprintln(os.Stderr, "ddrbench:", err)
 		os.Exit(1)
 	}
@@ -75,7 +88,7 @@ func main() {
 	}
 }
 
-func run(tel *experiments.Telemetry, table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
+func run(tel *experiments.Telemetry, transport string, table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
 	machine := perfmodel.Cooley()
 	want := func(t, f int) bool {
 		return all || (t != 0 && table == t) || (f != 0 && figure == f)
@@ -166,6 +179,7 @@ func run(tel *experiments.Telemetry, table, figure int, all, real, ablation, vol
 			JPEGQuality: quality,
 			OutDir:      outDir,
 			Telemetry:   tel,
+			Transport:   transport,
 		})
 		if err != nil {
 			return err

@@ -42,6 +42,9 @@ func main() {
 		trace   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the pipeline to this JSON file")
 		metrics = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file")
 		pprof   = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
+		merge   = flag.String("trace-merge", "", "gather every rank's spans at rank 0, clock-correct them, and write one merged multi-rank Perfetto timeline (role=both only)")
+		flightN = flag.Int("flightrec", 0, "arm a flight recorder keeping the last N transport events, dumped on peer loss, SIGQUIT, and /debug/flightrec (0 disables)")
+		useTCP  = flag.Bool("tcp", false, "run the in-process world over the loopback TCP transport (role=both only)")
 	)
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
 	applyChaos := experiments.RegisterChaosFlags(flag.CommandLine)
@@ -51,10 +54,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)
 		os.Exit(2)
 	}
-	tel, flush, err := experiments.TelemetryFromFlags(*trace, *metrics, *pprof)
+	tel, flush, err := experiments.TelemetryFromFlags(*trace, *metrics, *pprof, *merge, *flightN)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)
 		os.Exit(1)
+	}
+	transport := ""
+	if *useTCP {
+		transport = "tcp"
 	}
 	cfg := experiments.InTransitConfig{
 		M: *sim, N: *viz,
@@ -66,6 +73,7 @@ func main() {
 		GIFPath:     *gifOut,
 		StatsPath:   *stats,
 		Telemetry:   tel,
+		Transport:   transport,
 	}
 	if err := run(cfg, *role, *connect, *bind, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)

@@ -147,13 +147,21 @@ type Descriptor struct {
 	deadline    time.Duration // per-exchange bound; > 0 enables degradation
 	tracer      *trace.Recorder
 	metrics     *obs.Registry
-	cacheCap    int // plan-cache capacity; <= 0 disables
+	flight      *obs.FlightRecorder // nil unless WithFlightRecorder
+	cacheCap    int                 // plan-cache capacity; <= 0 disables
 
 	plan                   *Plan            // nil until SetupDataMapping
 	cache                  *planCache[*Plan] // nil when caching is disabled
 	cacheHits, cacheMisses atomic.Int64
 	timings                []RoundTiming
 	obsv                   *exchObs // nil unless a tracer or registry is attached
+
+	// exchSeq counts ReorganizeData calls on this descriptor. The call is
+	// collective, so the counter advances in lockstep on every rank;
+	// combined with the plan's collectively agreed geometry fingerprint it
+	// mints exchange IDs that match across ranks without a message.
+	exchSeq    uint64
+	lastExchID uint64 // ID minted by the most recent exchange
 
 	eng     engine // pack/unpack worker pool + reusable job batch
 	scratch exchScratch
@@ -247,6 +255,16 @@ func WithTracer(r *trace.Recorder) Option {
 // per-rank, per-mode series exportable in Prometheus text format.
 func WithMetrics(reg *obs.Registry) Option {
 	return func(d *Descriptor) { d.metrics = reg }
+}
+
+// WithFlightRecorder attaches a flight recorder: plan-cache verdicts and
+// exchange start/end marks are recorded into the ring, every exchange
+// stamps a trace context onto its wire traffic so transport-level flight
+// events carry the exchange ID, and a degraded exchange (PartialError)
+// triggers an automatic postmortem dump of the ring. Detached (the
+// default) the hot paths pay a single nil check.
+func WithFlightRecorder(f *obs.FlightRecorder) Option {
+	return func(d *Descriptor) { d.flight = f }
 }
 
 // WithValidation makes SetupDataMapping verify collectively that the owned
@@ -375,6 +393,13 @@ func (d *Descriptor) ElemSize() int { return d.elemSize }
 // Plan returns the compiled communication plan, or nil before
 // SetupDataMapping has run.
 func (d *Descriptor) Plan() *Plan { return d.plan }
+
+// LastExchangeID returns the trace exchange ID minted by the most recent
+// ReorganizeData call (0 before the first). Every rank of the collective
+// derives the same ID — the plan fingerprint is collectively agreed and
+// the per-descriptor exchange counter runs in lockstep — so the value
+// keys this exchange's spans and flight events across the whole world.
+func (d *Descriptor) LastExchangeID() uint64 { return d.lastExchID }
 
 // PlanCacheStats reports how many SetupDataMapping calls were satisfied
 // by a cached plan and how many compiled a new one while caching was

@@ -8,6 +8,7 @@ import (
 	"ddr/internal/datatype"
 	"ddr/internal/grid"
 	"ddr/internal/mpi"
+	"ddr/internal/obs"
 )
 
 // Plan is the compiled communication schedule produced by
@@ -22,6 +23,12 @@ type Plan struct {
 	rank     int
 	nProcs   int
 	rounds   int
+
+	// fp is the collectively agreed fingerprint of the global geometry the
+	// plan was compiled for. Exchange trace IDs are minted from it, so the
+	// timelines of repeated exchanges on one layout correlate across ranks
+	// (and across runs) without any extra communication.
+	fp uint64
 
 	myChunks []grid.Box
 	need     grid.Box
@@ -142,7 +149,8 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 		}
 	}
 
-	d.buildObs(c.WorldRank(c.Rank()))
+	wr := c.WorldRank(c.Rank())
+	d.buildObs(wr)
 	o := d.obsv
 	var mapStart time.Time
 	if o.on() {
@@ -165,12 +173,14 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 			if o.on() {
 				o.cacheHits.Inc()
 			}
+			d.flight.Record(obs.FlightEvent{Kind: obs.FlightCacheHit, Rank: int32(wr), Peer: -1})
 			return nil
 		}
 		d.cacheMisses.Add(1)
 		if o.on() {
 			o.cacheMisses.Inc()
 		}
+		d.flight.Record(obs.FlightEvent{Kind: obs.FlightCacheMiss, Rank: int32(wr), Peer: -1})
 	}
 
 	packed, err := c.Allgather(enc)
@@ -207,7 +217,12 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 		o.compilePar.Observe(float64(d.parallelism()))
 	}
 	if d.cache != nil {
+		// The cache lookup already agreed on the fingerprint collectively;
+		// reuse it so the stored plan replays with the same identity.
+		plan.fp = d.cache.lastKey.fp
 		d.cache.store(plan)
+	} else {
+		plan.fp = geometryFingerprint(packed)
 	}
 	d.plan = plan
 	return nil

@@ -46,6 +46,37 @@ func hash64(h uint64, b []byte) uint64 {
 	return h
 }
 
+// geometryFingerprint derives the global-geometry fingerprint from the
+// allgathered per-rank canonical encodings — the same fold the cache
+// lookup performs over gathered per-rank hashes, for the cache-disabled
+// path that has the full encodings in hand. Every rank holds the same
+// gathered set, so every rank derives the same value.
+func geometryFingerprint(packed [][]byte) uint64 {
+	fp := uint64(fnvOffset64)
+	var h [8]byte
+	for _, enc := range packed {
+		binary.LittleEndian.PutUint64(h[:], hash64(fnvOffset64, enc))
+		fp = hash64(fp, h[:])
+	}
+	return fp
+}
+
+// mixExchangeID mints an exchange ID from the plan fingerprint and the
+// descriptor's lockstep exchange counter. The splitmix64 finalizer
+// scatters consecutive counters across the keyspace so IDs from
+// different plans or runs do not collide on low bits; zero is reserved
+// for "no trace context" and remapped.
+func mixExchangeID(fp, seq uint64) uint64 {
+	z := (fp ^ seq) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1
+	}
+	return z
+}
+
 // cacheKey identifies a cached plan: the global-geometry fingerprint plus
 // the rank the plan was compiled for (plans are rank-specific — each holds
 // only its own rank's schedule).

@@ -10,6 +10,8 @@ import (
 	"ddr/internal/datatype"
 	"ddr/internal/grid"
 	"ddr/internal/mpi"
+	"ddr/internal/obs"
+	"ddr/internal/trace"
 )
 
 // RoundTiming records the wall-clock cost of one exchange round of the
@@ -219,8 +221,33 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 
 	d.timings = d.timings[:0]
 	o := d.obsv
-	endAll := d.tracer.Span(o.Rank(c), "exchange", 0)
-	defer endAll()
+	rankL := o.Rank(c)
+
+	// Mint this exchange's trace identity. ReorganizeData is collective,
+	// so the counter advances in lockstep on every rank; combined with the
+	// collectively agreed plan fingerprint, every rank derives the same
+	// 64-bit ID without communicating. Minting is two integer ops, so it
+	// runs unconditionally; the context push and span stamps are gated so
+	// a detached descriptor pays nothing.
+	d.exchSeq++
+	exch := mixExchangeID(p.fp, d.exchSeq)
+	d.lastExchID = exch
+	traced := o.tracing() || d.flight != nil
+	if traced {
+		// Stamp the context onto every message of this exchange: the
+		// transports propagate it in-band, so the receiving side's flight
+		// events name the exchange and round they served.
+		c.SetTraceContext(mpi.TraceContext{Exchange: exch})
+		defer c.ClearTraceContext()
+		d.flight.Record(obs.FlightEvent{Kind: obs.FlightExchangeStart, Rank: int32(rankL), Peer: -1, Exchange: exch})
+	}
+	if o.tracing() {
+		allStart := time.Now()
+		defer func() {
+			o.rec.StampSpan(trace.Event{Rank: rankL, Name: "exchange",
+				Exchange: exch, Round: -1, Peer: -1}, allStart, time.Now())
+		}()
+	}
 	if d.mode == ModePointToPointFused {
 		start := time.Now()
 		if err := d.exchangeFused(ctx, o, c, own, need, ps); err != nil {
@@ -237,7 +264,7 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 			o.roundLat.Observe(elapsed.Seconds())
 			o.exchangeBytes.Add(wire)
 		}
-		return d.partialError(ps)
+		return d.finishExchange(rankL, exch, ps)
 	}
 	var exchangeStart time.Time
 	if o.on() {
@@ -269,11 +296,10 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 			sendBuf = own[r]
 		}
 		roundBytes := p.RankRoundSendBytes(p.rank, r)
-		start := time.Now()
-		var endRound func()
-		if d.tracer != nil {
-			endRound = d.tracer.Span(o.Rank(c), fmt.Sprintf("round-%d", r), roundBytes)
+		if traced {
+			c.SetTraceContext(mpi.TraceContext{Exchange: exch, Round: uint32(r)})
 		}
+		start := time.Now()
 		var err error
 		switch d.mode {
 		case ModePointToPoint:
@@ -288,8 +314,9 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 			})
 			d.resetAlltoallwRows(p, r)
 		}
-		if endRound != nil {
-			endRound()
+		if o.tracing() {
+			o.rec.StampSpan(trace.Event{Rank: rankL, Name: fmt.Sprintf("round-%d", r),
+				Bytes: roundBytes, Exchange: exch, Round: int32(r), Peer: -1}, start, time.Now())
 		}
 		if err != nil && !ps.absorb(r, err) {
 			return fmt.Errorf("core: exchange round %d: %w", r, err)
@@ -308,7 +335,25 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 	if o.on() {
 		o.exchangeLat.Observe(time.Since(exchangeStart).Seconds())
 	}
-	return d.partialError(ps)
+	return d.finishExchange(rankL, exch, ps)
+}
+
+// finishExchange builds the caller-facing completion report and, when a
+// flight recorder is attached, marks the exchange end in the ring — and,
+// if the exchange degraded, emits the one-shot postmortem dump naming
+// the lost peers while the ring still holds the frames leading up to the
+// loss.
+func (d *Descriptor) finishExchange(rankL int, exch uint64, ps *partialState) error {
+	err := d.partialError(ps)
+	if d.flight != nil {
+		d.flight.Record(obs.FlightEvent{Kind: obs.FlightExchangeEnd, Rank: int32(rankL), Peer: -1, Exchange: exch})
+		var pe *PartialError
+		if errors.As(err, &pe) {
+			d.flight.DumpOnce(fmt.Sprintf("rank %d exchange %016x degraded: lost peers %v: %v",
+				rankL, exch, pe.LostPeers, pe.Cause))
+		}
+	}
+	return err
 }
 
 // selfExchange moves round r's local contribution (this rank's owned
@@ -429,7 +474,9 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 				return err
 			}
 			if o.tracing() {
-				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
+				o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", peer),
+					Bytes: int64(len(data)), Exchange: d.lastExchID, Round: int32(round), Peer: int32(peer)},
+					waitStart, time.Now())
 			}
 			if err := d.acceptRound(o, round, peer, data, need); err != nil {
 				return err
@@ -462,7 +509,9 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 				return err
 			}
 			if o.tracing() {
-				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
+				o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", peer),
+					Bytes: int64(len(data)), Exchange: d.lastExchID, Round: int32(round), Peer: int32(peer)},
+					waitStart, time.Now())
 			}
 			if err := d.acceptRound(o, round, peer, data, need); err != nil {
 				return err
@@ -580,7 +629,9 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 				return err
 			}
 			if o.tracing() {
-				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
+				o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", peer),
+					Bytes: int64(len(data)), Exchange: d.lastExchID, Round: -1, Peer: int32(peer)},
+					waitStart, time.Now())
 			}
 			if err := d.acceptFused(o, i, peer, data, need); err != nil {
 				return err
@@ -611,7 +662,9 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 				return err
 			}
 			if o.tracing() {
-				o.rec.AddSpan(o.rank, fmt.Sprintf("wait<-%d", peer), waitStart, time.Now(), int64(len(data)))
+				o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", peer),
+					Bytes: int64(len(data)), Exchange: d.lastExchID, Round: -1, Peer: int32(peer)},
+					waitStart, time.Now())
 			}
 			if err := d.acceptFused(o, i, peer, data, need); err != nil {
 				return err

@@ -41,8 +41,15 @@ type InTransitConfig struct {
 	// Telemetry, when non-nil, attaches the run to a trace recorder
 	// and/or metrics registry: message-layer counters on the world
 	// communicator, DDR plan/exchange instrumentation on the consumer
-	// descriptor, and per-phase pipeline spans on both roles.
+	// descriptor, and per-phase pipeline spans on both roles. When its
+	// MergeOut is set, the run ends with a collective trace merge and
+	// rank 0 writes the clock-corrected multi-rank timeline.
 	Telemetry *Telemetry
+
+	// Transport selects how the M+N in-process ranks talk: "" or
+	// "inproc" uses the shared mailbox, "tcp" runs every rank on the
+	// loopback TCP transport (frames, chunking, real wire behaviour).
+	Transport string
 }
 
 func (cfg *InTransitConfig) fillDefaults() {
@@ -107,14 +114,25 @@ func RunInTransit(cfg InTransitConfig) (*InTransitResult, error) {
 		InletVelocity: cfg.InletVelocity,
 		Barrier:       lbm.CylinderBarrier(cfg.GridW/4, cfg.GridH/2, cfg.GridH/9),
 	}
-	err := mpi.Run(cfg.M+cfg.N, func(world *mpi.Comm) error {
+	runner := mpi.Run
+	switch cfg.Transport {
+	case "", "inproc":
+	case "tcp":
+		runner = mpi.RunTCP
+	default:
+		return nil, fmt.Errorf("experiments: unknown transport %q (have inproc, tcp)", cfg.Transport)
+	}
+	err := runner(cfg.M+cfg.N, func(world *mpi.Comm) error {
 		cfg.Telemetry.attach(world)
 		cp, err := transit.NewCoupling(world, cfg.M, cfg.N)
 		if err != nil {
 			return err
 		}
 		if cp.Role == transit.Producer {
-			return runProducer(cp.Local, params, cfg, cp.Send)
+			if err := runProducer(cp.Local, params, cfg, cp.Send); err != nil {
+				return err
+			}
+			return cfg.Telemetry.MergeAndWrite(world)
 		}
 		r, err := runConsumer(consumerEnv{
 			local:       cp.Local,
@@ -129,7 +147,7 @@ func RunInTransit(cfg InTransitConfig) (*InTransitResult, error) {
 			res = r
 			mu.Unlock()
 		}
-		return nil
+		return cfg.Telemetry.MergeAndWrite(world)
 	})
 	if err != nil {
 		return nil, err

@@ -143,7 +143,7 @@ func TestTelemetryNil(t *testing.T) {
 	if _, err := ExchangeModeAblation(4, grid.Box3(0, 0, 0, 8, 8, 16), []int{1}, 1, nil); err != nil {
 		t.Fatal(err)
 	}
-	_, flush, err := TelemetryFromFlags("", "", "")
+	_, flush, err := TelemetryFromFlags("", "", "", "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}

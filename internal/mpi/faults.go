@@ -164,6 +164,7 @@ type faultTransport struct {
 	obsDrops   atomic.Pointer[obs.Counter]
 	obsRetries atomic.Pointer[obs.Counter]
 	obsSevers  atomic.Pointer[obs.Counter]
+	flight     atomic.Pointer[obs.FlightRecorder]
 }
 
 // attachObs mirrors the fault counters into a rank's telemetry. Nil
@@ -173,11 +174,27 @@ func (t *faultTransport) attachObs(tel *Telemetry) {
 		t.obsDrops.Store(nil)
 		t.obsRetries.Store(nil)
 		t.obsSevers.Store(nil)
+		t.flight.Store(nil)
 		return
 	}
 	t.obsDrops.Store(tel.faultDrops)
 	t.obsRetries.Store(tel.faultRetries)
 	t.obsSevers.Store(tel.faultSevers)
+	t.flight.Store(tel.flight)
+}
+
+// recordFlight mirrors one injector verdict into the attached flight
+// recorder (free when detached), attributed to this sender.
+func (t *faultTransport) recordFlight(kind obs.FlightKind, dst int, e *envelope) {
+	f := t.flight.Load()
+	if f == nil {
+		return
+	}
+	f.Record(obs.FlightEvent{
+		Kind: kind, Rank: int32(t.src), Peer: int32(dst),
+		Tag: int32(e.tag), Round: int32(e.tc.Round), Seq: e.seq,
+		Exchange: e.tc.Exchange, Bytes: int64(len(e.data)),
+	})
 }
 
 // faultLink is the outbound queue and worker state for one destination.
@@ -305,6 +322,7 @@ func (t *faultTransport) process(l *faultLink, e envelope) bool {
 		if f.Sever {
 			faultStats.severed.Add(1)
 			t.obsSevers.Load().Add(1)
+			t.recordFlight(obs.FlightSever, l.dst, &e)
 			t.severLink(l, fmt.Errorf("mpi: link %d->%d severed by fault injection: %w", t.src, l.dst, ErrPeerLost))
 			PutBuffer(e.data)
 			return false
@@ -316,14 +334,17 @@ func (t *faultTransport) process(l *faultLink, e envelope) bool {
 		if f.Drop {
 			faultStats.drops.Add(1)
 			t.obsDrops.Load().Add(1)
+			t.recordFlight(obs.FlightDrop, l.dst, &e)
 			if attempt >= faultMaxRetries {
 				faultStats.failed.Add(1)
+				t.recordFlight(obs.FlightSever, l.dst, &e)
 				t.severLink(l, fmt.Errorf("mpi: link %d->%d failed after %d delivery attempts: %w", t.src, l.dst, attempt+1, ErrPeerLost))
 				PutBuffer(e.data)
 				return false
 			}
 			faultStats.retries.Add(1)
 			t.obsRetries.Load().Add(1)
+			t.recordFlight(obs.FlightRetry, l.dst, &e)
 			time.Sleep(faultRetryBackoff << uint(attempt))
 			continue
 		}

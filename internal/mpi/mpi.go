@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ddr/internal/obs"
@@ -77,6 +78,43 @@ type envelope struct {
 	// error (nil on success) when the payload has been fully written and
 	// ownership returns to the caller. Never set on mailbox envelopes.
 	done chan<- error
+
+	// tc is the distributed trace context stamped on messages sent while
+	// an exchange is being traced (tc.Exchange == 0 means untraced). The
+	// TCP transport carries it in an optional frame extension; frames of
+	// untraced messages are byte-identical to the pre-tracing format.
+	tc TraceContext
+}
+
+// TraceContext identifies the logical exchange a message belongs to:
+// Exchange is the cluster-wide 64-bit exchange ID minted by
+// core.ReorganizeData (0 = no context), Round the exchange round, and
+// Span the sender-local span sequence within the exchange.
+type TraceContext struct {
+	Exchange uint64
+	Round    uint32
+	Span     uint32
+}
+
+// SetTraceContext installs tc as the context stamped on every subsequent
+// send from this communicator until the next Set/ClearTraceContext. The
+// caller is the exchange driver (one writer); readers are the send paths,
+// which load it atomically.
+func (c *Comm) SetTraceContext(tc TraceContext) {
+	c.curTC.Store(&tc)
+}
+
+// ClearTraceContext removes the current trace context.
+func (c *Comm) ClearTraceContext() {
+	c.curTC.Store(nil)
+}
+
+// traceCtx returns the current trace context (zero when none is set).
+func (c *Comm) traceCtx() TraceContext {
+	if p := c.curTC.Load(); p != nil {
+		return *p
+	}
+	return TraceContext{}
 }
 
 // chunkPending tracks the reassembly state of a chunk-streamed message.
@@ -140,6 +178,8 @@ type mailbox struct {
 	lost   map[int]error      // world src -> why that peer is unreachable
 	seen   map[int]*seqWindow // world src -> dedupe window for sequenced envelopes
 	lostC  *obs.Counter       // peers-lost counter, nil unless telemetry attached
+	flight *obs.FlightRecorder // flight recorder, nil unless attached
+	self   int                 // world rank owning this mailbox (flight attribution)
 }
 
 // setDepthGauge attaches (or detaches, with nil) the pending-message
@@ -186,23 +226,41 @@ func (m *mailbox) put(e envelope) {
 // markLost records that the given world rank is unreachable and wakes any
 // receiver blocked on it. Messages already queued from that rank remain
 // deliverable; only a receive that would otherwise wait forever fails.
+// The first loss with a flight recorder attached triggers the postmortem
+// dump — this is the ErrPeerLost moment the recorder exists for.
 func (m *mailbox) markLost(src int, err error) {
 	m.mu.Lock()
+	first := false
 	if m.lost == nil {
 		m.lost = make(map[int]error)
 	}
 	if _, dup := m.lost[src]; !dup {
 		m.lost[src] = err
 		m.lostC.Add(1)
+		first = true
 	}
+	flight, self := m.flight, m.self
 	m.mu.Unlock()
 	m.cond.Broadcast()
+	if first && flight != nil {
+		flight.Record(obs.FlightEvent{Kind: obs.FlightPeerLost, Rank: int32(self), Peer: int32(src)})
+		flight.DumpOnce(fmt.Sprintf("rank %d lost peer %d: %v", self, src, err))
+	}
 }
 
 // setLostCounter attaches (or detaches, with nil) the peers-lost counter.
 func (m *mailbox) setLostCounter(c *obs.Counter) {
 	m.mu.Lock()
 	m.lostC = c
+	m.mu.Unlock()
+}
+
+// setFlight attaches (or detaches, with nil) the flight recorder, along
+// with the world rank owning this mailbox for event attribution.
+func (m *mailbox) setFlight(f *obs.FlightRecorder, self int) {
+	m.mu.Lock()
+	m.flight = f
+	m.self = self
 	m.mu.Unlock()
 }
 
@@ -394,6 +452,11 @@ type Comm struct {
 
 	counters *traffic   // shared across communicators derived from one rank
 	tel      *Telemetry // shared observability hooks, nil unless attached
+
+	// curTC is the trace context stamped on sends while an exchange is in
+	// flight on this communicator (nil = untraced). One writer (the
+	// exchange driver), read atomically by the send paths.
+	curTC atomic.Pointer[TraceContext]
 }
 
 // Rank returns the calling process's rank within the communicator.
@@ -438,13 +501,20 @@ func (c *Comm) Send(dst, tag int, data []byte) error {
 // touch data again the moment this returns.
 func (c *Comm) sendInternal(dst, tag int, data []byte) error {
 	dstWorld := c.group[dst]
+	tc := c.traceCtx()
 	t := c.tel
 	var start time.Time
 	if t != nil {
 		start = time.Now()
+		if t.flight != nil {
+			t.flight.Record(obs.FlightEvent{
+				Kind: obs.FlightSend, Rank: int32(c.group[c.rank]), Peer: int32(dstWorld),
+				Tag: int32(tag), Round: int32(tc.Round), Exchange: tc.Exchange, Bytes: int64(len(data)),
+			})
+		}
 	}
 	if zc, ok := c.tr.(zeroCopySender); ok {
-		if handled, err := zc.sendZeroCopy(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: data}); handled {
+		if handled, err := zc.sendZeroCopy(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: data, tc: tc}); handled {
 			c.counters.countSend(dstWorld, len(data))
 			if t != nil {
 				t.sendLatency.ObserveSince(start)
@@ -457,9 +527,9 @@ func (c *Comm) sendInternal(dst, tag int, data []byte) error {
 	copy(cp, data)
 	c.counters.countSend(dstWorld, len(cp))
 	if t == nil {
-		return c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp})
+		return c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp, tc: tc})
 	}
-	err := c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp})
+	err := c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp, tc: tc})
 	t.sendLatency.ObserveSince(start)
 	t.wireSent.Add(int64(len(cp)))
 	return err
@@ -509,6 +579,13 @@ func (c *Comm) recvInternal(cancel <-chan struct{}, src, tag int) (data []byte, 
 	if t != nil {
 		t.recvLatency.ObserveSince(start)
 		t.wireRecv.Add(int64(len(e.data)))
+		if t.flight != nil {
+			t.flight.Record(obs.FlightEvent{
+				Kind: obs.FlightRecv, Rank: int32(c.group[c.rank]), Peer: int32(e.src),
+				Tag: int32(e.tag), Round: int32(e.tc.Round), Seq: e.seq,
+				Exchange: e.tc.Exchange, Bytes: int64(len(e.data)),
+			})
+		}
 	}
 	return e.data, c.localRank(e.src), e.tag, nil
 }
@@ -536,7 +613,7 @@ func (c *Comm) SendCtx(ctx context.Context, dst, tag int, data []byte) error {
 	cp := GetBuffer(len(data))
 	copy(cp, data)
 	c.counters.countSend(dstWorld, len(cp))
-	err := c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp, cancel: cancel})
+	err := c.tr.send(dstWorld, envelope{ctx: c.ctx, src: c.group[c.rank], tag: tag, data: cp, cancel: cancel, tc: c.traceCtx()})
 	if err != nil && errors.Is(err, ErrExchangeTimeout) {
 		err = fmt.Errorf("mpi: send to rank %d tag %d: %w", dst, tag, ErrExchangeTimeout)
 	}

@@ -18,11 +18,20 @@ import (
 // Wire protocol v2. Every frame starts with a 20-byte header:
 //
 //	off  0  type  u8   frameMsg or frameChunk
-//	off  1  reserved (3 bytes, zero)
+//	off  1  flags u8   extension bits (zero before tracing existed)
+//	off  2  reserved (2 bytes, zero)
 //	off  4  ctx   u32  communicator context
 //	off  8  src   u32  sender's world rank
 //	off 12  tag   u32  message tag (two's-complement int32)
 //	off 16  len   u32  payload bytes following this header (this frame only)
+//
+// Byte 1 is the flags byte (historically reserved-zero, so old frames
+// parse as flags 0). The only defined bit is tcpFlagTrace: the frame
+// carries a 16-byte trace-context extension — exchange u64, round u32,
+// span u32 — placed after every other extension (chunk and/or seq) and
+// before the payload. Frames sent without an active trace context have
+// flags 0 and are byte-identical to the pre-tracing format; unknown flag
+// bits are a protocol error.
 //
 // frameMsg carries a complete message. frameChunk carries one slice of a
 // chunk-streamed message and inserts a 16-byte extension between header
@@ -60,6 +69,14 @@ const (
 
 // tcpSeqExt is the size of the v3 sequence-number extension.
 const tcpSeqExt = 8
+
+// tcpFlagTrace marks a frame carrying the 16-byte trace-context
+// extension (exchange u64, round u32, span u32), appended after the
+// chunk and seq extensions when present.
+const tcpFlagTrace byte = 0x01
+
+// tcpTraceExt is the size of the trace-context extension.
+const tcpTraceExt = 16
 
 // ErrFrameTooLarge reports a message that does not fit the wire format:
 // with chunked streaming disabled a single frame's length must fit the
@@ -220,6 +237,7 @@ type TCPStats struct {
 	ChunksOut          int64 // chunk sub-frames written
 	ChunksIn           int64 // chunk sub-frames read
 	BackpressureEvents int64 // sends that found their queue full
+	SendqSaturation    int64 // every send-queue saturation occurrence (the log warns once)
 	SendQueueDepth     int64 // frames currently queued across all peers
 	Reconnects         int64 // writer redials after connection failures
 	DupFramesDropped   int64 // replayed frames discarded by sequence dedupe
@@ -329,9 +347,16 @@ type TCPEndpoint struct {
 	chunksOut    atomic.Int64
 	chunksIn     atomic.Int64
 	backpressure atomic.Int64
+	sendqSat     atomic.Int64
 	queueDepth   atomic.Int64
 	reconnects   atomic.Int64
 	dupsDropped  atomic.Int64
+
+	// flight is the attached flight recorder (nil = detached) and
+	// selfRank the world rank Join assigned this endpoint, for event
+	// attribution on the read/write loops.
+	flight   atomic.Pointer[obs.FlightRecorder]
+	selfRank atomic.Int32
 
 	// ded deduplicates retransmitted frames across this endpoint's inbound
 	// connections when peers send with retry enabled.
@@ -343,6 +368,7 @@ type TCPEndpoint struct {
 	obsChunksOut    atomic.Pointer[obs.Counter]
 	obsChunksIn     atomic.Pointer[obs.Counter]
 	obsBackpressure atomic.Pointer[obs.Counter]
+	obsSendqSat     atomic.Pointer[obs.Counter]
 	obsQueueDepth   atomic.Pointer[obs.Gauge]
 	obsReconnects   atomic.Pointer[obs.Counter]
 
@@ -370,6 +396,7 @@ func (ep *TCPEndpoint) Stats() TCPStats {
 		ChunksOut:          ep.chunksOut.Load(),
 		ChunksIn:           ep.chunksIn.Load(),
 		BackpressureEvents: ep.backpressure.Load(),
+		SendqSaturation:    ep.sendqSat.Load(),
 		SendQueueDepth:     ep.queueDepth.Load(),
 		Reconnects:         ep.reconnects.Load(),
 		DupFramesDropped:   ep.dupsDropped.Load(),
@@ -386,8 +413,10 @@ func (ep *TCPEndpoint) attachObs(t *Telemetry) {
 		ep.obsChunksOut.Store(nil)
 		ep.obsChunksIn.Store(nil)
 		ep.obsBackpressure.Store(nil)
+		ep.obsSendqSat.Store(nil)
 		ep.obsQueueDepth.Store(nil)
 		ep.obsReconnects.Store(nil)
+		ep.flight.Store(nil)
 		return
 	}
 	ep.obsOut.Store(t.tcpOut)
@@ -396,8 +425,10 @@ func (ep *TCPEndpoint) attachObs(t *Telemetry) {
 	ep.obsChunksOut.Store(t.tcpChunksOut)
 	ep.obsChunksIn.Store(t.tcpChunksIn)
 	ep.obsBackpressure.Store(t.tcpBackpressure)
+	ep.obsSendqSat.Store(t.tcpSendqSat)
 	ep.obsQueueDepth.Store(t.tcpQueueDepth)
 	ep.obsReconnects.Store(t.tcpReconnects)
+	ep.flight.Store(t.flight)
 }
 
 func (ep *TCPEndpoint) countReconnect() {
@@ -442,6 +473,15 @@ func (ep *TCPEndpoint) countChunkIn() {
 func (ep *TCPEndpoint) countBackpressure() {
 	ep.backpressure.Add(1)
 	ep.obsBackpressure.Load().Add(1)
+}
+
+// countSaturation records one send-queue saturation occurrence. Distinct
+// from countBackpressure only in what consumes it: the warning log is
+// one-shot per peer, so scrapes need a counter that keeps moving while
+// saturation persists.
+func (ep *TCPEndpoint) countSaturation() {
+	ep.sendqSat.Add(1)
+	ep.obsSendqSat.Load().Add(1)
 }
 
 func (ep *TCPEndpoint) queueDepthAdd(n int64) {
@@ -499,6 +539,7 @@ func (ep *TCPEndpoint) readLoop(conn net.Conn) {
 	dec := newFrameDecoder(ep.box, maxSingleFrame, maxChunkTotal, maxInboundChunks)
 	dec.ded = &ep.ded
 	dec.onDup = func() { ep.dupsDropped.Add(1) }
+	dec.ep = ep
 	defer func() {
 		conn.Close()
 		ep.mu.Lock()
@@ -570,6 +611,7 @@ func (ep *TCPEndpoint) Join(rank int, addrs []string) (*Comm, error) {
 	if rank < 0 || rank >= len(addrs) {
 		return nil, fmt.Errorf("mpi: tcp rank %d out of range for %d addresses", rank, len(addrs))
 	}
+	ep.selfRank.Store(int32(rank))
 	c := &Comm{
 		rank:     rank,
 		group:    identityGroup(len(addrs)),
@@ -678,6 +720,9 @@ func (p *tcpPeer) reconnect() bool {
 		if err == nil {
 			cfg.apply(conn)
 			p.ep.countReconnect()
+			if f := p.ep.flight.Load(); f != nil {
+				f.Record(obs.FlightEvent{Kind: obs.FlightReconnect, Rank: p.ep.selfRank.Load(), Peer: int32(p.rank)})
+			}
 			p.setConn(conn)
 			return true
 		}
@@ -726,8 +771,16 @@ func (p *tcpPeer) enqueue(e envelope) error {
 	}
 	// Queue saturated: record the event, warn once per peer, then apply
 	// backpressure by blocking until the writer drains or dies (or the
-	// sender's deadline, when it set one, expires).
+	// sender's deadline, when it set one, expires). The saturation counter
+	// moves on every occurrence — the log line does not.
 	p.ep.countBackpressure()
+	p.ep.countSaturation()
+	if f := p.ep.flight.Load(); f != nil {
+		f.Record(obs.FlightEvent{
+			Kind: obs.FlightSaturation, Rank: p.ep.selfRank.Load(), Peer: int32(p.rank),
+			Tag: int32(e.tag), Round: int32(e.tc.Round), Exchange: e.tc.Exchange, Bytes: int64(len(e.data)),
+		})
+	}
 	if p.warned.CompareAndSwap(false, true) {
 		obs.Warnf("mpi: tcp send queue to rank %d saturated (cap %d frames); backpressure engaged — slow consumer or undersized SendQueueLen",
 			p.rank, cap(p.queue))
@@ -872,7 +925,7 @@ func (p *tcpPeer) writeLoop() {
 		// invalidate the pointers already appended to the iovec. Each item
 		// contributes at most one header+extensions and may open a stream
 		// that advances once more in the same batch.
-		need := (2*len(items) + len(streams)) * (tcpFrameHeader + tcpChunkExt + tcpSeqExt)
+		need := (2*len(items) + len(streams)) * (tcpFrameHeader + tcpChunkExt + tcpSeqExt + tcpTraceExt)
 		if cap(hdrs) < need {
 			hdrs = make([]byte, 0, need)
 		} else {
@@ -888,12 +941,20 @@ func (p *tcpPeer) writeLoop() {
 			hdrs = hdrs[:len(hdrs)+n]
 			return h
 		}
-		putHeader := func(h []byte, typ byte, e *envelope, n int) {
-			h[0], h[1], h[2], h[3] = typ, 0, 0, 0
+		putHeader := func(h []byte, typ, flags byte, e *envelope, n int) {
+			h[0], h[1], h[2], h[3] = typ, flags, 0, 0
 			binary.LittleEndian.PutUint32(h[4:], e.ctx)
 			binary.LittleEndian.PutUint32(h[8:], uint32(e.src))
 			binary.LittleEndian.PutUint32(h[12:], uint32(int32(e.tag)))
 			binary.LittleEndian.PutUint32(h[16:], uint32(n))
+		}
+		// putTraceExt appends the trace-context extension at the tail of the
+		// header block (after chunk and seq extensions).
+		putTraceExt := func(h []byte, tc TraceContext) {
+			off := len(h) - tcpTraceExt
+			binary.LittleEndian.PutUint64(h[off:], tc.Exchange)
+			binary.LittleEndian.PutUint32(h[off+8:], tc.Round)
+			binary.LittleEndian.PutUint32(h[off+12:], tc.Span)
 		}
 		emitChunk := func(s *outStream) {
 			n := len(s.e.data) - s.off
@@ -906,13 +967,21 @@ func (p *tcpPeer) writeLoop() {
 				ext += tcpSeqExt
 				typ = frameChunkSeq
 			}
+			flags := byte(0)
+			if s.e.tc.Exchange != 0 {
+				flags = tcpFlagTrace
+				ext += tcpTraceExt
+			}
 			h := grab(tcpFrameHeader + ext)
-			putHeader(h, typ, &s.e, n)
+			putHeader(h, typ, flags, &s.e, n)
 			binary.LittleEndian.PutUint32(h[tcpFrameHeader:], s.id)
 			binary.LittleEndian.PutUint32(h[tcpFrameHeader+4:], 0)
 			binary.LittleEndian.PutUint64(h[tcpFrameHeader+8:], uint64(len(s.e.data)))
 			if s.seq != 0 {
 				binary.LittleEndian.PutUint64(h[tcpFrameHeader+tcpChunkExt:], s.seq)
+			}
+			if flags != 0 {
+				putTraceExt(h, s.e.tc)
 			}
 			iov = append(iov, h, s.e.data[s.off:s.off+n])
 			s.off += n
@@ -937,16 +1006,26 @@ func (p *tcpPeer) writeLoop() {
 			}
 			seq := stamp(&e)
 			e.seq = seq
+			ext := 0
+			typ := frameMsg
 			if seq != 0 {
-				h := grab(tcpFrameHeader + tcpSeqExt)
-				putHeader(h, frameMsgSeq, &e, len(e.data))
-				binary.LittleEndian.PutUint64(h[tcpFrameHeader:], seq)
-				iov = append(iov, h)
-			} else {
-				h := grab(tcpFrameHeader)
-				putHeader(h, frameMsg, &e, len(e.data))
-				iov = append(iov, h)
+				ext += tcpSeqExt
+				typ = frameMsgSeq
 			}
+			flags := byte(0)
+			if e.tc.Exchange != 0 {
+				flags = tcpFlagTrace
+				ext += tcpTraceExt
+			}
+			h := grab(tcpFrameHeader + ext)
+			putHeader(h, typ, flags, &e, len(e.data))
+			if seq != 0 {
+				binary.LittleEndian.PutUint64(h[tcpFrameHeader:], seq)
+			}
+			if flags != 0 {
+				putTraceExt(h, e.tc)
+			}
+			iov = append(iov, h)
 			if len(e.data) > 0 {
 				iov = append(iov, e.data)
 			}
@@ -1127,10 +1206,28 @@ type frameDecoder struct {
 	// this connection, so a dying connection can mark exactly those ranks
 	// lost.
 	srcs map[int]struct{}
+	// ep, when non-nil, is the owning endpoint — the decoder mirrors
+	// frame/chunk/dup events into its flight recorder when one is
+	// attached. Standalone decoders (tests, fuzzing) leave it nil.
+	ep *TCPEndpoint
 	// hdr is the header/extension read scratch. A local array would
 	// escape through the io.Reader interface and cost one allocation per
 	// frame; as a decoder field it is allocated once per connection.
-	hdr [tcpFrameHeader + tcpChunkExt + tcpSeqExt]byte
+	hdr [tcpFrameHeader + tcpChunkExt + tcpSeqExt + tcpTraceExt]byte
+}
+
+// recordFlight mirrors one decode-path event into the endpoint's flight
+// recorder. Free when no endpoint or recorder is attached.
+func (d *frameDecoder) recordFlight(ev obs.FlightEvent) {
+	if d.ep == nil {
+		return
+	}
+	f := d.ep.flight.Load()
+	if f == nil {
+		return
+	}
+	ev.Rank = d.ep.selfRank.Load()
+	f.Record(ev)
 }
 
 // chunkSink is where decoded messages land; satisfied by *mailbox.
@@ -1172,10 +1269,15 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 		return 0, 0, err
 	}
 	typ = hdr[0]
+	flags := hdr[1]
 	ctx := binary.LittleEndian.Uint32(hdr[4:])
 	src := int(binary.LittleEndian.Uint32(hdr[8:]))
 	tag := int(int32(binary.LittleEndian.Uint32(hdr[12:])))
 	n := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if flags&^tcpFlagTrace != 0 {
+		return 0, typ, fmt.Errorf("%w: unknown header flags %#x", errTCPProto, flags)
+	}
+	traced := flags&tcpFlagTrace != 0
 	if _, ok := d.srcs[src]; !ok {
 		if d.srcs == nil {
 			d.srcs = make(map[int]struct{})
@@ -1186,14 +1288,32 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 	switch typ {
 	case frameMsg, frameMsgSeq:
 		var seq uint64
+		var tc TraceContext
 		wire = int64(tcpFrameHeader)
+		extLen := 0
 		if typ == frameMsgSeq {
-			ext := d.hdr[tcpFrameHeader : tcpFrameHeader+tcpSeqExt]
+			extLen += tcpSeqExt
+		}
+		if traced {
+			extLen += tcpTraceExt
+		}
+		if extLen > 0 {
+			ext := d.hdr[tcpFrameHeader : tcpFrameHeader+extLen]
 			if _, err := io.ReadFull(r, ext); err != nil {
 				return 0, typ, err
 			}
-			seq = binary.LittleEndian.Uint64(ext)
-			wire += int64(tcpSeqExt)
+			if typ == frameMsgSeq {
+				seq = binary.LittleEndian.Uint64(ext)
+				ext = ext[tcpSeqExt:]
+			}
+			if traced {
+				tc = TraceContext{
+					Exchange: binary.LittleEndian.Uint64(ext),
+					Round:    binary.LittleEndian.Uint32(ext[8:]),
+					Span:     binary.LittleEndian.Uint32(ext[12:]),
+				}
+			}
+			wire += int64(extLen)
 		}
 		if uint64(n) > d.maxFrame {
 			return 0, typ, fmt.Errorf("%w: %d-byte frame exceeds limit", errTCPProto, n)
@@ -1212,15 +1332,27 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 			if d.onDup != nil {
 				d.onDup()
 			}
+			d.recordFlight(obs.FlightEvent{
+				Kind: obs.FlightDup, Peer: int32(src), Tag: int32(tag), Seq: seq,
+				Round: int32(tc.Round), Exchange: tc.Exchange, Bytes: int64(n),
+			})
 			return wire + int64(n), typ, nil
 		}
-		d.sink.put(envelope{ctx: ctx, src: src, tag: tag, data: data})
+		d.recordFlight(obs.FlightEvent{
+			Kind: obs.FlightFrameIn, Peer: int32(src), Tag: int32(tag), Seq: seq,
+			Round: int32(tc.Round), Exchange: tc.Exchange, Bytes: int64(n),
+		})
+		d.sink.put(envelope{ctx: ctx, src: src, tag: tag, data: data, tc: tc})
 		return wire + int64(n), typ, nil
 
 	case frameChunk, frameChunkSeq:
 		extLen := tcpChunkExt
 		if typ == frameChunkSeq {
 			extLen += tcpSeqExt
+		}
+		traceOff := extLen
+		if traced {
+			extLen += tcpTraceExt
 		}
 		ext := d.hdr[tcpFrameHeader : tcpFrameHeader+extLen]
 		if _, err := io.ReadFull(r, ext); err != nil {
@@ -1231,6 +1363,14 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 		var seq uint64
 		if typ == frameChunkSeq {
 			seq = binary.LittleEndian.Uint64(ext[tcpChunkExt:])
+		}
+		var tc TraceContext
+		if traced {
+			tc = TraceContext{
+				Exchange: binary.LittleEndian.Uint64(ext[traceOff:]),
+				Round:    binary.LittleEndian.Uint32(ext[traceOff+8:]),
+				Span:     binary.LittleEndian.Uint32(ext[traceOff+12:]),
+			}
 		}
 		if total == 0 || total > d.maxTotal {
 			return 0, typ, fmt.Errorf("%w: chunk stream of %d bytes out of range", errTCPProto, total)
@@ -1244,6 +1384,7 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 				ctx: ctx, src: src, tag: tag,
 				data: GetBuffer(int(total)),
 				pend: &chunkPending{},
+				tc:   tc,
 			}, seq: seq}
 			if typ == frameChunkSeq && d.ded != nil && d.ded.committed(ctx, src, seq) {
 				// Replay of a stream that already completed: reassemble to
@@ -1251,6 +1392,10 @@ func (d *frameDecoder) readFrame(r io.Reader) (wire int64, typ byte, err error) 
 				st.discard = true
 			}
 			d.streams[stream] = st
+			d.recordFlight(obs.FlightEvent{
+				Kind: obs.FlightChunkStart, Peer: int32(src), Tag: int32(tag), Seq: seq,
+				Round: int32(tc.Round), Exchange: tc.Exchange, Bytes: int64(total),
+			})
 			if !st.discard {
 				// Pin the message's matching position now; it becomes
 				// matchable when the last chunk lands.
@@ -1288,6 +1433,10 @@ func (d *frameDecoder) finishStream(st *inStream) {
 		if d.onDup != nil {
 			d.onDup()
 		}
+		d.recordFlight(obs.FlightEvent{
+			Kind: obs.FlightDup, Peer: int32(st.env.src), Tag: int32(st.env.tag), Seq: st.seq,
+			Round: int32(st.env.tc.Round), Exchange: st.env.tc.Exchange, Bytes: int64(len(st.env.data)),
+		})
 		return
 	}
 	if st.seq != 0 && d.ded != nil && !d.ded.commit(st.env.ctx, st.env.src, st.seq) {
@@ -1295,8 +1444,16 @@ func (d *frameDecoder) finishStream(st *inStream) {
 		if d.onDup != nil {
 			d.onDup()
 		}
+		d.recordFlight(obs.FlightEvent{
+			Kind: obs.FlightDup, Peer: int32(st.env.src), Tag: int32(st.env.tag), Seq: st.seq,
+			Round: int32(st.env.tc.Round), Exchange: st.env.tc.Exchange, Bytes: int64(len(st.env.data)),
+		})
 		return
 	}
+	d.recordFlight(obs.FlightEvent{
+		Kind: obs.FlightChunkDone, Peer: int32(st.env.src), Tag: int32(st.env.tag), Seq: st.seq,
+		Round: int32(st.env.tc.Round), Exchange: st.env.tc.Exchange, Bytes: int64(len(st.env.data)),
+	})
 	d.sink.complete(st.env.pend)
 }
 

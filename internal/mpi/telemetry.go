@@ -30,6 +30,7 @@ type Telemetry struct {
 	tcpChunksOut    *obs.Counter
 	tcpChunksIn     *obs.Counter
 	tcpBackpressure *obs.Counter
+	tcpSendqSat     *obs.Counter
 	tcpQueueDepth   *obs.Gauge
 
 	// Fault-tolerance instruments: chaos-engine verdicts mirrored by the
@@ -40,6 +41,10 @@ type Telemetry struct {
 	faultSevers   *obs.Counter
 	tcpReconnects *obs.Counter
 	peersLost     *obs.Counter
+
+	// flight is the per-rank flight recorder; nil unless attached via
+	// WithFlightRecorder. Hot paths gate on the nil check.
+	flight *obs.FlightRecorder
 }
 
 // NewTelemetry derives a rank's instrument handles from the registry and
@@ -77,6 +82,8 @@ func NewTelemetry(reg *obs.Registry, rec *trace.Recorder, rank int) *Telemetry {
 			"Chunk sub-frames read and reassembled.", rl),
 		tcpBackpressure: reg.Counter("mpi_tcp_backpressure_total",
 			"Sends that found their peer's queue full and had to block.", rl),
+		tcpSendqSat: reg.Counter("mpi_tcp_sendq_saturation_total",
+			"Send-queue saturation events per peer writer. The warning log is one-shot per peer; this counter records every recurrence so scrapes see sustained saturation.", rl),
 		tcpQueueDepth: reg.Gauge("mpi_tcp_send_queue_depth",
 			"Frames enqueued to peer writers and not yet written.", rl),
 		faultDrops: reg.Counter("mpi_fault_drops_total",
@@ -100,6 +107,28 @@ func (t *Telemetry) Rank() int {
 	return t.rank
 }
 
+// WithFlightRecorder attaches a flight recorder to the bundle, allocating
+// the bundle if t is nil (flight recording works without a registry or
+// trace recorder). Returns the bundle for chaining; a nil f is a no-op.
+func (t *Telemetry) WithFlightRecorder(f *obs.FlightRecorder, rank int) *Telemetry {
+	if f == nil {
+		return t
+	}
+	if t == nil {
+		t = &Telemetry{rank: rank}
+	}
+	t.flight = f
+	return t
+}
+
+// FlightRecorder returns the attached flight recorder (nil when none).
+func (t *Telemetry) FlightRecorder() *obs.FlightRecorder {
+	if t == nil {
+		return nil
+	}
+	return t.flight
+}
+
 // AttachTelemetry hooks the telemetry into this communicator and every
 // communicator later derived from it via Split/Dup (spans and counters
 // stay attributed to the world rank, giving one unified timeline per
@@ -111,9 +140,11 @@ func (c *Comm) AttachTelemetry(t *Telemetry) {
 		if t != nil {
 			c.box.setDepthGauge(t.pendingMsgs)
 			c.box.setLostCounter(t.peersLost)
+			c.box.setFlight(t.flight, c.group[c.rank])
 		} else {
 			c.box.setDepthGauge(nil)
 			c.box.setLostCounter(nil)
+			c.box.setFlight(nil, c.group[c.rank])
 		}
 	}
 	switch tr := c.tr.(type) {

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestFlightRecorderNilIsInert(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEvent{Kind: FlightSend})
+	if s := f.Snapshot(); s != nil {
+		t.Fatalf("nil recorder snapshot = %v", s)
+	}
+	if f.Cap() != 0 {
+		t.Fatalf("nil recorder cap = %d", f.Cap())
+	}
+	if f.DumpOnce("reason") {
+		t.Fatal("nil recorder claims to have dumped")
+	}
+	var buf bytes.Buffer
+	f.Dump(&buf) // must not panic
+}
+
+func TestFlightRecorderOrderAndWraparound(t *testing.T) {
+	f := NewFlightRecorder(1) // rounds up to the 64-slot minimum
+	if f.Cap() != 64 {
+		t.Fatalf("cap = %d, want 64", f.Cap())
+	}
+	// Overfill by 2x: only the newest Cap() events survive, oldest-first.
+	total := 2 * f.Cap()
+	for i := 0; i < total; i++ {
+		f.Record(FlightEvent{Kind: FlightFrameIn, Rank: 0, Peer: 1, Seq: uint64(i + 1)})
+	}
+	events := f.Snapshot()
+	if len(events) != f.Cap() {
+		t.Fatalf("snapshot has %d events, want %d", len(events), f.Cap())
+	}
+	for i, ev := range events {
+		want := uint64(total - f.Cap() + i + 1)
+		if ev.Seq != want {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, want)
+		}
+	}
+}
+
+func TestFlightRecorderFieldRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(64)
+	in := FlightEvent{
+		At: 123456789, Kind: FlightSever, Rank: 3, Peer: -1, Tag: -7,
+		Round: 2, Seq: 42, Exchange: 0xfeedface12345678, Bytes: -9,
+	}
+	f.Record(in)
+	events := f.Snapshot()
+	if len(events) != 1 {
+		t.Fatalf("snapshot has %d events", len(events))
+	}
+	if events[0] != in {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, events[0])
+	}
+}
+
+// The ring must stay coherent — and race-detector-clean — with many
+// writers racing a snapshotting reader.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	f := NewFlightRecorder(128)
+	const writers = 4
+	const perWriter = 2000
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range f.Snapshot() {
+				if ev.Kind != FlightFrameIn || ev.At == 0 {
+					t.Errorf("torn event surfaced: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				f.Record(FlightEvent{Kind: FlightFrameIn, Rank: int32(w), Seq: uint64(i)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+}
+
+// Record on an attached ring must not allocate: it runs on frame-decode
+// and fault-verdict hot paths.
+func TestFlightRecorderRecordZeroAlloc(t *testing.T) {
+	f := NewFlightRecorder(256)
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	allocs := testing.AllocsPerRun(1000, func() {
+		f.Record(FlightEvent{Kind: FlightSend, Rank: 1, Peer: 2, Tag: 3, Seq: 4, Exchange: 5, Bytes: 6})
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestFlightDumpOnce(t *testing.T) {
+	f := NewFlightRecorder(64)
+	f.Record(FlightEvent{Kind: FlightPeerLost, Rank: 0, Peer: 3})
+	var buf bytes.Buffer
+	prev := SetFlightDumpOutput(&buf)
+	defer SetFlightDumpOutput(prev)
+	if !f.DumpOnce("rank 0 lost peer 3") {
+		t.Fatal("first DumpOnce did not dump")
+	}
+	if f.DumpOnce("again") {
+		t.Fatal("second DumpOnce dumped again")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "rank 0 lost peer 3") || !strings.Contains(out, "peer-lost") {
+		t.Fatalf("dump missing reason or event:\n%s", out)
+	}
+}

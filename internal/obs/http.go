@@ -24,10 +24,29 @@ type Server struct {
 	ln   net.Listener
 }
 
-// Serve binds addr and serves /metrics for the registry plus the
-// net/http/pprof handlers under /debug/pprof/, returning once the
-// listener is bound. reg may be nil, in which case /metrics reports an
-// empty document. Close the returned server to release the port.
+// FlightRecHandler serves the process-wide flight recorder ring: the
+// plain-text dump by default, a JSON array with ?format=json, and 404
+// when no recorder has been installed via SetGlobalFlightRecorder.
+func FlightRecHandler(w http.ResponseWriter, r *http.Request) {
+	f := GlobalFlightRecorder()
+	if f == nil {
+		http.Error(w, "flight recorder not attached (run with -flightrec)", http.StatusNotFound)
+		return
+	}
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		f.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	f.Dump(w)
+}
+
+// Serve binds addr and serves /metrics for the registry, the flight-
+// recorder ring at /debug/flightrec, plus the net/http/pprof handlers
+// under /debug/pprof/, returning once the listener is bound. reg may be
+// nil, in which case /metrics reports an empty document. Close the
+// returned server to release the port.
 func Serve(addr string, reg *Registry) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -35,6 +54,7 @@ func Serve(addr string, reg *Registry) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/debug/flightrec", FlightRecHandler)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

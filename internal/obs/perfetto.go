@@ -30,10 +30,12 @@ type traceFile struct {
 }
 
 // WriteTraceEvents renders the given span events as Chrome trace-event
-// JSON: one Perfetto track per rank (tid = rank), timestamps and
+// JSON: one Perfetto process per rank (pid = tid = rank, so merged
+// multi-rank traces get one labeled track group per rank), timestamps and
 // durations in microseconds from the recorder origin, and the span's
-// attributed bytes in args. Events are sorted by (rank, start) so the
-// output is deterministic regardless of completion order.
+// attributed bytes plus any distributed trace context (exchange ID,
+// round, waited-on peer) in args. Events are sorted by (rank, start) so
+// the output is deterministic regardless of completion order.
 func WriteTraceEvents(w io.Writer, events []trace.Event) error {
 	sorted := append([]trace.Event(nil), events...)
 	sort.SliceStable(sorted, func(i, j int) bool {
@@ -48,13 +50,21 @@ func WriteTraceEvents(w io.Writer, events []trace.Event) error {
 	for _, e := range sorted {
 		if !seenRank[e.Rank] {
 			seenRank[e.Rank] = true
-			out.TraceEvents = append(out.TraceEvents, traceEvent{
-				Name: "thread_name",
-				Ph:   "M",
-				Pid:  0,
-				Tid:  e.Rank,
-				Args: map[string]any{"name": fmt.Sprintf("rank %d", e.Rank)},
-			})
+			out.TraceEvents = append(out.TraceEvents,
+				traceEvent{
+					Name: "process_name",
+					Ph:   "M",
+					Pid:  e.Rank,
+					Tid:  e.Rank,
+					Args: map[string]any{"name": fmt.Sprintf("rank %d", e.Rank)},
+				},
+				traceEvent{
+					Name: "thread_name",
+					Ph:   "M",
+					Pid:  e.Rank,
+					Tid:  e.Rank,
+					Args: map[string]any{"name": "ddr"},
+				})
 		}
 		ev := traceEvent{
 			Name: e.Name,
@@ -62,11 +72,24 @@ func WriteTraceEvents(w io.Writer, events []trace.Event) error {
 			Ph:   "X",
 			Ts:   float64(e.Start) / 1e3,
 			Dur:  float64(e.Dur) / 1e3,
-			Pid:  0,
+			Pid:  e.Rank,
 			Tid:  e.Rank,
 		}
+		args := map[string]any{}
 		if e.Bytes != 0 {
-			ev.Args = map[string]any{"bytes": e.Bytes}
+			args["bytes"] = e.Bytes
+		}
+		if e.Exchange != 0 {
+			args["exchange"] = fmt.Sprintf("%016x", e.Exchange)
+			if e.Round >= 0 {
+				args["round"] = e.Round
+			}
+			if e.Peer >= 0 {
+				args["peer"] = e.Peer
+			}
+		}
+		if len(args) != 0 {
+			ev.Args = args
 		}
 		out.TraceEvents = append(out.TraceEvents, ev)
 	}

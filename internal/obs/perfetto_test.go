@@ -26,6 +26,7 @@ func TestWriteTraceRoundTrip(t *testing.T) {
 			Ph   string         `json:"ph"`
 			Ts   float64        `json:"ts"`
 			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
 			Tid  int            `json:"tid"`
 			Args map[string]any `json:"args"`
 		} `json:"traceEvents"`
@@ -38,16 +39,27 @@ func TestWriteTraceRoundTrip(t *testing.T) {
 		t.Fatalf("displayTimeUnit = %q", parsed.DisplayTimeUnit)
 	}
 	spans := 0
-	meta := 0
+	procNames := map[int]bool{}
+	threadNames := map[int]bool{}
 	lastTsByRank := map[int]float64{}
 	for _, e := range parsed.TraceEvents {
 		switch e.Ph {
 		case "M":
-			meta++
+			switch e.Name {
+			case "process_name":
+				procNames[e.Pid] = true
+			case "thread_name":
+				threadNames[e.Pid] = true
+			default:
+				t.Fatalf("unexpected metadata event %q", e.Name)
+			}
 		case "X":
 			spans++
 			if e.Ts < 0 || e.Dur < 0 {
 				t.Fatalf("negative ts/dur in %+v", e)
+			}
+			if e.Pid != e.Tid {
+				t.Fatalf("span pid %d != tid %d: each rank must be its own process track", e.Pid, e.Tid)
 			}
 			if e.Ts < lastTsByRank[e.Tid] {
 				t.Fatalf("rank %d events not sorted by ts", e.Tid)
@@ -60,8 +72,11 @@ func TestWriteTraceRoundTrip(t *testing.T) {
 	if spans != 3 {
 		t.Fatalf("spans = %d, want 3", spans)
 	}
-	if meta != 2 {
-		t.Fatalf("thread_name events = %d, want 2 (one per rank)", meta)
+	for _, rank := range []int{0, 1} {
+		if !procNames[rank] || !threadNames[rank] {
+			t.Fatalf("rank %d missing process_name/thread_name metadata (proc %v thread %v)",
+				rank, procNames[rank], threadNames[rank])
+		}
 	}
 	// Bytes attribution must survive the round trip.
 	found := false

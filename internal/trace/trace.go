@@ -13,13 +13,23 @@ import (
 	"time"
 )
 
-// Event is one completed span.
+// Event is one completed span. The trailing fields carry the distributed
+// trace context: Exchange is the cluster-wide 64-bit exchange ID minted
+// by core.ReorganizeData (0 means the span predates tracing or is not
+// part of an exchange), Round is the exchange round the span belongs to
+// (-1 for whole-exchange spans), and Peer is the remote rank a wait span
+// blocked on (-1 when not peer-directed). Round and Peer are only
+// meaningful when Exchange is nonzero.
 type Event struct {
 	Rank  int
 	Name  string
 	Start time.Duration // offset from the recorder's origin
 	Dur   time.Duration
 	Bytes int64 // payload attributed to the span (0 if not applicable)
+
+	Exchange uint64
+	Round    int32
+	Peer     int32
 }
 
 // Recorder collects events from any number of goroutines. Events are
@@ -38,6 +48,24 @@ type Recorder struct {
 // NewRecorder starts a recorder whose origin is now.
 func NewRecorder() *Recorder {
 	return &Recorder{origin: time.Now()}
+}
+
+// NewRecorderAt starts a recorder with an explicit origin. Tests use it
+// to model ranks whose clocks disagree; production code wants NewRecorder.
+func NewRecorderAt(origin time.Time) *Recorder {
+	return &Recorder{origin: origin}
+}
+
+// Now returns the recorder's current clock reading: the elapsed time
+// since its origin. This is the per-rank timebase the distributed clock
+// sync exchanges — two recorders with skewed origins report skewed Nows,
+// and the ping-pong estimate in mpi.GatherTrace measures exactly that
+// skew. Returns 0 on a nil recorder.
+func (r *Recorder) Now() time.Duration {
+	if r == nil {
+		return 0
+	}
+	return time.Since(r.origin)
 }
 
 // Span begins a span and returns its completion function; call it when
@@ -87,6 +115,18 @@ func (r *Recorder) AddSpan(rank int, name string, start, end time.Time, bytes in
 		Dur:   end.Sub(start),
 		Bytes: bytes,
 	})
+}
+
+// StampSpan fills e.Start and e.Dur from wall-clock endpoints translated
+// to the recorder's origin and records the event. It is AddSpan for
+// callers that carry trace context (Exchange/Round/Peer) on the event.
+func (r *Recorder) StampSpan(e Event, start, end time.Time) {
+	if r == nil {
+		return
+	}
+	e.Start = start.Sub(r.origin)
+	e.Dur = end.Sub(start)
+	r.Add(e)
 }
 
 // Events returns a copy of the recorded events sorted by (rank, start).

@@ -73,3 +73,11 @@ func (rg *Regridder) Chunks() []grid.Box { return rg.own }
 func (rg *Regridder) CacheStats() (hits, misses int64) {
 	return rg.desc.PlanCacheStats()
 }
+
+// LastExchangeID returns the trace exchange ID of the most recent Regrid
+// (0 before the first), identical on every rank of the coupling — the
+// key for correlating this transfer's spans and flight events across the
+// merged timeline.
+func (rg *Regridder) LastExchangeID() uint64 {
+	return rg.desc.LastExchangeID()
+}
