@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-json bench-mapping
+.PHONY: build test verify chaos bench bench-json bench-mapping bench-resize
 
 build:
 	$(GO) build ./...
@@ -28,15 +28,23 @@ chaos:
 # observability gate runs by name: the merged-trace round trip (4-rank
 # exchange -> gathered, clock-corrected Perfetto timeline with a track
 # per rank), the scrape-while-writing race, and the detached-cost guards
-# (no tracer attached => zero allocations, no wire growth).
+# (no tracer attached => zero allocations, no wire growth). The elastic
+# gate runs the resize differential/lifecycle tests under race, a
+# one-iteration resize bench smoke, and deprlint — which fails the build
+# if internal code reaches a deprecated launcher entry point (Run,
+# RunChaos, RunTCP*) or a removed descriptor constructor.
 verify: chaos
 	$(GO) vet ./...
+	$(GO) run ./cmd/deprlint -root .
 	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/... ./internal/datatype/...
 	$(GO) test -race -run 'TestCompilerEquivalence' ./internal/core/
 	$(GO) test -race -run 'TestTraceMergeRoundTrip|TestGatherTrace' ./internal/core/ ./internal/mpi/
 	$(GO) test -race -run 'TestMetricsScrapeWhileWriting|TestFlightRecHandler' ./internal/obs/
 	$(GO) test -run 'TestZeroAllocSteadyState|TestTracingDetachedZeroAlloc|TestFlightRecorderRecordZeroAlloc|TestTCPUntracedWireIdentical' ./internal/core/ ./internal/obs/ ./internal/mpi/
 	$(GO) test -race -run 'TestRegridderReconnect' ./internal/transit/
+	$(GO) test -race -run 'TestRegridderResize|TestRegridderConnectFailureResetsState' ./internal/transit/
+	$(GO) test -race -run 'TestCompileDelta|TestDeltaCompilerCollective|TestDeltaExchange' ./internal/core/
+	$(GO) test -race -short -run 'TestResize' ./internal/ddrtest/
 	$(GO) test -run TestGoldenPlans ./internal/core/
 	$(GO) test -run '^$$' -fuzz FuzzTCPFrameDecoder -fuzztime 10s ./internal/mpi/
 	$(GO) test -run '^$$' -fuzz FuzzTCPSeqFrameDecoder -fuzztime 10s ./internal/mpi/
@@ -44,6 +52,7 @@ verify: chaos
 	$(GO) test -run '^$$' -bench BenchmarkTCPExchange -benchtime 1x ./internal/mpi/
 	$(GO) test -run '^$$' -bench 'BenchmarkSetupMapping/(schedule|plan)/P=64' -benchtime 1x ./internal/core/
 	$(GO) test -run '^$$' -bench BenchmarkRegridderReconnect -benchtime 1x ./internal/transit/
+	$(GO) test -run '^$$' -bench BenchmarkRegridderResize -benchtime 1x ./internal/transit/
 
 bench:
 	$(GO) test -run XXX -bench BenchmarkReorganizeTelemetry -benchmem ./internal/core/
@@ -70,3 +79,16 @@ bench-mapping:
 	  -note "mapping engine: indexed sparse compiler vs brute-force baseline; plan-cache reconnect" \
 	  -o BENCH_mapping.json
 	@echo wrote BENCH_mapping.json
+
+# bench-resize snapshots the elastic-resize benchmarks — the incremental
+# delta compiler vs a from-scratch CompileSchedule of the same grow, the
+# back-to-back compile_speedup ratio, the moved_frac share of the new
+# need that crosses the wire, and the full collective Resize exchange —
+# as BENCH_resize.json. Pass BASELINE=<file> to embed a prior snapshot
+# for before/after ratios.
+bench-resize:
+	$(GO) test -run '^$$' -bench BenchmarkRegridderResize -benchmem -benchtime 20x ./internal/transit/ | \
+	  $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) \
+	  -note "elastic 64->65 grow: incremental delta compile vs from-scratch schedule; moved_frac vs a cold full re-exchange" \
+	  -o BENCH_resize.json
+	@echo wrote BENCH_resize.json

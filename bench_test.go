@@ -23,6 +23,16 @@ import (
 	"ddr/internal/tiff"
 )
 
+// launchInProc and launchTCP adapt mpi.Launch to the fixed-arity
+// launcher shape the transport tables share.
+func launchInProc(n int, body func(*mpi.Comm) error) error {
+	return mpi.Launch(n, body)
+}
+
+func launchTCP(n int, body func(*mpi.Comm) error) error {
+	return mpi.Launch(n, body, mpi.WithTransport(mpi.TransportTCP))
+}
+
 // runE1 performs one full E1 redistribution (descriptor + mapping +
 // exchange) on the given runtime flavour and exchange mode.
 func runE1(run func(int, func(*mpi.Comm) error) error, mode core.ExchangeMode) error {
@@ -44,7 +54,7 @@ func runE1(run func(int, func(*mpi.Comm) error) error, mode core.ExchangeMode) e
 // Figure 1: world spin-up, mapping setup, and the two-round exchange.
 func BenchmarkTable1E1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := runE1(mpi.Run, core.ModeAlltoallw); err != nil {
+		if err := runE1(launchInProc, core.ModeAlltoallw); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -104,7 +114,7 @@ func BenchmarkTable2TIFFLoad(b *testing.B) {
 		b.Run(tc.name, func(b *testing.B) {
 			b.SetBytes(bytes)
 			for i := 0; i < b.N; i++ {
-				if err := mpi.Run(8, tc.load); err != nil {
+				if err := mpi.Launch(8, tc.load); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -190,7 +200,7 @@ func BenchmarkFigure5Regrid(b *testing.B) {
 	squares := grid.Grid2D(domain, rows, cols)
 	b.SetBytes(int64(w) * int64(h) * 4)
 	for i := 0; i < b.N; i++ {
-		err := mpi.Run(n, func(c *mpi.Comm) error {
+		err := mpi.Launch(n, func(c *mpi.Comm) error {
 			var own []core.Chunk
 			for p := blocks[c.Rank()]; p < blocks[c.Rank()+1]; p++ {
 				box := grid.Box2(0, starts[p], w, starts[p+1]-starts[p])
@@ -217,7 +227,7 @@ func BenchmarkAblationP2PvsAlltoallw(b *testing.B) {
 		b.Run(mode.String(), func(b *testing.B) {
 			b.SetBytes(int64(domain.Volume()) * 4)
 			for i := 0; i < b.N; i++ {
-				err := mpi.Run(procs, func(c *mpi.Comm) error {
+				err := mpi.Launch(procs, func(c *mpi.Comm) error {
 					desc, err := core.NewDescriptor(procs, core.Layout3D, core.Float32,
 						core.WithExchangeMode(mode))
 					if err != nil {
@@ -245,7 +255,7 @@ func BenchmarkAblationTransports(b *testing.B) {
 	for _, tr := range []struct {
 		name string
 		run  func(int, func(*mpi.Comm) error) error
-	}{{"inproc", mpi.Run}, {"tcp", mpi.RunTCP}} {
+	}{{"inproc", launchInProc}, {"tcp", launchTCP}} {
 		b.Run(tr.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if err := runE1(tr.run, core.ModeAlltoallw); err != nil {
@@ -268,7 +278,7 @@ func BenchmarkReorganizeThroughput(b *testing.B) {
 			rows, cols := grid.Factor2(procs)
 			squares := grid.Grid2D(domain, rows, cols)
 			b.SetBytes(int64(domain.Volume()) * 4)
-			err := mpi.Run(procs, func(c *mpi.Comm) error {
+			err := mpi.Launch(procs, func(c *mpi.Comm) error {
 				desc, err := core.NewDescriptor(procs, core.Layout2D, core.Float32)
 				if err != nil {
 					return err
@@ -395,7 +405,7 @@ func BenchmarkWeakScalingLBM(b *testing.B) {
 		b.Run(fmt.Sprintf("ranks=%d", ranks), func(b *testing.B) {
 			p := struct{ w, h int }{width, rowsPerRank * ranks}
 			for i := 0; i < b.N; i++ {
-				err := mpi.Run(ranks, func(c *mpi.Comm) error {
+				err := mpi.Launch(ranks, func(c *mpi.Comm) error {
 					sim, err := lbmNewParallel(c, p.w, p.h)
 					if err != nil {
 						return err

@@ -32,6 +32,11 @@ type Result struct {
 	MBPerS      float64 `json:"mb_per_s,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+
+	// Extras holds custom b.ReportMetric units (e.g. moved_frac,
+	// compile_speedup) keyed by unit name; the value kept across -count
+	// repeats is the last one reported.
+	Extras map[string]float64 `json:"extras,omitempty"`
 }
 
 // Document is the JSON artifact benchjson writes.
@@ -107,6 +112,21 @@ func main() {
 				if v, err := strconv.ParseInt(strings.TrimSuffix(extra, " allocs/op"), 10, 64); err == nil {
 					r.AllocsPerOp = v
 				}
+			default:
+				// Any remaining "<value> <unit>" pair is a custom metric
+				// from b.ReportMetric; keep it under its unit name.
+				fields := strings.Fields(extra)
+				if len(fields) != 2 {
+					continue
+				}
+				v, err := strconv.ParseFloat(fields[0], 64)
+				if err != nil {
+					continue
+				}
+				if r.Extras == nil {
+					r.Extras = map[string]float64{}
+				}
+				r.Extras[fields[1]] = v
 			}
 		}
 	}

@@ -1,0 +1,162 @@
+// Command deprlint walks the repository's Go source and flags any use of
+// APIs this module has deprecated or removed:
+//
+//   - the legacy launcher entry points mpi.Run, mpi.RunChaos, mpi.RunTCP,
+//     mpi.RunTCPOpts, and mpi.RunTCPChaos — internal code must go through
+//     mpi.Launch with options (the wrappers survive only for external
+//     callers, inside internal/mpi itself);
+//   - the removed descriptor constructors NewDataDescriptor and
+//     NewDataDescriptorBytes, anywhere, under any package qualifier.
+//
+// It is wired into `make verify` so a deprecated call cannot land:
+//
+//	deprlint [-root dir]
+//
+// exits non-zero and prints file:line for every finding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// launcherNames are the deprecated mpi entry points; calling them is only
+// legal inside internal/mpi, where the wrappers live and are tested.
+var launcherNames = map[string]bool{
+	"Run":         true,
+	"RunChaos":    true,
+	"RunTCP":      true,
+	"RunTCPOpts":  true,
+	"RunTCPChaos": true,
+}
+
+// removedNames are identifiers that no longer exist in the API; any
+// surviving reference is a finding regardless of package.
+var removedNames = map[string]bool{
+	"NewDataDescriptor":      true,
+	"NewDataDescriptorBytes": true,
+}
+
+const mpiImportPath = "ddr/internal/mpi"
+
+type finding struct {
+	pos token.Position
+	msg string
+}
+
+func main() {
+	root := flag.String("root", ".", "repository root to lint")
+	flag.Parse()
+
+	var findings []finding
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(*root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "testdata" || strings.HasPrefix(name, ".") && name != "." {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		found, err := lintFile(fset, path, allowLaunchers(*root, path))
+		if err != nil {
+			return err
+		}
+		findings = append(findings, found...)
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deprlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", f.pos, f.msg)
+		}
+		fmt.Fprintf(os.Stderr, "deprlint: %d deprecated API use(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// allowLaunchers reports whether path may reference the deprecated
+// launcher wrappers: only internal/mpi, which defines and tests them.
+func allowLaunchers(root, path string) bool {
+	rel, err := filepath.Rel(root, path)
+	if err != nil {
+		return false
+	}
+	rel = filepath.ToSlash(rel)
+	return strings.HasPrefix(rel, "internal/mpi/")
+}
+
+// lintFile parses one file and reports deprecated references: calls to
+// the legacy launchers through any identifier importing internal/mpi,
+// and any mention of the removed constructors.
+func lintFile(fset *token.FileSet, path string, allowLaunch bool) ([]finding, error) {
+	f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+	if err != nil {
+		return nil, err
+	}
+
+	// Names the mpi package is imported under in this file.
+	mpiNames := map[string]bool{}
+	for _, imp := range f.Imports {
+		p, err := strconv.Unquote(imp.Path.Value)
+		if err != nil || p != mpiImportPath {
+			continue
+		}
+		name := "mpi"
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		mpiNames[name] = true
+	}
+
+	var findings []finding
+	ast.Inspect(f, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			if id, ok := n.(*ast.Ident); ok && removedNames[id.Name] {
+				findings = append(findings, finding{
+					pos: fset.Position(id.Pos()),
+					msg: fmt.Sprintf("%s was removed; use NewDescriptor (with WithElemSize for raw bytes)", id.Name),
+				})
+			}
+			return true
+		}
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if removedNames[sel.Sel.Name] {
+			findings = append(findings, finding{
+				pos: fset.Position(sel.Pos()),
+				msg: fmt.Sprintf("%s.%s was removed; use NewDescriptor (with WithElemSize for raw bytes)", id.Name, sel.Sel.Name),
+			})
+			return false
+		}
+		if !allowLaunch && mpiNames[id.Name] && launcherNames[sel.Sel.Name] {
+			findings = append(findings, finding{
+				pos: fset.Position(sel.Pos()),
+				msg: fmt.Sprintf("%s.%s is deprecated; use %s.Launch with WithTransport/WithTCPOptions/WithFaultInjector", id.Name, sel.Sel.Name, id.Name),
+			})
+			return false
+		}
+		return true
+	})
+	return findings, nil
+}

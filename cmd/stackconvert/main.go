@@ -37,7 +37,7 @@ func main() {
 		mu  sync.Mutex
 		res *experiments.ConvertResult
 	)
-	err = mpi.Run(*procs, func(c *mpi.Comm) error {
+	err = mpi.Launch(*procs, func(c *mpi.Comm) error {
 		r, err := experiments.ConvertStackToBOV(c, info, *out)
 		if err != nil {
 			return err

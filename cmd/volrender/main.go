@@ -59,7 +59,7 @@ func run(stack string, procs int, tech, out, axis string, mip bool) error {
 		mu    sync.Mutex
 		frame *image.RGBA
 	)
-	err = mpi.Run(procs, func(c *mpi.Comm) error {
+	err = mpi.Launch(procs, func(c *mpi.Comm) error {
 		res, err := experiments.LoadStackDDR(c, info, technique)
 		if err != nil {
 			return err

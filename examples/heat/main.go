@@ -53,7 +53,7 @@ func run() error {
 		mu    sync.Mutex
 		field = make([]float32, width*height)
 	)
-	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+	err := mpi.Launch(ranks, func(c *mpi.Comm) error {
 		ex, err := stencil.New(c, domain, tiles, 1, 8)
 		if err != nil {
 			return err

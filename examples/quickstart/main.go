@@ -28,7 +28,7 @@ func main() {
 		mu     sync.Mutex
 		report = map[int]string{}
 	)
-	err := mpi.Run(4, func(c *mpi.Comm) error {
+	err := mpi.Launch(4, func(c *mpi.Comm) error {
 		rank := c.Rank()
 
 		// Each rank owns rows y=rank and y=rank+4 (Algorithm 1, lines 2-4).

@@ -46,7 +46,7 @@ func run() error {
 	pencils := grid.Slabs(domain, 0, procs) // x-pencils: full y-z extents
 	rec := trace.NewRecorder()
 
-	err := mpi.Run(procs, func(c *mpi.Comm) error {
+	err := mpi.Launch(procs, func(c *mpi.Comm) error {
 		slab := slabs[c.Rank()]
 		pencil := pencils[c.Rank()]
 

@@ -69,7 +69,7 @@ func run() error {
 		}},
 	} {
 		start := time.Now()
-		err := mpi.Run(procs, func(c *mpi.Comm) error {
+		err := mpi.Launch(procs, func(c *mpi.Comm) error {
 			res, err := cfg.load(c)
 			if err != nil {
 				return err

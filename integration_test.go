@@ -31,7 +31,7 @@ func TestEndToEndConversionPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 	bovPath := filepath.Join(dir, "vol.bov")
-	err = mpi.Run(procs, func(c *mpi.Comm) error {
+	err = mpi.Launch(procs, func(c *mpi.Comm) error {
 		_, err := experiments.ConvertStackToBOV(c, info, bovPath)
 		return err
 	})

@@ -177,7 +177,7 @@ func TestParallelWriteThenRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	bricks := grid.Bricks3D(h.Domain(), 2, 2, 2)
-	err = mpi.Run(8, func(c *mpi.Comm) error {
+	err = mpi.Launch(8, func(c *mpi.Comm) error {
 		v, err := Open(path)
 		if err != nil {
 			return err
@@ -189,7 +189,7 @@ func TestParallelWriteThenRead(t *testing.T) {
 		t.Fatal(err)
 	}
 	slabs := grid.Slabs(h.Domain(), 2, 4)
-	err = mpi.Run(4, func(c *mpi.Comm) error {
+	err = mpi.Launch(4, func(c *mpi.Comm) error {
 		v, err := Open(path)
 		if err != nil {
 			return err

@@ -5,10 +5,10 @@
 // attempt), so a failing run reproduces exactly from its seed: same
 // world, same seed, same faults, regardless of goroutine scheduling.
 //
-// Wire an injector into a world with mpi.RunChaos / mpi.RunTCPChaos, or
-// install it process-wide with mpi.SetDefaultFaultInjector so the
-// standard Run/RunTCP entry points (and the -chaos-* binary flags built
-// on them) pick it up.
+// Wire an injector into a world with
+// mpi.Launch(n, body, mpi.WithFaultInjector(inj)), or install it
+// process-wide with mpi.SetDefaultFaultInjector so plain mpi.Launch
+// calls (and the -chaos-* binary flags built on them) pick it up.
 package chaos
 
 import (

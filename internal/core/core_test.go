@@ -68,17 +68,17 @@ func checkBox(buf []byte, box grid.Box, elemSize int, covered func(x, y, z int) 
 	return nil
 }
 
-func TestNewDataDescriptorValidation(t *testing.T) {
-	if _, err := NewDataDescriptor(0, Layout2D, Float32); err == nil {
+func TestNewDescriptorValidation(t *testing.T) {
+	if _, err := NewDescriptor(0, Layout2D, Float32); err == nil {
 		t.Error("zero process count accepted")
 	}
-	if _, err := NewDataDescriptor(4, Layout(9), Float32); err == nil {
+	if _, err := NewDescriptor(4, Layout(9), Float32); err == nil {
 		t.Error("bad layout accepted")
 	}
-	if _, err := NewDataDescriptorBytes(4, Layout2D, Float32, 0); err == nil {
+	if _, err := NewDescriptor(4, Layout2D, Float32, WithElemSize(0)); err == nil {
 		t.Error("zero element size accepted")
 	}
-	d, err := NewDataDescriptor(4, Layout2D, Float32)
+	d, err := NewDescriptor(4, Layout2D, Float32)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +100,7 @@ func TestElemTypeSizes(t *testing.T) {
 	if ElemType(99).Size() != 0 {
 		t.Error("unknown element type has a size")
 	}
-	if _, err := NewDataDescriptor(2, Layout1D, ElemType(99)); err == nil {
+	if _, err := NewDescriptor(2, Layout1D, ElemType(99)); err == nil {
 		t.Error("unknown element type accepted")
 	}
 }
@@ -125,11 +125,18 @@ func TestE1Redistribution(t *testing.T) {
 		for _, tr := range []struct {
 			name string
 			run  func(int, func(*mpi.Comm) error) error
-		}{{"inproc", mpi.Run}, {"tcp", mpi.RunTCP}} {
+		}{
+			{"inproc", func(n int, body func(*mpi.Comm) error) error {
+				return mpi.Launch(n, body)
+			}},
+			{"tcp", func(n int, body func(*mpi.Comm) error) error {
+				return mpi.Launch(n, body, mpi.WithTransport(mpi.TransportTCP))
+			}},
+		} {
 			t.Run(fmt.Sprintf("%v/%s", mode, tr.name), func(t *testing.T) {
 				err := tr.run(4, func(c *mpi.Comm) error {
 					own, need := e1Geometry(c.Rank())
-					desc, err := NewDataDescriptor(4, Layout2D, Float32,
+					desc, err := NewDescriptor(4, Layout2D, Float32,
 						WithExchangeMode(mode), WithValidation())
 					if err != nil {
 						return err
@@ -155,9 +162,9 @@ func TestE1Redistribution(t *testing.T) {
 // TestE1PlanShape checks the structural facts the paper states for E1:
 // two rounds (max chunks per rank) and the Figure 1B mapping for rank 0.
 func TestE1PlanShape(t *testing.T) {
-	err := mpi.Run(4, func(c *mpi.Comm) error {
+	err := mpi.Launch(4, func(c *mpi.Comm) error {
 		own, need := e1Geometry(c.Rank())
-		desc, err := NewDataDescriptor(4, Layout2D, Float32)
+		desc, err := NewDescriptor(4, Layout2D, Float32)
 		if err != nil {
 			return err
 		}
@@ -208,9 +215,9 @@ func TestE1PlanShape(t *testing.T) {
 }
 
 func TestE1Stats(t *testing.T) {
-	err := mpi.Run(4, func(c *mpi.Comm) error {
+	err := mpi.Launch(4, func(c *mpi.Comm) error {
 		own, need := e1Geometry(c.Rank())
-		desc, err := NewDataDescriptor(4, Layout2D, Float32)
+		desc, err := NewDescriptor(4, Layout2D, Float32)
 		if err != nil {
 			return err
 		}
@@ -277,9 +284,9 @@ func TestRandomRedistribution(t *testing.T) {
 			needAll[r] = grid.RandomBoxIn(rng, domain)
 		}
 		mode := []ExchangeMode{ModeAlltoallw, ModePointToPoint, ModePointToPointFused}[trial%3]
-		err := mpi.Run(n, func(c *mpi.Comm) error {
+		err := mpi.Launch(n, func(c *mpi.Comm) error {
 			rank := c.Rank()
-			desc, err := NewDataDescriptorBytes(n, layout, Uint8, elemSize,
+			desc, err := NewDescriptor(n, layout, Uint8, WithElemSize(elemSize),
 				WithExchangeMode(mode), WithValidation())
 			if err != nil {
 				return err
@@ -320,13 +327,13 @@ func TestRandomRedistribution(t *testing.T) {
 // regions of the need box owned by nobody stay untouched, and overlapping
 // needs are delivered to every requester.
 func TestIncompleteReceive(t *testing.T) {
-	err := mpi.Run(2, func(c *mpi.Comm) error {
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
 		// Ownership covers only x in [0,6) of a 10-wide 1D domain.
 		ownAll := [][]grid.Box{{grid.Box1(0, 3)}, {grid.Box1(3, 3)}}
 		// Both ranks want the whole [0,10) — overlapping and extending past
 		// the owned region.
 		need := grid.Box1(0, 10)
-		desc, err := NewDataDescriptor(2, Layout1D, Uint8)
+		desc, err := NewDescriptor(2, Layout1D, Uint8)
 		if err != nil {
 			return err
 		}
@@ -349,12 +356,12 @@ func TestIncompleteReceive(t *testing.T) {
 }
 
 func TestValidationRejectsOverlap(t *testing.T) {
-	err := mpi.Run(2, func(c *mpi.Comm) error {
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
 		own := []grid.Box{grid.Box1(0, 6)} // both ranks claim overlapping data
 		if c.Rank() == 1 {
 			own = []grid.Box{grid.Box1(4, 6)}
 		}
-		desc, err := NewDataDescriptor(2, Layout1D, Uint8, WithValidation())
+		desc, err := NewDescriptor(2, Layout1D, Uint8, WithValidation())
 		if err != nil {
 			return err
 		}
@@ -373,12 +380,12 @@ func TestValidationRejectsOverlap(t *testing.T) {
 }
 
 func TestValidationRejectsGaps(t *testing.T) {
-	err := mpi.Run(2, func(c *mpi.Comm) error {
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
 		own := []grid.Box{grid.Box1(0, 3)}
 		if c.Rank() == 1 {
 			own = []grid.Box{grid.Box1(5, 3)} // gap at [3,5)
 		}
-		desc, err := NewDataDescriptor(2, Layout1D, Uint8, WithValidation())
+		desc, err := NewDescriptor(2, Layout1D, Uint8, WithValidation())
 		if err != nil {
 			return err
 		}
@@ -393,8 +400,8 @@ func TestValidationRejectsGaps(t *testing.T) {
 }
 
 func TestReorganizeValidation(t *testing.T) {
-	err := mpi.Run(2, func(c *mpi.Comm) error {
-		desc, err := NewDataDescriptor(2, Layout1D, Uint8)
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
+		desc, err := NewDescriptor(2, Layout1D, Uint8)
 		if err != nil {
 			return err
 		}
@@ -424,8 +431,8 @@ func TestReorganizeValidation(t *testing.T) {
 }
 
 func TestDescriptorCommSizeMismatch(t *testing.T) {
-	err := mpi.Run(2, func(c *mpi.Comm) error {
-		desc, err := NewDataDescriptor(3, Layout1D, Uint8)
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
+		desc, err := NewDescriptor(3, Layout1D, Uint8)
 		if err != nil {
 			return err
 		}
@@ -440,8 +447,8 @@ func TestDescriptorCommSizeMismatch(t *testing.T) {
 }
 
 func TestDimensionalityMismatch(t *testing.T) {
-	err := mpi.Run(1, func(c *mpi.Comm) error {
-		desc, err := NewDataDescriptor(1, Layout2D, Uint8)
+	err := mpi.Launch(1, func(c *mpi.Comm) error {
+		desc, err := NewDescriptor(1, Layout2D, Uint8)
 		if err != nil {
 			return err
 		}
@@ -467,7 +474,7 @@ func TestRedistributeHelper(t *testing.T) {
 	slabs := grid.Slabs(domain, 1, n)
 	rows, cols := grid.Factor2(n)
 	squares := grid.Grid2D(domain, rows, cols)
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		own := []Chunk{{Box: slabs[c.Rank()], Data: fillBox(slabs[c.Rank()], 4)}}
 		out, err := Redistribute(c, Layout2D, Float32, own, squares[c.Rank()])
 		if err != nil {
@@ -499,8 +506,8 @@ func TestPaperScale216Ranks(t *testing.T) {
 	for _, mode := range []ExchangeMode{ModeAlltoallw, ModePointToPointFused} {
 		mode := mode
 		t.Run(mode.String(), func(t *testing.T) {
-			err := mpi.Run(n, func(c *mpi.Comm) error {
-				desc, err := NewDataDescriptorBytes(n, Layout3D, Uint8, 1,
+			err := mpi.Launch(n, func(c *mpi.Comm) error {
+				desc, err := NewDescriptor(n, Layout3D, Uint8, WithElemSize(1),
 					WithExchangeMode(mode), WithValidation())
 				if err != nil {
 					return err
@@ -524,13 +531,13 @@ func TestPaperScale216Ranks(t *testing.T) {
 
 // TestRankWithNoChunks covers producers that exist only as consumers.
 func TestRankWithNoChunks(t *testing.T) {
-	err := mpi.Run(3, func(c *mpi.Comm) error {
+	err := mpi.Launch(3, func(c *mpi.Comm) error {
 		var own []grid.Box
 		if c.Rank() == 0 {
 			own = []grid.Box{grid.Box1(0, 9)} // rank 0 owns everything
 		}
 		need := grid.Box1(3*c.Rank(), 3)
-		desc, err := NewDataDescriptor(3, Layout1D, Uint8, WithValidation())
+		desc, err := NewDescriptor(3, Layout1D, Uint8, WithValidation())
 		if err != nil {
 			return err
 		}

@@ -364,23 +364,6 @@ func NewDescriptor(nProcs int, layout Layout, elem ElemType, opts ...Option) (*D
 	return d, nil
 }
 
-// NewDataDescriptor creates a descriptor with the element size implied by
-// elem.
-//
-// Deprecated: Use NewDescriptor; it is the same call.
-func NewDataDescriptor(nProcs int, layout Layout, elem ElemType, opts ...Option) (*Descriptor, error) {
-	return NewDescriptor(nProcs, layout, elem, opts...)
-}
-
-// NewDataDescriptorBytes creates a descriptor with an explicit element
-// byte size.
-//
-// Deprecated: Use NewDescriptor with WithElemSize.
-func NewDataDescriptorBytes(nProcs int, layout Layout, elem ElemType, elemSize int, opts ...Option) (*Descriptor, error) {
-	return NewDescriptor(nProcs, layout, elem,
-		append([]Option{WithElemSize(elemSize)}, opts...)...)
-}
-
 // NProcs returns the process count the descriptor was created for.
 func (d *Descriptor) NProcs() int { return d.nProcs }
 
@@ -406,6 +389,45 @@ func (d *Descriptor) LastExchangeID() uint64 { return d.lastExchID }
 // enabled. Both are zero when the cache is disabled.
 func (d *Descriptor) PlanCacheStats() (hits, misses int64) {
 	return d.cacheHits.Load(), d.cacheMisses.Load()
+}
+
+// PlanCacheLen reports the number of plans currently held by the cache
+// (0 when caching is disabled).
+func (d *Descriptor) PlanCacheLen() int {
+	if d.cache == nil {
+		return 0
+	}
+	return d.cache.len()
+}
+
+// MetricsRegistry returns the registry attached with WithMetrics, or nil.
+func (d *Descriptor) MetricsRegistry() *obs.Registry { return d.metrics }
+
+// ExchangeDeadline returns the per-exchange bound set with
+// WithExchangeDeadline (0 when unset).
+func (d *Descriptor) ExchangeDeadline() time.Duration { return d.deadline }
+
+// ResetMapping discards the compiled plan, returning the descriptor to
+// its pre-SetupDataMapping state. Cached plans survive — a later setup
+// of a known geometry still replays — but ReorganizeData fails with
+// ErrNoMapping until SetupDataMapping runs again. Sessions use it to
+// poison a descriptor whose mapping can no longer be trusted (a failed
+// collective setup may leave ranks disagreeing about the current plan).
+func (d *Descriptor) ResetMapping() { d.plan = nil }
+
+// Reshape discards the compiled plan and re-targets the descriptor at a
+// new process count, the descriptor-level half of an elastic resize: the
+// layout, element type, options, metrics, and plan cache all carry over,
+// so a resized session keeps its identity (and its cached plans for any
+// geometry that recurs at the same scale). The next SetupDataMapping
+// must run on a communicator of the new size.
+func (d *Descriptor) Reshape(nProcs int) error {
+	if nProcs <= 0 {
+		return fmt.Errorf("core: descriptor needs a positive process count, got %d", nProcs)
+	}
+	d.nProcs = nProcs
+	d.plan = nil
+	return nil
 }
 
 // checkBoxDims verifies a box matches the descriptor's dimensionality.

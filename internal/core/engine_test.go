@@ -19,7 +19,7 @@ import (
 // every rank's need buffer holds the canonical pattern.
 func engineWorld(t *testing.T, n int, mode ExchangeMode, elemSize int, ownAll [][]grid.Box, needAll []grid.Box, opts ...Option) {
 	t.Helper()
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		desc, err := NewDescriptor(n, Layout2D, Uint8,
 			append([]Option{WithElemSize(elemSize), WithExchangeMode(mode)}, opts...)...)
@@ -106,7 +106,7 @@ func TestZeroAllocSteadyState(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			array := grid.Box2(0, 0, 8, 8)
 			need := grid.Box2(1, 1, 6, 6) // interior: strided in the 8x8 array
-			err := mpi.Run(1, func(c *mpi.Comm) error {
+			err := mpi.Launch(1, func(c *mpi.Comm) error {
 				desc, err := NewDescriptor(1, Layout2D, Float32, WithExchangeMode(mode))
 				if err != nil {
 					return err
@@ -142,7 +142,7 @@ func TestZeroAllocSteadyState(t *testing.T) {
 // TestSentinelErrors verifies the typed error classification of the
 // validation paths via errors.Is.
 func TestSentinelErrors(t *testing.T) {
-	err := mpi.Run(2, func(c *mpi.Comm) error {
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
 		desc, err := NewDescriptor(2, Layout1D, Uint8)
 		if err != nil {
 			return err
@@ -177,7 +177,7 @@ func TestSentinelErrors(t *testing.T) {
 	}
 
 	// MultiDescriptor shares the classification.
-	err = mpi.Run(1, func(c *mpi.Comm) error {
+	err = mpi.Launch(1, func(c *mpi.Comm) error {
 		md, err := NewMultiDescriptor(1, Layout1D, Uint8)
 		if err != nil {
 			return err
@@ -196,7 +196,7 @@ func TestSentinelErrors(t *testing.T) {
 // caller's to keep: mutating them must not corrupt the descriptor's
 // record, and a later exchange must not mutate an earlier return.
 func TestLastTimingsDefensiveCopy(t *testing.T) {
-	err := mpi.Run(1, func(c *mpi.Comm) error {
+	err := mpi.Launch(1, func(c *mpi.Comm) error {
 		desc, err := NewDescriptor(1, Layout1D, Uint8)
 		if err != nil {
 			return err
@@ -247,7 +247,7 @@ func TestReorganizeDataCtxCancel(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			domain := grid.Box1(0, 8)
 			halves := grid.Slabs(domain, 0, 2)
-			err := mpi.Run(2, func(c *mpi.Comm) error {
+			err := mpi.Launch(2, func(c *mpi.Comm) error {
 				desc, err := NewDescriptor(2, Layout1D, Uint8, WithExchangeMode(mode))
 				if err != nil {
 					return err
@@ -283,7 +283,7 @@ func TestReorganizeDataCtxCancel(t *testing.T) {
 // exchange untouched and an already-cancelled context fails fast.
 func TestReorganizeDataCtxComplete(t *testing.T) {
 	ownAll, needAll := stripWorld(4, 32, 2, true)
-	err := mpi.Run(4, func(c *mpi.Comm) error {
+	err := mpi.Launch(4, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		desc, err := NewDescriptor(4, Layout2D, Float32, WithExchangeMode(ModePointToPoint))
 		if err != nil {
@@ -330,7 +330,7 @@ func benchEngineConfig(b *testing.B, mode ExchangeMode, opts ...Option) {
 	ownAll, needAll := stripWorld(procs, side, chunksPerRank, false)
 	reg := obs.NewRegistry()
 	b.SetBytes(int64(side) * int64(side) * elemSize)
-	err := mpi.Run(procs, func(c *mpi.Comm) error {
+	err := mpi.Launch(procs, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		desc, err := NewDescriptor(procs, Layout2D, Float32,
 			append([]Option{WithExchangeMode(mode), WithMetrics(reg)}, opts...)...)

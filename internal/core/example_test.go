@@ -12,7 +12,7 @@ import (
 // owned per rank redistribute into one quadrant per rank. Only rank 0
 // prints, so the output is deterministic.
 func Example() {
-	err := mpi.Run(4, func(c *mpi.Comm) error {
+	err := mpi.Launch(4, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		own := []grid.Box{
 			grid.Box2(0, rank, 8, 1),
@@ -30,7 +30,7 @@ func Example() {
 			bufs[i] = row
 		}
 
-		desc, err := core.NewDataDescriptor(4, core.Layout2D, core.Uint8)
+		desc, err := core.NewDescriptor(4, core.Layout2D, core.Uint8)
 		if err != nil {
 			return err
 		}

@@ -91,7 +91,7 @@ func TestGoldenPlans(t *testing.T) {
 			plans := make([]PlanSummary, n)
 			var stats ScheduleStats
 			var mu sync.Mutex
-			err := mpi.Run(n, func(c *mpi.Comm) error {
+			err := mpi.Launch(n, func(c *mpi.Comm) error {
 				d, err := NewDescriptor(n, gc.layout, Uint8, WithElemSize(gc.elemSize))
 				if err != nil {
 					return err

@@ -50,7 +50,7 @@ type multiPlan struct {
 
 // NewMultiDescriptor creates a descriptor for redistributions where both
 // sides may be fragmented. nProcs, layout, and elem follow
-// NewDataDescriptor.
+// NewDescriptor.
 func NewMultiDescriptor(nProcs int, layout Layout, elem ElemType) (*MultiDescriptor, error) {
 	if elem.Size() == 0 {
 		return nil, fmt.Errorf("core: unknown element type %v", elem)

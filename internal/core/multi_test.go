@@ -22,7 +22,7 @@ func TestMultiNeedBasic(t *testing.T) {
 		{grid.Box2(0, 0, 1, 4), grid.Box2(7, 0, 1, 4)},
 		{grid.Box2(2, 0, 2, 4), grid.Box2(4, 0, 2, 4)},
 	}
-	err := mpi.Run(2, func(c *mpi.Comm) error {
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
 		d, err := NewMultiDescriptor(2, Layout2D, Uint8)
 		if err != nil {
 			return err
@@ -77,7 +77,7 @@ func TestMultiNeedRandom(t *testing.T) {
 				needAll[r] = append(needAll[r], grid.RandomBoxIn(rng, domain))
 			}
 		}
-		err := mpi.Run(n, func(c *mpi.Comm) error {
+		err := mpi.Launch(n, func(c *mpi.Comm) error {
 			rank := c.Rank()
 			d, err := NewMultiDescriptor(n, Layout(nd), Uint8)
 			if err != nil {
@@ -127,7 +127,7 @@ func TestMultiDescriptorValidation(t *testing.T) {
 	if _, err := NewMultiDescriptor(2, Layout2D, ElemType(42)); err == nil {
 		t.Error("bad elem accepted")
 	}
-	err := mpi.Run(2, func(c *mpi.Comm) error {
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
 		d, err := NewMultiDescriptor(2, Layout1D, Uint8)
 		if err != nil {
 			return err
@@ -166,11 +166,11 @@ func TestMultiMatchesSingleNeed(t *testing.T) {
 	slabs := grid.Slabs(domain, 1, n)
 	rows, cols := grid.Factor2(n)
 	squares := grid.Grid2D(domain, rows, cols)
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		own := []grid.Box{slabs[c.Rank()]}
 		ownBuf := [][]byte{fillBox(own[0], 1)}
 
-		single, err := NewDataDescriptor(n, Layout2D, Uint8)
+		single, err := NewDescriptor(n, Layout2D, Uint8)
 		if err != nil {
 			return err
 		}

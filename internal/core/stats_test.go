@@ -144,10 +144,10 @@ func TestExchangeModesAgree(t *testing.T) {
 // every rank's need buffer into outs (indexed by rank).
 func runWorld(n int, mode ExchangeMode, ownAll [][]grid.Box, needAll []grid.Box, outs [][]byte, opts ...Option) error {
 	var mu sync.Mutex
-	return mpi.Run(n, func(c *mpi.Comm) error {
+	return mpi.Launch(n, func(c *mpi.Comm) error {
 		rank := c.Rank()
-		desc, err := NewDataDescriptorBytes(n, Layout2D, Uint8, 1,
-			append([]Option{WithExchangeMode(mode)}, opts...)...)
+		desc, err := NewDescriptor(n, Layout2D, Uint8,
+			append([]Option{WithElemSize(1), WithExchangeMode(mode)}, opts...)...)
 		if err != nil {
 			return err
 		}

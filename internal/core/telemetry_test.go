@@ -17,7 +17,7 @@ import (
 // ReorganizeData iters times on the reusable mapping.
 func telemetryWorld(iters int, opts ...Option) error {
 	const n, side = 4, 64
-	return mpi.Run(n, func(c *mpi.Comm) error {
+	return mpi.Launch(n, func(c *mpi.Comm) error {
 		d, err := NewDescriptor(n, Layout2D, Float32, opts...)
 		if err != nil {
 			return err
@@ -135,7 +135,7 @@ func TestTelemetryPackUnpackObserved(t *testing.T) {
 // exchange itself is measured.
 func benchmarkReorganize(b *testing.B, opts ...Option) {
 	const n, side = 4, 64
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		d, err := NewDescriptor(n, Layout2D, Float32, opts...)
 		if err != nil {
 			return err

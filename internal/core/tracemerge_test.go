@@ -25,7 +25,7 @@ import (
 func TestTraceMergeRoundTrip(t *testing.T) {
 	const n, side = 4, 64
 	var merged *mpi.MergedTrace
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		rec := trace.NewRecorder()
 		d, err := NewDescriptor(n, Layout2D, Float32,
 			WithExchangeMode(ModePointToPoint), WithTracer(rec))
@@ -149,7 +149,7 @@ func TestFlightDumpOnSeveredPeer(t *testing.T) {
 	})
 	partials := make([]*PartialError, n)
 	flights := make([]*obs.FlightRecorder, n)
-	err := mpi.RunChaos(n, inj, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		f := obs.NewFlightRecorder(256)
 		flights[rank] = f
@@ -175,7 +175,7 @@ func TestFlightDumpOnSeveredPeer(t *testing.T) {
 			return nil
 		}
 		return err
-	})
+	}, mpi.WithFaultInjector(inj))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +224,7 @@ func TestTracingDetachedZeroAlloc(t *testing.T) {
 		t.Run(mode.String(), func(t *testing.T) {
 			array := grid.Box2(0, 0, 8, 8)
 			need := grid.Box2(1, 1, 6, 6)
-			err := mpi.Run(1, func(c *mpi.Comm) error {
+			err := mpi.Launch(1, func(c *mpi.Comm) error {
 				desc, err := NewDescriptor(1, Layout2D, Float32, WithExchangeMode(mode))
 				if err != nil {
 					return err

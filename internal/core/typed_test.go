@@ -21,7 +21,7 @@ func TestReorganizeFloat32Slabs(t *testing.T) {
 	squares := grid.Grid2D(domain, rows, cols)
 	value := func(x, y int) float32 { return float32(100*y + x) }
 
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		slab := slabs[c.Rank()]
 		vals := make([]float32, slab.Volume())
 		i := 0
@@ -31,7 +31,7 @@ func TestReorganizeFloat32Slabs(t *testing.T) {
 				i++
 			}
 		}
-		desc, err := NewDataDescriptor(n, Layout2D, Float32)
+		desc, err := NewDescriptor(n, Layout2D, Float32)
 		if err != nil {
 			return err
 		}
@@ -60,12 +60,12 @@ func TestReorganizeFloat32Slabs(t *testing.T) {
 }
 
 func TestReorganizeFloat64AndUint16(t *testing.T) {
-	err := mpi.Run(2, func(c *mpi.Comm) error {
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
 		domain := grid.Box1(0, 10)
 		halves := grid.Slabs(domain, 0, 2)
 		mine := halves[c.Rank()]
 
-		d64, err := NewDataDescriptor(2, Layout1D, Float64)
+		d64, err := NewDescriptor(2, Layout1D, Float64)
 		if err != nil {
 			return err
 		}
@@ -86,7 +86,7 @@ func TestReorganizeFloat64AndUint16(t *testing.T) {
 			}
 		}
 
-		d16, err := NewDataDescriptor(2, Layout1D, Int16)
+		d16, err := NewDescriptor(2, Layout1D, Int16)
 		if err != nil {
 			return err
 		}
@@ -114,8 +114,8 @@ func TestReorganizeFloat64AndUint16(t *testing.T) {
 }
 
 func TestTypedWrapperElemSizeChecks(t *testing.T) {
-	err := mpi.Run(1, func(c *mpi.Comm) error {
-		desc, err := NewDataDescriptor(1, Layout1D, Uint8)
+	err := mpi.Launch(1, func(c *mpi.Comm) error {
+		desc, err := NewDescriptor(1, Layout1D, Uint8)
 		if err != nil {
 			return err
 		}
@@ -147,9 +147,9 @@ func TestFusedModeManyChunks(t *testing.T) {
 	chunksAll := grid.RoundRobinSlices(domain, 2, n)
 	nx, ny, nz := grid.Factor3(n)
 	needs := grid.Bricks3D(domain, nx, ny, nz)
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		mine := chunksAll[c.Rank()]
-		desc, err := NewDataDescriptor(n, Layout3D, Uint8,
+		desc, err := NewDescriptor(n, Layout3D, Uint8,
 			WithExchangeMode(ModePointToPointFused), WithValidation())
 		if err != nil {
 			return err
@@ -179,9 +179,9 @@ func TestFusedModeManyChunks(t *testing.T) {
 // per-round spans appear for every rank.
 func TestTracerRecordsSpans(t *testing.T) {
 	rec := trace.NewRecorder()
-	err := mpi.Run(4, func(c *mpi.Comm) error {
+	err := mpi.Launch(4, func(c *mpi.Comm) error {
 		own, need := e1Geometry(c.Rank())
-		desc, err := NewDataDescriptor(4, Layout2D, Float32, WithTracer(rec))
+		desc, err := NewDescriptor(4, Layout2D, Float32, WithTracer(rec))
 		if err != nil {
 			return err
 		}
@@ -225,11 +225,11 @@ func TestHaloExchangePattern(t *testing.T) {
 	domain := grid.Box2(0, 0, 18, 12)
 	rows, cols := grid.Factor2(n)
 	tiles := grid.Grid2D(domain, rows, cols)
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		tile := tiles[c.Rank()]
 		// Need = tile grown by 1 in every direction, clamped to the domain.
 		need := tile.Grow(1, domain)
-		desc, err := NewDataDescriptor(n, Layout2D, Uint8, WithValidation())
+		desc, err := NewDescriptor(n, Layout2D, Uint8, WithValidation())
 		if err != nil {
 			return err
 		}

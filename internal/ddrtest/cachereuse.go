@@ -35,7 +35,7 @@ type CacheReuseResult struct {
 func (tc *Case) RunCacheReuse(plantStale bool) ([]CacheReuseResult, error) {
 	perturbed := tc.perturbedNeeds()
 	results := make([]CacheReuseResult, tc.NProcs)
-	err := mpi.Run(tc.NProcs, func(c *mpi.Comm) error {
+	err := mpi.Launch(tc.NProcs, func(c *mpi.Comm) error {
 		rank := c.Rank()
 		res := &results[rank]
 		d, err := core.NewDescriptor(tc.NProcs, tc.Layout, core.Uint8,

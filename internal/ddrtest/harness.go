@@ -266,11 +266,10 @@ func (tc *Case) Run(opt RunOptions) ([]RankResult, error) {
 		res.CheckErr = tc.CheckNeed(tc.Needs[rank], needBuf, missing)
 		return nil
 	}
-	var err error
+	launchOpts := []mpi.LaunchOption{mpi.WithFaultInjector(opt.Injector)}
 	if opt.TCP {
-		err = mpi.RunTCPChaos(tc.NProcs, mpi.DefaultTCPOptions(), opt.Injector, body)
-	} else {
-		err = mpi.RunChaos(tc.NProcs, opt.Injector, body)
+		launchOpts = append(launchOpts, mpi.WithTransport(mpi.TransportTCP))
 	}
+	err := mpi.Launch(tc.NProcs, body, launchOpts...)
 	return results, err
 }

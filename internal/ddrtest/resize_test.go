@@ -1,0 +1,183 @@
+package ddrtest
+
+import (
+	"testing"
+	"time"
+
+	"ddr/internal/chaos"
+	"ddr/internal/core"
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+// resizeSchedule pairs a chaos configuration with how the harness judges
+// a resize outcome, mirroring the redistribution schedules.
+type resizeSchedule struct {
+	name     string
+	build    func(rc *ResizeCase) mpi.FaultInjector
+	deadline time.Duration
+	lossy    bool
+}
+
+func resizeSchedules() []resizeSchedule {
+	return []resizeSchedule{
+		{name: "clean", build: func(*ResizeCase) mpi.FaultInjector { return nil }},
+		{name: "drop", build: func(rc *ResizeCase) mpi.FaultInjector {
+			return chaos.New(chaos.Options{Seed: rc.Seed, DropProb: 0.08})
+		}},
+		{name: "dup-delay", build: func(rc *ResizeCase) mpi.FaultInjector {
+			return chaos.New(chaos.Options{
+				Seed: rc.Seed, DupProb: 0.15, DelayProb: 0.2, DelayMax: 500 * time.Microsecond,
+			})
+		}},
+		{name: "sever", lossy: true, deadline: 5 * time.Second, build: func(rc *ResizeCase) mpi.FaultInjector {
+			from := int(rc.Seed % uint64(rc.NProcs))
+			to := int((rc.Seed / 7) % uint64(rc.NProcs))
+			if to == from {
+				to = (to + 1) % rc.NProcs
+			}
+			return chaos.New(chaos.Options{
+				Seed:     rc.Seed,
+				TagFloor: core.ExchangeTagBase,
+				Severs:   []chaos.Sever{{From: from, To: to, After: rc.Seed % 2}},
+			})
+		}},
+	}
+}
+
+// TestResizeProperty sweeps seeded random resize cases through every
+// schedule: the delta exchange must satisfy the fill invariant on all
+// surviving ranks, degrading only under lossy schedules.
+func TestResizeProperty(t *testing.T) {
+	cases := 120
+	if testing.Short() {
+		cases = 20
+	}
+	defer checkGoroutines(t)
+	for _, sc := range resizeSchedules() {
+		t.Run(sc.name, func(t *testing.T) {
+			for i := 0; i < cases && !t.Failed(); i++ {
+				seed := uint64(i)*2654435761 + uint64(i) + 17
+				rc := GenResizeCase(seed, *flagMaxProcs, *flagMaxExtent)
+				tcp := i%8 == 0
+				results, err := rc.RunResize(ResizeRunOptions{
+					TCP:      tcp,
+					Injector: sc.build(&rc),
+					Deadline: sc.deadline,
+				})
+				if err != nil {
+					t.Fatalf("%v schedule %q (tcp=%v): world error: %v", &rc, sc.name, tcp, err)
+				}
+				for rank, res := range results {
+					switch {
+					case res.Err != nil:
+						t.Fatalf("%v schedule %q (tcp=%v): rank %d exchange failed: %v", &rc, sc.name, tcp, rank, res.Err)
+					case res.CheckErr != nil:
+						t.Fatalf("%v schedule %q (tcp=%v): rank %d invariant violated: %v", &rc, sc.name, tcp, rank, res.CheckErr)
+					case res.Partial != nil && !sc.lossy:
+						t.Fatalf("%v schedule %q (tcp=%v): rank %d degraded under a lossless schedule: %v", &rc, sc.name, tcp, rank, res.Partial)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestResizeSeverLeavingRank is the satellite scenario: a rank leaving
+// the group is severed mid-handoff, and the surviving N′ ranks must
+// still satisfy the fill invariant — the leaver's undelivered regions
+// surface as reported-missing (sentinel or value, never garbage), while
+// everything from healthy ranks lands intact.
+func TestResizeSeverLeavingRank(t *testing.T) {
+	const leaver = 3
+	domain := grid.Box2(0, 0, 32, 16)
+	oldSlabs := grid.Slabs(domain, 0, 4) // 4 ranks hold vertical slabs
+	newSlabs := grid.Slabs(domain, 1, 3) // survivors re-tile horizontally
+	empty := grid.Box2(0, 0, 0, 0)
+
+	rc := ResizeCase{
+		Seed:     42,
+		NProcs:   4,
+		Layout:   core.Layout2D,
+		ElemSize: 4,
+		Domain:   domain,
+		OldNeeds: oldSlabs,
+		NewNeeds: []grid.Box{newSlabs[0], newSlabs[1], newSlabs[2], empty},
+	}
+
+	// The leaver hands one concatenated message to each survivor; cutting
+	// its links to ranks 1 and 2 on the first exchange delivery (and
+	// sparing rank 0) kills the handoff partway through.
+	severs := []chaos.Sever{
+		{From: leaver, To: 1, After: 0},
+		{From: leaver, To: 2, After: 0},
+	}
+	inj := chaos.New(chaos.Options{Seed: 42, TagFloor: core.ExchangeTagBase, Severs: severs})
+
+	for _, tcp := range []bool{false, true} {
+		results, err := rc.RunResize(ResizeRunOptions{
+			TCP:      tcp,
+			Injector: inj,
+			Deadline: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatalf("tcp=%v: world error: %v", tcp, err)
+		}
+		degraded := false
+		for rank := 0; rank < 3; rank++ {
+			res := results[rank]
+			if res.Err != nil {
+				t.Fatalf("tcp=%v: surviving rank %d aborted instead of degrading: %v", tcp, rank, res.Err)
+			}
+			if res.CheckErr != nil {
+				t.Fatalf("tcp=%v: surviving rank %d invariant violated: %v", tcp, rank, res.CheckErr)
+			}
+			if res.Partial != nil {
+				degraded = true
+				for _, lost := range res.Partial.LostPeers {
+					if lost != leaver {
+						t.Fatalf("tcp=%v: rank %d reported healthy peer %d lost", tcp, rank, lost)
+					}
+				}
+			}
+		}
+		if !degraded {
+			t.Fatalf("tcp=%v: severing the leaver degraded no survivor — the schedule cut nothing", tcp)
+		}
+	}
+}
+
+// TestResizeCatchesPlantedBug proves the resize harness has teeth: an
+// off-by-one perturbation of a compiled delta receive region must
+// surface as an invariant violation on at least one seed.
+func TestResizeCatchesPlantedBug(t *testing.T) {
+	caught, perturbed := false, false
+	for seed := uint64(1); seed <= 40 && !caught; seed++ {
+		rc := GenResizeCase(seed, *flagMaxProcs, *flagMaxExtent)
+		applied := false
+		results, err := rc.RunResize(ResizeRunOptions{
+			Mutate: func(p *core.DeltaPlan) { applied = p.PerturbDeltaForTest() },
+		})
+		if err != nil {
+			t.Fatalf("seed %d: world error: %v", seed, err)
+		}
+		if !applied {
+			continue // rank 0 had no shiftable receive region in this case
+		}
+		perturbed = true
+		for _, res := range results {
+			if res.CheckErr != nil {
+				caught = true
+			}
+			if res.Err != nil {
+				t.Fatalf("seed %d: exchange error instead of invariant violation: %v", seed, res.Err)
+			}
+		}
+	}
+	if !perturbed {
+		t.Fatal("no generated case offered a perturbable delta plan")
+	}
+	if !caught {
+		t.Fatal("planted delta-compiler bug escaped the harness")
+	}
+}

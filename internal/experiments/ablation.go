@@ -74,7 +74,7 @@ func ExchangeModeAblation(procs int, domain grid.Box, chunkCounts []int, reps in
 				mu  sync.Mutex
 				dur time.Duration
 			)
-			err := mpi.Run(procs, func(c *mpi.Comm) error {
+			err := mpi.Launch(procs, func(c *mpi.Comm) error {
 				tel.attach(c)
 				desc, err := core.NewDescriptor(procs, core.Layout3D, core.Float32,
 					append([]core.Option{core.WithExchangeMode(mode)}, tel.coreOpts()...)...)

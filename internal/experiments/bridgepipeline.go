@@ -58,7 +58,7 @@ func RunInTransitBridgeViz(cfg InTransitConfig, bindHost string, ready func(addr
 		mu  sync.Mutex
 		res *InTransitResult
 	)
-	err := mpi.Run(cfg.N, func(c *mpi.Comm) error {
+	err := mpi.Launch(cfg.N, func(c *mpi.Comm) error {
 		me := c.Rank()
 		r, err := runConsumer(consumerEnv{
 			local: c,
@@ -118,7 +118,7 @@ func RunInTransitBridgeSim(cfg InTransitConfig, addrs []string) error {
 		InletVelocity: cfg.InletVelocity,
 		Barrier:       lbm.CylinderBarrier(cfg.GridW/4, cfg.GridH/2, cfg.GridH/9),
 	}
-	return mpi.Run(cfg.M, func(c *mpi.Comm) error {
+	return mpi.Launch(cfg.M, func(c *mpi.Comm) error {
 		sender, err := transit.DialBridge(addrs[consumerOf(c.Rank())], c.Rank())
 		if err != nil {
 			return err

@@ -23,7 +23,7 @@ func TestConvertStackToBOV(t *testing.T) {
 		t.Fatal(err)
 	}
 	outPath := filepath.Join(t.TempDir(), "vol.bov")
-	err = mpi.Run(procs, func(c *mpi.Comm) error {
+	err = mpi.Launch(procs, func(c *mpi.Comm) error {
 		res, err := ConvertStackToBOV(c, info, outPath)
 		if err != nil {
 			return err

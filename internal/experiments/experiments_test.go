@@ -165,7 +165,7 @@ func TestLoadStackEndToEnd(t *testing.T) {
 	for _, tech := range []Technique{RoundRobin, Consecutive} {
 		tech := tech
 		t.Run(tech.String(), func(t *testing.T) {
-			err := mpi.Run(procs, func(c *mpi.Comm) error {
+			err := mpi.Launch(procs, func(c *mpi.Comm) error {
 				ddrRes, err := LoadStackDDR(c, info, tech)
 				if err != nil {
 					return err

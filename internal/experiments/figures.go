@@ -74,7 +74,7 @@ func RenderFigure2(vw, vh, vd, procs int) (*image.RGBA, error) {
 	nx, ny, nz := grid.Factor3(procs)
 	domain := grid.Box3(0, 0, 0, vw, vh, vd)
 	bricks := grid.Bricks3D(domain, nx, ny, nz)
-	err := mpi.Run(procs, func(c *mpi.Comm) error {
+	err := mpi.Launch(procs, func(c *mpi.Comm) error {
 		box := bricks[c.Rank()]
 		vals := make([]float32, box.Volume())
 		i := 0

@@ -49,7 +49,7 @@ func RunInSitu(cfg InTransitConfig) (*InSituResult, error) {
 		res *InSituResult
 	)
 	wallStart := time.Now()
-	err := mpi.Run(cfg.M, func(c *mpi.Comm) error {
+	err := mpi.Launch(cfg.M, func(c *mpi.Comm) error {
 		sim, err := lbm.NewParallel(c, params)
 		if err != nil {
 			return err

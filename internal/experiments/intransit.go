@@ -114,15 +114,15 @@ func RunInTransit(cfg InTransitConfig) (*InTransitResult, error) {
 		InletVelocity: cfg.InletVelocity,
 		Barrier:       lbm.CylinderBarrier(cfg.GridW/4, cfg.GridH/2, cfg.GridH/9),
 	}
-	runner := mpi.Run
+	var launchOpts []mpi.LaunchOption
 	switch cfg.Transport {
 	case "", "inproc":
 	case "tcp":
-		runner = mpi.RunTCP
+		launchOpts = append(launchOpts, mpi.WithTransport(mpi.TransportTCP))
 	default:
 		return nil, fmt.Errorf("experiments: unknown transport %q (have inproc, tcp)", cfg.Transport)
 	}
-	err := runner(cfg.M+cfg.N, func(world *mpi.Comm) error {
+	err := mpi.Launch(cfg.M+cfg.N, func(world *mpi.Comm) error {
 		cfg.Telemetry.attach(world)
 		cp, err := transit.NewCoupling(world, cfg.M, cfg.N)
 		if err != nil {

@@ -99,7 +99,7 @@ func RunInTransit3D(cfg InTransit3DConfig) (*InTransit3DResult, error) {
 		mu  sync.Mutex
 		res *InTransit3DResult
 	)
-	err := mpi.Run(cfg.M+cfg.N, func(world *mpi.Comm) error {
+	err := mpi.Launch(cfg.M+cfg.N, func(world *mpi.Comm) error {
 		cp, err := transit.NewCoupling(world, cfg.M, cfg.N)
 		if err != nil {
 			return err

@@ -59,7 +59,7 @@ func RunRealTIFFStudy(dir string, procs []int) ([]RealStudyRow, error) {
 				row RealStudyRow
 			)
 			start := time.Now()
-			err := mpi.Run(p, func(c *mpi.Comm) error {
+			err := mpi.Launch(p, func(c *mpi.Comm) error {
 				res, err := cfg.run(c)
 				if err != nil {
 					return err

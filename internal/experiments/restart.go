@@ -60,7 +60,7 @@ func RunRestartStudy(path string, writeProcs, readProcs int, h bov.Header) (*Res
 	// Phase 1: checkpoint written as bricks by writeProcs ranks.
 	wx, wy, wz := grid.Factor3(writeProcs)
 	writeBricks := grid.Bricks3D(domain, wx, wy, wz)
-	err = mpi.Run(writeProcs, func(c *mpi.Comm) error {
+	err = mpi.Launch(writeProcs, func(c *mpi.Comm) error {
 		v, err := bov.Open(path)
 		if err != nil {
 			return err
@@ -79,7 +79,7 @@ func RunRestartStudy(path string, writeProcs, readProcs int, h bov.Header) (*Res
 
 	res := &RestartResult{WriteProcs: writeProcs, ReadProcs: readProcs, Match: true}
 	var mu sync.Mutex
-	err = mpi.Run(readProcs, func(c *mpi.Comm) error {
+	err = mpi.Launch(readProcs, func(c *mpi.Comm) error {
 		v, err := bov.Open(path)
 		if err != nil {
 			return err

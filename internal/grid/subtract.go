@@ -1,0 +1,57 @@
+package grid
+
+// Subtract returns a \ b as a list of disjoint boxes that together cover
+// exactly the cells of a not contained in b. The decomposition is the
+// standard axis sweep — for each axis in order, the slab of a below b's
+// low face and the slab above b's high face are split off and the
+// remainder narrows to b's extent on that axis — so it is deterministic:
+// equal inputs produce equal box lists in equal order. At most 2·NDims
+// boxes are produced. When a and b are disjoint the result is [a]; when b
+// covers a the result is nil.
+//
+// Subtract is the primitive behind the delta-plan compiler's geometry
+// diff: the regions of a resized need box that are not already resident
+// locally are exactly newNeed \ oldNeed.
+func Subtract(a, b Box) []Box {
+	return SubtractAppend(nil, a, b)
+}
+
+// SubtractAppend appends the boxes of a \ b to dst and returns it,
+// following the Subtract contract. Reusing dst keeps diff-heavy loops
+// allocation-free.
+func SubtractAppend(dst []Box, a, b Box) []Box {
+	if a.Empty() {
+		return dst
+	}
+	iv, ok := a.Intersect(b)
+	if !ok {
+		return append(dst, a)
+	}
+	rem := a
+	for axis := 0; axis < a.NDims; axis++ {
+		if lo := iv.Offset[axis] - rem.Offset[axis]; lo > 0 {
+			below := rem
+			below.Dims[axis] = lo
+			dst = append(dst, below)
+		}
+		if hi := rem.End(axis) - iv.End(axis); hi > 0 {
+			above := rem
+			above.Offset[axis] = iv.End(axis)
+			above.Dims[axis] = hi
+			dst = append(dst, above)
+		}
+		rem.Offset[axis] = iv.Offset[axis]
+		rem.Dims[axis] = iv.Dims[axis]
+	}
+	return dst
+}
+
+// SubtractAll returns regions \ b: every region minus b, concatenated in
+// region order. Inputs already disjoint stay disjoint.
+func SubtractAll(regions []Box, b Box) []Box {
+	var out []Box
+	for _, r := range regions {
+		out = SubtractAppend(out, r, b)
+	}
+	return out
+}

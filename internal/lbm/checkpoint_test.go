@@ -78,7 +78,7 @@ func TestCheckpointAcrossRankCounts(t *testing.T) {
 	}
 	refRho, _, _ := ref.Macroscopic()
 
-	err = mpi.Run(4, func(c *mpi.Comm) error {
+	err = mpi.Launch(4, func(c *mpi.Comm) error {
 		ps, err := NewParallel(c, p)
 		if err != nil {
 			return err
@@ -94,7 +94,7 @@ func TestCheckpointAcrossRankCounts(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	err = mpi.Run(6, func(c *mpi.Comm) error {
+	err = mpi.Launch(6, func(c *mpi.Comm) error {
 		ps, err := NewParallel(c, p)
 		if err != nil {
 			return err

@@ -135,7 +135,7 @@ func TestParallelDiagnosticsMatchSerial(t *testing.T) {
 		serial.Step()
 	}
 	want := serial.Diagnostics()
-	err = mpi.Run(3, func(c *mpi.Comm) error {
+	err = mpi.Launch(3, func(c *mpi.Comm) error {
 		ps, err := NewParallel(c, p)
 		if err != nil {
 			return err

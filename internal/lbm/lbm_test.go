@@ -132,7 +132,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	for _, n := range []int{2, 3, 5} {
 		n := n
 		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
-			err := mpi.Run(n, func(c *mpi.Comm) error {
+			err := mpi.Launch(n, func(c *mpi.Comm) error {
 				ps, err := NewParallel(c, p)
 				if err != nil {
 					return err
@@ -169,7 +169,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 }
 
 func TestNewParallelTooManyRanks(t *testing.T) {
-	err := mpi.Run(4, func(c *mpi.Comm) error {
+	err := mpi.Launch(4, func(c *mpi.Comm) error {
 		_, err := NewParallel(c, Params{Width: 8, Height: 3, Viscosity: 0.1, InletVelocity: 0.05})
 		if err == nil {
 			return fmt.Errorf("4 ranks over 3 rows accepted")

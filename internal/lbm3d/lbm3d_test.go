@@ -129,7 +129,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	for _, n := range []int{2, 3, 4} {
 		n := n
 		t.Run(fmt.Sprintf("ranks=%d", n), func(t *testing.T) {
-			err := mpi.Run(n, func(c *mpi.Comm) error {
+			err := mpi.Launch(n, func(c *mpi.Comm) error {
 				ps, err := NewParallel(c, p)
 				if err != nil {
 					return err

@@ -1,0 +1,85 @@
+package mpi
+
+// Launch is the single entry point for running an n-rank world: it
+// replaces the Run / RunChaos / RunTCP / RunTCPOpts / RunTCPChaos family
+// with one call configured by functional options. The default is the
+// in-process transport with the process-wide fault injector (see
+// SetDefaultFaultInjector), i.e. exactly the old Run.
+//
+//	mpi.Launch(8, body)                                          // Run
+//	mpi.Launch(8, body, mpi.WithFaultInjector(inj))              // RunChaos
+//	mpi.Launch(8, body, mpi.WithTransport(mpi.TransportTCP))     // RunTCP
+//	mpi.Launch(8, body, mpi.WithTCPOptions(opts))                // RunTCPOpts
+//	mpi.Launch(8, body, mpi.WithTCPOptions(opts),
+//	    mpi.WithFaultInjector(inj))                              // RunTCPChaos
+//
+// body runs once per rank (one goroutine each); Launch blocks until all
+// ranks return and yields the joined errors. When a rank fails, the
+// remaining ranks' pending operations are unblocked with ErrClosed so
+// the world can drain.
+func Launch(n int, body func(c *Comm) error, opts ...LaunchOption) error {
+	cfg := launchConfig{tcpOpts: DefaultTCPOptions()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	inj := cfg.inj
+	if !cfg.injSet {
+		inj = defaultInjector()
+	}
+	switch cfg.transport {
+	case TransportTCP:
+		return launchTCP(n, cfg.tcpOpts, inj, body)
+	default:
+		return launchInProc(n, inj, body)
+	}
+}
+
+// Transport selects the wire a Launch'd world communicates over.
+type Transport int
+
+const (
+	// TransportInProc is the default: one mailbox per rank, deliveries
+	// are in-process channel sends.
+	TransportInProc Transport = iota
+	// TransportTCP carries all inter-rank traffic over loopback TCP
+	// sockets, exercising a real network stack.
+	TransportTCP
+)
+
+// launchConfig is the resolved option set of one Launch call.
+type launchConfig struct {
+	transport Transport
+	tcpOpts   TCPOptions
+	inj       FaultInjector
+	injSet    bool
+}
+
+// LaunchOption configures one Launch call.
+type LaunchOption func(*launchConfig)
+
+// WithTransport selects the transport the world runs on.
+func WithTransport(t Transport) LaunchOption {
+	return func(cfg *launchConfig) { cfg.transport = t }
+}
+
+// WithTCPOptions selects the TCP transport with explicit per-endpoint
+// options (it implies WithTransport(TransportTCP)).
+func WithTCPOptions(opts TCPOptions) LaunchOption {
+	return func(cfg *launchConfig) {
+		cfg.transport = TransportTCP
+		cfg.tcpOpts = opts
+	}
+}
+
+// WithFaultInjector wraps every rank's transport with inj: deliveries
+// consult it for delays, drops (retried with bounded backoff),
+// duplicates (deduplicated at the receiving mailbox), reorderings, and
+// link severance. Passing it — even with a nil injector, which runs
+// fault-free — overrides the process-wide default injector; omitting it
+// keeps the SetDefaultFaultInjector behavior.
+func WithFaultInjector(inj FaultInjector) LaunchOption {
+	return func(cfg *launchConfig) {
+		cfg.inj = inj
+		cfg.injSet = true
+	}
+}

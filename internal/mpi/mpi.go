@@ -701,22 +701,24 @@ func (t *inprocTransport) send(dst int, e envelope) error {
 
 func (t *inprocTransport) close() error { return nil }
 
-// Run executes body on n in-process ranks (one goroutine per rank) and
-// blocks until all return. It returns the first non-nil error any rank
-// produced; when a rank fails the remaining ranks' pending operations are
-// unblocked with ErrClosed so the world can drain. If a process-wide
-// fault injector was installed with SetDefaultFaultInjector, every rank's
-// transport is wrapped with it.
+// Run executes body on n in-process ranks.
+//
+// Deprecated: use Launch(n, body).
 func Run(n int, body func(c *Comm) error) error {
-	return RunChaos(n, defaultInjector(), body)
+	return Launch(n, body)
 }
 
-// RunChaos is Run with a fault injector wrapped around every rank's
-// transport: each delivery consults inj for delays, drops (retried with
-// bounded exponential backoff), duplicates (deduplicated at the receiving
-// mailbox), reorderings, and link severance. A nil injector behaves
-// exactly like Run without faults.
+// RunChaos is Run with an explicit fault injector.
+//
+// Deprecated: use Launch(n, body, WithFaultInjector(inj)).
 func RunChaos(n int, inj FaultInjector, body func(c *Comm) error) error {
+	return Launch(n, body, WithFaultInjector(inj))
+}
+
+// launchInProc runs body on n in-process ranks (one goroutine per rank)
+// and blocks until all return; see Launch for the contract. Each rank's
+// transport is wrapped with inj when non-nil.
+func launchInProc(n int, inj FaultInjector, body func(c *Comm) error) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: world size %d must be positive", n)
 	}

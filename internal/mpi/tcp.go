@@ -1471,27 +1471,36 @@ func (d *frameDecoder) cleanup() {
 	}
 }
 
-// RunTCP executes body on n ranks, one goroutine per rank, with all
-// inter-rank traffic carried over loopback TCP sockets. It is the
-// socket-transport twin of Run and is used to validate that DDR behaves
-// identically when messages cross a real network stack.
+// RunTCP executes body on n ranks over loopback TCP.
+//
+// Deprecated: use Launch(n, body, WithTransport(TransportTCP)).
 func RunTCP(n int, body func(c *Comm) error) error {
-	return RunTCPOpts(n, DefaultTCPOptions(), body)
+	return Launch(n, body, WithTransport(TransportTCP))
 }
 
-// RunTCPOpts is RunTCP with explicit transport options applied to every
-// rank's endpoint. When a process-wide fault injector is installed (see
-// SetDefaultFaultInjector) it is wrapped around every rank's transport.
+// RunTCPOpts is RunTCP with explicit transport options.
+//
+// Deprecated: use Launch(n, body, WithTCPOptions(opts)).
 func RunTCPOpts(n int, opts TCPOptions, body func(c *Comm) error) error {
-	return RunTCPChaos(n, opts, defaultInjector(), body)
+	return Launch(n, body, WithTCPOptions(opts))
 }
 
-// RunTCPChaos is RunTCPOpts with an explicit fault injector wrapped
-// around every rank's TCP transport: outgoing messages pass through the
-// chaos engine before reaching the socket, and a severed link notifies
-// the destination rank's mailbox so blocked receivers fail with
-// ErrPeerLost instead of hanging. A nil injector runs fault-free.
+// RunTCPChaos is RunTCPOpts with an explicit fault injector.
+//
+// Deprecated: use Launch(n, body, WithTCPOptions(opts), WithFaultInjector(inj)).
 func RunTCPChaos(n int, opts TCPOptions, inj FaultInjector, body func(c *Comm) error) error {
+	return Launch(n, body, WithTCPOptions(opts), WithFaultInjector(inj))
+}
+
+// launchTCP runs body on n ranks, one goroutine per rank, with all
+// inter-rank traffic carried over loopback TCP sockets; see Launch for
+// the contract. It is the socket-transport twin of launchInProc and
+// validates that DDR behaves identically when messages cross a real
+// network stack. Outgoing messages pass through inj (when non-nil)
+// before reaching the socket, and a severed link notifies the
+// destination rank's mailbox so blocked receivers fail with ErrPeerLost
+// instead of hanging.
+func launchTCP(n int, opts TCPOptions, inj FaultInjector, body func(c *Comm) error) error {
 	if n <= 0 {
 		return fmt.Errorf("mpi: world size %d must be positive", n)
 	}

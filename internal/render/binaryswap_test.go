@@ -22,7 +22,7 @@ func TestBinarySwapMatchesGatherComposite(t *testing.T) {
 		mu            sync.Mutex
 		gather, bswap *image.RGBA
 	)
-	err := mpi.Run(8, func(c *mpi.Comm) error {
+	err := mpi.Launch(8, func(c *mpi.Comm) error {
 		p, err := RenderBrick(syntheticBrick(boxes[c.Rank()], vw, vh, vd), CTTransfer)
 		if err != nil {
 			return err
@@ -71,7 +71,7 @@ func TestBinarySwapDepthOrdering(t *testing.T) {
 		mu    sync.Mutex
 		frame *image.RGBA
 	)
-	err := mpi.Run(2, func(c *mpi.Comm) error {
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
 		// Rank 0 gets the BACK brick (z=1), rank 1 the front (z=0): rank
 		// order deliberately disagrees with depth order.
 		box := grid.Box3(0, 0, 1, 2, 2, 1)
@@ -106,7 +106,7 @@ func TestBinarySwapDepthOrdering(t *testing.T) {
 }
 
 func TestBinarySwapRejectsNonPowerOfTwo(t *testing.T) {
-	err := mpi.Run(3, func(c *mpi.Comm) error {
+	err := mpi.Launch(3, func(c *mpi.Comm) error {
 		p := &Partial{W: 1, H: 1, RGBA: make([]float64, 4)}
 		if _, err := BinarySwapComposite(c, 0, p, 1, 1); err == nil {
 			return fmt.Errorf("3 ranks accepted")
@@ -119,7 +119,7 @@ func TestBinarySwapRejectsNonPowerOfTwo(t *testing.T) {
 }
 
 func TestBinarySwapRejectsOutOfFramePartial(t *testing.T) {
-	err := mpi.Run(1, func(c *mpi.Comm) error {
+	err := mpi.Launch(1, func(c *mpi.Comm) error {
 		p := &Partial{X0: 5, Y0: 0, W: 2, H: 1, RGBA: make([]float64, 8)}
 		if _, err := BinarySwapComposite(c, 0, p, 4, 4); err == nil {
 			return fmt.Errorf("out-of-frame partial accepted")
@@ -163,7 +163,7 @@ func BenchmarkBinarySwapVsGather(b *testing.B) {
 	} {
 		b.Run(algo.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				err := mpi.Run(8, func(c *mpi.Comm) error {
+				err := mpi.Launch(8, func(c *mpi.Comm) error {
 					p, err := RenderBrick(syntheticBrick(boxes[c.Rank()], vw, vh, vd), CTTransfer)
 					if err != nil {
 						return err

@@ -90,7 +90,7 @@ func TestGatherMIP(t *testing.T) {
 		mu    sync.Mutex
 		frame *image.RGBA
 	)
-	err := mpi.Run(8, func(c *mpi.Comm) error {
+	err := mpi.Launch(8, func(c *mpi.Comm) error {
 		p, err := RenderBrickMIP(syntheticBrick(boxes[c.Rank()], vw, vh, vd))
 		if err != nil {
 			return err

@@ -226,7 +226,7 @@ func TestGatherComposite(t *testing.T) {
 	const vw, vh, vd = 12, 12, 12
 	x, y, z := grid.Factor3(8)
 	boxes := grid.Bricks3D(grid.Box3(0, 0, 0, vw, vh, vd), x, y, z)
-	err := mpi.Run(8, func(c *mpi.Comm) error {
+	err := mpi.Launch(8, func(c *mpi.Comm) error {
 		p, err := RenderBrick(syntheticBrick(boxes[c.Rank()], vw, vh, vd), CTTransfer)
 		if err != nil {
 			return err

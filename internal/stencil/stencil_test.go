@@ -12,7 +12,7 @@ import (
 )
 
 func TestNewValidation(t *testing.T) {
-	err := mpi.Run(2, func(c *mpi.Comm) error {
+	err := mpi.Launch(2, func(c *mpi.Comm) error {
 		domain := grid.Box2(0, 0, 8, 8)
 		tiles := grid.Grid2D(domain, 1, 2)
 		if _, err := New(c, domain, tiles[:1], 1, 1); err == nil {
@@ -44,7 +44,7 @@ func TestExchangeFillsGhosts(t *testing.T) {
 			rows, cols := grid.Factor2(n)
 			tiles := grid.Grid2D(domain, rows, cols)
 			value := func(x, y int) byte { return byte(7*x + 13*y) }
-			err := mpi.Run(n, func(c *mpi.Comm) error {
+			err := mpi.Launch(n, func(c *mpi.Comm) error {
 				ex, err := New(c, domain, tiles, width, 1)
 				if err != nil {
 					return err
@@ -84,7 +84,7 @@ func TestExchangeFillsGhosts(t *testing.T) {
 }
 
 func TestExtractInsertTile(t *testing.T) {
-	err := mpi.Run(4, func(c *mpi.Comm) error {
+	err := mpi.Launch(4, func(c *mpi.Comm) error {
 		domain := grid.Box2(0, 0, 8, 8)
 		tiles := grid.Grid2D(domain, 2, 2)
 		ex, err := New(c, domain, tiles, 1, 1)
@@ -166,7 +166,7 @@ func TestJacobiParallelMatchesSerial(t *testing.T) {
 	domain := grid.Box2(0, 0, w, h)
 	rows, cols := grid.Factor2(n)
 	tiles := grid.Grid2D(domain, rows, cols)
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		ex, err := New(c, domain, tiles, 1, 8)
 		if err != nil {
 			return err
@@ -230,7 +230,7 @@ func TestExchange3D(t *testing.T) {
 	x, y, z := grid.Factor3(n)
 	tiles := grid.Bricks3D(domain, x, y, z)
 	value := func(x, y, z int) byte { return byte(x + 3*y + 11*z) }
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		ex, err := New(c, domain, tiles, 1, 1)
 		if err != nil {
 			return err

@@ -72,7 +72,7 @@ func TestBridgeCloseUnblocksRecv(t *testing.T) {
 
 // TestBridgeTwoApplications is the real two-application scenario: a
 // 4-rank simulation world and a 2-rank analysis world run as separate
-// mpi.Run worlds (no shared communicator) connected only by the bridge.
+// mpi.Launch worlds (no shared communicator) connected only by the bridge.
 // The analysis world regrids the arriving slabs with DDR and verifies
 // every element.
 func TestBridgeTwoApplications(t *testing.T) {
@@ -119,7 +119,7 @@ func TestBridgeTwoApplications(t *testing.T) {
 				l.Close()
 			}
 		}()
-		errs <- mpi.Run(n, func(c *mpi.Comm) error {
+		errs <- mpi.Launch(n, func(c *mpi.Comm) error {
 			me := c.Rank()
 			lo, hi := blocks[me], blocks[me+1]
 			myChunks := make([]grid.Box, 0, hi-lo)
@@ -172,7 +172,7 @@ func TestBridgeTwoApplications(t *testing.T) {
 			errs <- fmt.Errorf("no listener addresses")
 			return
 		}
-		errs <- mpi.Run(m, func(c *mpi.Comm) error {
+		errs <- mpi.Launch(m, func(c *mpi.Comm) error {
 			me := c.Rank()
 			sender, err := DialBridge(list[consumerOf(me)], me)
 			if err != nil {

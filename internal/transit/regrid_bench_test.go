@@ -2,6 +2,7 @@ package transit
 
 import (
 	"testing"
+	"time"
 
 	"ddr/internal/core"
 	"ddr/internal/grid"
@@ -45,7 +46,7 @@ func benchReconnect(b *testing.B, procs, chunksPer, cacheCap int) {
 		rgs[r] = NewRegridder(desc, needs[r])
 	}
 	epoch := func() error {
-		return mpi.Run(procs, func(c *mpi.Comm) error {
+		return mpi.Launch(procs, func(c *mpi.Comm) error {
 			return rgs[c.Rank()].Connect(c, chunks[c.Rank()])
 		})
 	}
@@ -71,4 +72,128 @@ func BenchmarkRegridderReconnect(b *testing.B) {
 	const procs, chunksPer = 64, 16
 	b.Run("cold", func(b *testing.B) { benchReconnect(b, procs, chunksPer, 0) })
 	b.Run("warm", func(b *testing.B) { benchReconnect(b, procs, chunksPer, 8) })
+}
+
+// resizeGeometry is the elastic grow the resize benchmark measures: 64
+// consumer ranks hold vertical slabs of a 2-D field, and the group grows
+// to 65 by splitting the last slab between the old rank 63 and the
+// joining rank 64. Ranks 0..62 keep their needs bit-identical, so the
+// ownership delta is half of one slab — the geometry regime the
+// incremental compiler exists for.
+func resizeGeometry() (oldNeeds, newNeeds []grid.Box) {
+	const oldProcs, w, h = 64, 8, 256
+	oldNeeds = make([]grid.Box, oldProcs)
+	for r := 0; r < oldProcs; r++ {
+		oldNeeds[r] = grid.Box2(r*w, 0, w, h)
+	}
+	newNeeds = make([]grid.Box, oldProcs+1)
+	copy(newNeeds, oldNeeds[:oldProcs-1])
+	last := oldNeeds[oldProcs-1]
+	newNeeds[oldProcs-1] = grid.Box2(last.Offset[0], 0, w/2, h)
+	newNeeds[oldProcs] = grid.Box2(last.Offset[0]+w/2, 0, w/2, h)
+	// The joiner holds nothing before the resize: a zero-extent old need.
+	oldNeeds = append(oldNeeds, grid.Box2(0, 0, 0, 0))
+	return oldNeeds, newNeeds
+}
+
+// BenchmarkRegridderResize quantifies what the incremental plan compiler
+// buys over recompiling and re-exchanging from scratch on a 64→65 grow:
+//
+//	delta-compile   CompileDelta over the diffed geometries; reports
+//	                moved_frac, the share of the new need that crosses
+//	                the wire (a cold full re-exchange ships every byte,
+//	                so moved_frac is also the moved-bytes ratio against
+//	                that baseline).
+//	full-compile    from-scratch CompileSchedule of the same geometry.
+//	compile-speedup both compilers back to back; reports the ratio.
+//	exchange        the complete collective Resize through Regridder
+//	                sessions, delta compile + wire + local copies.
+func BenchmarkRegridderResize(b *testing.B) {
+	const elemSize = 4
+	oldNeeds, newNeeds := resizeGeometry()
+	nOld, nNew := len(oldNeeds)-1, len(newNeeds)
+
+	// allChunks is what a teardown would hand the from-scratch compiler:
+	// the data as the old group actually holds it, chunked — each old
+	// rank's slab arrives as 16 producer chunks, exactly as the reconnect
+	// path sees it (the joiner contributes no chunk). The delta compiler
+	// never looks at chunks; it diffs the two need geometries.
+	const chunksPer = 16
+	allChunks := make([][]grid.Box, nNew)
+	for r := 0; r < nOld; r++ {
+		allChunks[r] = grid.Slabs(oldNeeds[r], 1, chunksPer)
+	}
+
+	b.Run("delta-compile", func(b *testing.B) {
+		var plans []*core.DeltaPlan
+		for i := 0; i < b.N; i++ {
+			var err error
+			plans, err = core.CompileDelta(elemSize, oldNeeds, newNeeds)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		var moved, need int64
+		for _, p := range plans {
+			moved += p.ReceivedBytes()
+			need += p.NeedBytes()
+		}
+		b.ReportMetric(float64(moved)/float64(need), "moved_frac")
+	})
+
+	b.Run("full-compile", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := core.CompileSchedule(elemSize, allChunks, newNeeds, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("compile-speedup", func(b *testing.B) {
+		var dFull, dDelta time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := core.CompileSchedule(elemSize, allChunks, newNeeds, 0); err != nil {
+				b.Fatal(err)
+			}
+			dFull += time.Since(t0)
+			t1 := time.Now()
+			if _, err := core.CompileDelta(elemSize, oldNeeds, newNeeds); err != nil {
+				b.Fatal(err)
+			}
+			dDelta += time.Since(t1)
+		}
+		b.ReportMetric(float64(dFull)/float64(dDelta), "compile_speedup")
+	})
+
+	b.Run("exchange", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rgs := make([]*Regridder, nNew)
+			for r := range rgs {
+				desc, err := core.NewDescriptor(nOld, core.Layout2D, core.Uint8,
+					core.WithElemSize(elemSize))
+				if err != nil {
+					b.Fatal(err)
+				}
+				need := grid.Box{}
+				if r < nOld {
+					need = oldNeeds[r]
+				}
+				rgs[r] = NewRegridder(desc, need)
+			}
+			err := mpi.Launch(nNew, func(c *mpi.Comm) error {
+				r := c.Rank()
+				var oldData []byte
+				if r < nOld {
+					oldData = make([]byte, oldNeeds[r].Volume()*elemSize)
+				}
+				newData := make([]byte, newNeeds[r].Volume()*elemSize)
+				_, err := rgs[r].Resize(c, newNeeds[r], oldData, newData)
+				return err
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -21,7 +21,7 @@ func TestRegridderReconnectCycles(t *testing.T) {
 
 	value := func(x, y, epoch int) byte { return byte(3*x + 7*y + 41*epoch) }
 
-	err := mpi.Run(n, func(c *mpi.Comm) error {
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
 		me := c.Rank()
 		desc, err := core.NewDescriptor(n, core.Layout2D, core.Uint8)
 		if err != nil {
@@ -130,7 +130,7 @@ func TestRegridderReconnectCycles(t *testing.T) {
 
 // TestRegridderGuards covers the misuse paths.
 func TestRegridderGuards(t *testing.T) {
-	err := mpi.Run(1, func(c *mpi.Comm) error {
+	err := mpi.Launch(1, func(c *mpi.Comm) error {
 		desc, err := core.NewDescriptor(1, core.Layout1D, core.Uint8)
 		if err != nil {
 			return err

@@ -11,7 +11,7 @@ import (
 )
 
 func TestNewCouplingValidation(t *testing.T) {
-	err := mpi.Run(4, func(c *mpi.Comm) error {
+	err := mpi.Launch(4, func(c *mpi.Comm) error {
 		if _, err := NewCoupling(c, 3, 2); err == nil {
 			return errors.New("m+n != world accepted")
 		}
@@ -48,7 +48,7 @@ func TestAssignmentFigure4(t *testing.T) {
 
 func TestStreamRoundTrip(t *testing.T) {
 	const m, n = 5, 2
-	err := mpi.Run(m+n, func(world *mpi.Comm) error {
+	err := mpi.Launch(m+n, func(world *mpi.Comm) error {
 		cp, err := NewCoupling(world, m, n)
 		if err != nil {
 			return err
@@ -114,7 +114,7 @@ func TestInTransitRegrid(t *testing.T) {
 
 	value := func(x, y int) byte { return byte(3*x + 7*y) }
 
-	err := mpi.Run(m+n, func(world *mpi.Comm) error {
+	err := mpi.Launch(m+n, func(world *mpi.Comm) error {
 		cp, err := NewCoupling(world, m, n)
 		if err != nil {
 			return err
@@ -169,7 +169,7 @@ func TestInTransitRegrid(t *testing.T) {
 // queues in the consumer's mailbox; nothing deadlocks or reorders).
 func TestProducerRunsAhead(t *testing.T) {
 	const m, n, steps = 2, 1, 50
-	err := mpi.Run(m+n, func(world *mpi.Comm) error {
+	err := mpi.Launch(m+n, func(world *mpi.Comm) error {
 		cp, err := NewCoupling(world, m, n)
 		if err != nil {
 			return err
