@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-json bench-mapping bench-resize
+.PHONY: build test verify chaos bench bench-json bench-mapping bench-resize bench-shm bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,17 @@ chaos:
 	$(GO) test -race -short ./internal/chaos/ ./internal/ddrtest/
 	$(GO) test -race -short -run 'Chaos|Partial|WaitCtxAbandon' ./internal/mpi/
 
-# verify is the pre-merge gate: static analysis over the whole module,
+# verify is the pre-merge gate. On top of the long-standing checks
+# (described below), the topology-aware data path gate runs by name: the
+# shm ring suite under race (concurrent storm, wraparound, chunked
+# interleave, sever/stall chaos, scrape-under-load), the 2-node x 4-rank
+# hierarchical smoke that asserts O(nodes²) leader flows via the
+# endpoint stats, the autotune-cache smoke (at most one probe per plan x
+# transport x direction, decision visible in /metrics, topology-keyed
+# plan fingerprints), the shm zero-alloc steady-state guard, and a brief
+# fuzz of the shm ring-record decoder.
+#
+# Long-standing checks: static analysis over the whole module,
 # the race detector on the packages with concurrent machinery (lock-free
 # counters, mailbox gauges, TCP wire counters, the pack/unpack worker
 # pool and staging-buffer arena, and the parallel plan compiler — the
@@ -46,6 +56,11 @@ verify: chaos
 	$(GO) test -race -run 'TestCompileDelta|TestDeltaCompilerCollective|TestDeltaExchange' ./internal/core/
 	$(GO) test -race -short -run 'TestResize' ./internal/ddrtest/
 	$(GO) test -run TestGoldenPlans ./internal/core/
+	$(GO) test -race -run 'TestShmConcurrentStorm|TestShmRingWraparound|TestShmChunkedInterleave|TestShmChaosSchedules|TestShmScrapeUnderLoad|TestTransportOptionsValidation' ./internal/mpi/
+	$(GO) test -race -run 'TestHierSmoke|TestHierLargeChunkedRelay|TestHierCollectivesAndSplit|TestHierErrorPropagation' ./internal/mpi/
+	$(GO) test -race -run 'TestAutotuneProbesOnce|TestPackStrategiesByteIdentical|TestTopologyKeyedPlanFingerprint|TestTwoLevelSchedule' ./internal/core/
+	$(GO) test -run 'TestShmZeroAllocSteadyState' ./internal/mpi/
+	$(GO) test -run '^$$' -fuzz FuzzShmRingHeader -fuzztime 10s ./internal/mpi/
 	$(GO) test -run '^$$' -fuzz FuzzTCPFrameDecoder -fuzztime 10s ./internal/mpi/
 	$(GO) test -run '^$$' -fuzz FuzzTCPSeqFrameDecoder -fuzztime 10s ./internal/mpi/
 	$(GO) test -run '^$$' -bench BenchmarkReorganizeEngine -benchtime 1x ./internal/core/
@@ -67,6 +82,24 @@ bench-json:
 	  $(GO) test -run '^$$' -bench BenchmarkReorganizeEngine -benchmem ./internal/core/ ; } | \
 	  $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) -o BENCH_tcp.json
 	@echo wrote BENCH_tcp.json
+
+# bench-shm snapshots the topology-aware data path: the shm-vs-TCP
+# transport pair on the storm and 64 MiB bulk shapes, and the 64-rank /
+# 4-node hierarchical storm against flat TCP and flat shm — as
+# BENCH_shm.json. Pass BASELINE=<file> to embed a prior snapshot for
+# before/after ratios.
+bench-shm:
+	{ $(GO) test -run '^$$' -bench BenchmarkShmExchange -benchmem -benchtime 2s -count 3 ./internal/mpi/ && \
+	  $(GO) test -run '^$$' -bench BenchmarkHierExchange -benchmem -benchtime 3x -count 3 ./internal/mpi/ ; } | \
+	  $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) \
+	  -note "shm rings vs TCP loopback vs inproc; 64-rank/4-node two-level leader relay vs flat transports" \
+	  -o BENCH_shm.json
+	@echo wrote BENCH_shm.json
+
+# bench-compare diffs two benchjson snapshots and fails on regressions
+# beyond 10%:  make bench-compare OLD=BENCH_tcp.json NEW=new.json
+bench-compare:
+	$(GO) run ./cmd/benchjson -compare $(OLD) $(NEW)
 
 # bench-mapping snapshots the mapping-engine benchmarks — indexed vs
 # brute-force plan compilation across process counts, and the plan-cache

@@ -10,6 +10,14 @@
 // is recorded. An optional -baseline file (a prior benchjson document)
 // is embedded verbatim under "baseline" so before/after ratios live in
 // one artifact.
+//
+// A second mode diffs two snapshots:
+//
+//	benchjson -compare old.json new.json
+//
+// prints a speedup/regression table over the benchmarks the two
+// documents share, and exits 1 when any shared benchmark regressed by
+// more than the -tolerance fraction (default 0.10).
 package main
 
 import (
@@ -52,15 +60,35 @@ type Document struct {
 var benchLine = regexp.MustCompile(
 	`^(Benchmark[^\s]+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
 
+// Benchmarks that log mid-run split their output line: go test prints
+// the padded name, the log line lands after it, and the measurements
+// arrive on a line of their own. benchName recovers the name from such
+// a broken line and orphanLine matches the detached measurement line.
+var benchName = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?(?:\s|$)`)
+var orphanLine = regexp.MustCompile(`^\s+(\d+)\s+([\d.]+) ns/op(.*)$`)
+
 func main() {
 	out := flag.String("o", "", "write the JSON document to this file (default stdout)")
 	note := flag.String("note", "", "free-form note recorded in the document")
 	baseline := flag.String("baseline", "", "embed this prior benchjson document under \"baseline\"")
+	compare := flag.Bool("compare", false, "compare two snapshots: benchjson -compare old.json new.json")
+	tolerance := flag.Float64("tolerance", 0.10, "regression fraction tolerated in -compare mode before exiting 1")
 	flag.Parse()
+
+	if *compare {
+		if flag.NArg() != 2 {
+			fatal(fmt.Errorf("-compare needs exactly two arguments: old.json new.json"))
+		}
+		if err := compareDocs(flag.Arg(0), flag.Arg(1), *tolerance); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	doc := Document{Note: *note}
 	order := []string{}
 	byName := map[string]*Result{}
+	pending := "" // name from a log-split benchmark line awaiting its numbers
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -82,7 +110,18 @@ func main() {
 		}
 		m := benchLine.FindStringSubmatch(line)
 		if m == nil {
-			continue
+			// A log line interleaved with the benchmark output splits the
+			// name and the measurements across lines; stitch them back.
+			if nm := benchName.FindStringSubmatch(line); nm != nil {
+				pending = nm[1]
+				continue
+			}
+			om := orphanLine.FindStringSubmatch(line)
+			if om == nil || pending == "" {
+				continue
+			}
+			m = []string{line, pending, om[1], om[2], om[3]}
+			pending = ""
 		}
 		iters, _ := strconv.ParseInt(m[2], 10, 64)
 		ns, _ := strconv.ParseFloat(m[3], 64)
@@ -158,6 +197,76 @@ func main() {
 	if err := os.WriteFile(*out, enc, 0o644); err != nil {
 		fatal(err)
 	}
+}
+
+// loadDoc reads a benchjson document from disk.
+func loadDoc(path string) (Document, error) {
+	var doc Document
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// compareDocs prints a speedup/regression table over the benchmarks two
+// snapshots share, then benchmarks unique to either side. A positive
+// speedup means new is faster (old ns/op ÷ new ns/op > 1). Returns an
+// error when any shared benchmark regressed by more than tol.
+func compareDocs(oldPath, newPath string, tol float64) error {
+	oldDoc, err := loadDoc(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadDoc(newPath)
+	if err != nil {
+		return err
+	}
+	oldBy := map[string]Result{}
+	for _, r := range oldDoc.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	fmt.Fprintf(w, "%-60s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "speedup")
+	var regressed []string
+	seen := map[string]bool{}
+	for _, nr := range newDoc.Benchmarks {
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			continue
+		}
+		seen[nr.Name] = true
+		ratio := or.NsPerOp / nr.NsPerOp
+		mark := ""
+		switch {
+		case ratio < 1-tol:
+			mark = "  REGRESSION"
+			regressed = append(regressed, nr.Name)
+		case ratio > 1+tol:
+			mark = "  improved"
+		}
+		fmt.Fprintf(w, "%-60s %14.0f %14.0f %8.2fx%s\n", nr.Name, or.NsPerOp, nr.NsPerOp, ratio, mark)
+	}
+	for _, nr := range newDoc.Benchmarks {
+		if _, ok := oldBy[nr.Name]; !ok {
+			fmt.Fprintf(w, "%-60s %14s %14.0f      new\n", nr.Name, "-", nr.NsPerOp)
+		}
+	}
+	for _, or := range oldDoc.Benchmarks {
+		if !seen[or.Name] {
+			fmt.Fprintf(w, "%-60s %14.0f %14s  removed\n", or.Name, or.NsPerOp, "-")
+		}
+	}
+	if len(regressed) > 0 {
+		w.Flush()
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%: %s",
+			len(regressed), tol*100, strings.Join(regressed, ", "))
+	}
+	return nil
 }
 
 func fatal(err error) {

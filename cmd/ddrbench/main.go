@@ -55,9 +55,10 @@ func main() {
 		pprof    = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
 		mergeOut = flag.String("trace-merge", "", "gather every rank's spans at rank 0, clock-correct them, and write one merged multi-rank Perfetto timeline (plus a straggler report on stderr) to this JSON file")
 		flightN  = flag.Int("flightrec", 0, "arm a flight recorder keeping the last N transport events, dumped on peer loss, SIGQUIT, and /debug/flightrec (0 disables)")
-		useTCP   = flag.Bool("tcp", false, "run the in-transit pipeline ranks over the loopback TCP transport instead of the in-process mailbox")
+		useTCP   = flag.Bool("tcp", false, "run the in-transit pipeline ranks over the loopback TCP transport (shorthand for -transport=tcp)")
 	)
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
+	resolveTransport := experiments.RegisterTransportFlags(flag.CommandLine)
 	applyChaos := experiments.RegisterChaosFlags(flag.CommandLine)
 	flag.Parse()
 	applyTCP()
@@ -74,11 +75,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ddrbench:", err)
 		os.Exit(1)
 	}
-	transport := ""
-	if *useTCP {
+	transport, nodes := resolveTransport()
+	if *useTCP && transport == "" {
 		transport = "tcp"
 	}
-	if err := run(tel, transport, *table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
+	if err := run(tel, transport, nodes, *table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
 		fmt.Fprintln(os.Stderr, "ddrbench:", err)
 		os.Exit(1)
 	}
@@ -88,7 +89,7 @@ func main() {
 	}
 }
 
-func run(tel *experiments.Telemetry, transport string, table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
+func run(tel *experiments.Telemetry, transport string, nodes int, table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
 	machine := perfmodel.Cooley()
 	want := func(t, f int) bool {
 		return all || (t != 0 && table == t) || (f != 0 && figure == f)
@@ -180,6 +181,7 @@ func run(tel *experiments.Telemetry, transport string, table, figure int, all, r
 			OutDir:      outDir,
 			Telemetry:   tel,
 			Transport:   transport,
+			Nodes:       nodes,
 		})
 		if err != nil {
 			return err

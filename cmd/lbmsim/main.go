@@ -44,9 +44,10 @@ func main() {
 		pprof   = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
 		merge   = flag.String("trace-merge", "", "gather every rank's spans at rank 0, clock-correct them, and write one merged multi-rank Perfetto timeline (role=both only)")
 		flightN = flag.Int("flightrec", 0, "arm a flight recorder keeping the last N transport events, dumped on peer loss, SIGQUIT, and /debug/flightrec (0 disables)")
-		useTCP  = flag.Bool("tcp", false, "run the in-process world over the loopback TCP transport (role=both only)")
+		useTCP  = flag.Bool("tcp", false, "run the in-process world over the loopback TCP transport (shorthand for -transport=tcp, role=both only)")
 	)
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
+	resolveTransport := experiments.RegisterTransportFlags(flag.CommandLine)
 	applyChaos := experiments.RegisterChaosFlags(flag.CommandLine)
 	flag.Parse()
 	applyTCP()
@@ -59,8 +60,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)
 		os.Exit(1)
 	}
-	transport := ""
-	if *useTCP {
+	transport, nodes := resolveTransport()
+	if *useTCP && transport == "" {
 		transport = "tcp"
 	}
 	cfg := experiments.InTransitConfig{
@@ -74,6 +75,7 @@ func main() {
 		StatsPath:   *stats,
 		Telemetry:   tel,
 		Transport:   transport,
+		Nodes:       nodes,
 	}
 	if err := run(cfg, *role, *connect, *bind, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)

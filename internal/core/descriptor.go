@@ -144,6 +144,8 @@ type Descriptor struct {
 	validate    bool
 	pooled      bool          // stage wire buffers through the shared arena
 	zeroCopy    bool          // skip staging for contiguous regions
+	autotune    bool          // measured pack-strategy selection at first use
+	forcedStrat PackStrategy  // WithPackStrategy override; StrategyAuto probes
 	deadline    time.Duration // per-exchange bound; > 0 enables degradation
 	tracer      *trace.Recorder
 	metrics     *obs.Registry
@@ -162,6 +164,14 @@ type Descriptor struct {
 	// mints exchange IDs that match across ranks without a message.
 	exchSeq    uint64
 	lastExchID uint64 // ID minted by the most recent exchange
+
+	// Resolved pack strategies and the per-direction fast-path gates the
+	// exchange paths read. ensureTuned refreshes them whenever the plan
+	// fingerprint or the transport underneath changes.
+	sendStrat, recvStrat PackStrategy
+	zcSend, zcRecv       bool
+	tunedFP              uint64
+	tunedTransport       string
 
 	eng     engine // pack/unpack worker pool + reusable job batch
 	scratch exchScratch
@@ -326,7 +336,10 @@ func WithBufferPooling(enabled bool) Option {
 // sends hand the owned buffer's sub-slice directly to the transport and
 // receives copy payloads straight into the need buffer.
 func WithZeroCopy(enabled bool) Option {
-	return func(d *Descriptor) { d.zeroCopy = enabled }
+	return func(d *Descriptor) {
+		d.zeroCopy = enabled
+		d.zcSend, d.zcRecv = enabled, enabled
+	}
 }
 
 // NewDescriptor creates a descriptor for redistributing arrays of the
@@ -347,8 +360,10 @@ func NewDescriptor(nProcs int, layout Layout, elem ElemType, opts ...Option) (*D
 		elemSize: elem.Size(),
 		pooled:   true,
 		zeroCopy: true,
+		autotune: true,
 		cacheCap: 8,
 	}
+	d.zcSend, d.zcRecv = true, true
 	for _, opt := range opts {
 		opt(d)
 	}

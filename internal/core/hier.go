@@ -1,0 +1,130 @@
+package core
+
+import "ddr/internal/mpi"
+
+// Two-level schedule emission. On a hierarchical world the transport
+// aggregates every cross-node message onto its node-leader TCP flows, so
+// the traffic that actually crosses the network is described not by the
+// plan's rank-to-rank entries but by their node-level aggregation:
+// per round, one flow per (source node, destination node) pair that
+// exchanges any data — O(nodes²) flows where the flat schedule has up to
+// O(ranks²) point-to-point messages. TwoLevelSchedule computes that
+// aggregation from the plan's gathered global geometry; like Stats it is
+// local and deterministic, so every rank derives the identical schedule.
+
+// NodeFlow is one inter-node flow of a two-level schedule round: all the
+// rank-to-rank messages from ranks on SrcNode to ranks on DstNode,
+// aggregated onto the single leader-to-leader connection that carries
+// them.
+type NodeFlow struct {
+	SrcNode, DstNode int
+	Bytes            int64 // payload bytes aggregated onto the flow
+	Msgs             int   // rank-pair messages the flow carries
+}
+
+// TwoLevelRound describes one exchange round at node granularity.
+type TwoLevelRound struct {
+	// Flows lists the round's cross-node flows, source-node major. Its
+	// length is bounded by nodes·(nodes-1) regardless of world size.
+	Flows []NodeFlow
+	// IntraNodeBytes counts bytes between distinct ranks that share a
+	// node — traffic that stays on the shared-memory transport.
+	IntraNodeBytes int64
+}
+
+// TwoLevelSchedule is the node-level aggregation of a plan's traffic.
+type TwoLevelSchedule struct {
+	Nodes  int
+	Rounds []TwoLevelRound
+
+	CrossNodeBytes int64 // total bytes on inter-node flows
+	IntraNodeBytes int64 // total bytes between distinct same-node ranks
+	CrossPairs     int   // distinct cross-node rank pairs aggregated
+	CrossFlows     int   // total flows over all rounds
+}
+
+// MaxFlowsPerRound returns the largest number of simultaneous inter-node
+// flows in any round — the quantity the hierarchy bounds by
+// nodes·(nodes-1).
+func (s TwoLevelSchedule) MaxFlowsPerRound() int {
+	m := 0
+	for _, r := range s.Rounds {
+		if len(r.Flows) > m {
+			m = len(r.Flows)
+		}
+	}
+	return m
+}
+
+// TwoLevelSchedule aggregates the plan's rank-to-rank traffic into the
+// node-level flows a hierarchical world carries, given the node
+// placement. A nil topology describes a flat (single-node) world: every
+// byte is intra-node and no flows are emitted. Self traffic (a rank's
+// owned chunk overlapping its own need) never reaches a transport and is
+// excluded, matching Stats.
+func (p *Plan) TwoLevelSchedule(topo *mpi.Topology) TwoLevelSchedule {
+	nodes := 1
+	if topo != nil {
+		nodes = topo.NumNodes()
+	}
+	s := TwoLevelSchedule{Nodes: nodes, Rounds: make([]TwoLevelRound, p.rounds)}
+	// Dense per-round accumulators, reused across rounds: nodes is small
+	// by construction (that is the point of the hierarchy).
+	bytesAt := make([]int64, nodes*nodes)
+	msgsAt := make([]int, nodes*nodes)
+	pairSeen := make(map[[2]int]struct{})
+	for r := 0; r < p.rounds; r++ {
+		round := &s.Rounds[r]
+		for i := range bytesAt {
+			bytesAt[i], msgsAt[i] = 0, 0
+		}
+		for rank := 0; rank < p.nProcs; rank++ {
+			if r >= len(p.allChunks[rank]) {
+				continue
+			}
+			chunk := p.allChunks[rank][r]
+			srcNode := 0
+			if topo != nil {
+				srcNode = topo.NodeOf(rank)
+			}
+			for peer := 0; peer < p.nProcs; peer++ {
+				if peer == rank {
+					continue
+				}
+				ov, ok := chunk.Intersect(p.allNeeds[peer])
+				if !ok || ov.Empty() {
+					continue
+				}
+				bytes := int64(ov.Volume()) * int64(p.elemSize)
+				dstNode := 0
+				if topo != nil {
+					dstNode = topo.NodeOf(peer)
+				}
+				if srcNode == dstNode {
+					round.IntraNodeBytes += bytes
+					continue
+				}
+				slot := srcNode*nodes + dstNode
+				bytesAt[slot] += bytes
+				msgsAt[slot]++
+				pairSeen[[2]int{rank, peer}] = struct{}{}
+			}
+		}
+		for src := 0; src < nodes; src++ {
+			for dst := 0; dst < nodes; dst++ {
+				slot := src*nodes + dst
+				if msgsAt[slot] == 0 {
+					continue
+				}
+				round.Flows = append(round.Flows, NodeFlow{
+					SrcNode: src, DstNode: dst, Bytes: bytesAt[slot], Msgs: msgsAt[slot],
+				})
+				s.CrossNodeBytes += bytesAt[slot]
+			}
+		}
+		s.IntraNodeBytes += round.IntraNodeBytes
+		s.CrossFlows += len(round.Flows)
+	}
+	s.CrossPairs = len(pairSeen)
+	return s
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"ddr/internal/grid"
+	"ddr/internal/mpi"
+)
+
+// buildPlanFor compiles a plan for the given geometry on a flat inproc
+// world and hands rank 0's plan to the caller (all ranks hold the full
+// gathered geometry, so any rank's plan suffices for schedule analysis).
+func buildPlanFor(t *testing.T, n int, geom func(rank int) ([]grid.Box, grid.Box)) *Plan {
+	t.Helper()
+	var plan *Plan
+	err := mpi.Launch(n, func(c *mpi.Comm) error {
+		own, need := geom(c.Rank())
+		desc, err := NewDescriptor(n, Layout2D, Uint8)
+		if err != nil {
+			return err
+		}
+		if err := desc.SetupDataMapping(c, own, need); err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			plan = desc.Plan()
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plan
+}
+
+// transposeGeom produces dense all-to-all traffic: every rank's owned
+// horizontal strip overlaps every rank's needed vertical strip, so the
+// flat schedule has O(P²) point-to-point messages.
+func transposeGeom(n int) func(int) ([]grid.Box, grid.Box) {
+	return func(rank int) ([]grid.Box, grid.Box) {
+		return []grid.Box{grid.Box2(0, n*rank, n*n, n)}, grid.Box2(n*rank, 0, n, n*n)
+	}
+}
+
+// TestTwoLevelScheduleBounds proves the hierarchy's headline property on
+// a dense all-to-all plan: rank pairs grow as O(P²) while the emitted
+// node flows stay bounded by nodes·(nodes-1) per round.
+func TestTwoLevelScheduleBounds(t *testing.T) {
+	const n, nodes = 16, 4
+	plan := buildPlanFor(t, n, transposeGeom(n))
+	topo, err := mpi.NewTopology(n, func(rank int) int { return rank * nodes / n })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.TwoLevelSchedule(topo)
+	if s.Nodes != nodes {
+		t.Fatalf("schedule sees %d nodes, want %d", s.Nodes, nodes)
+	}
+	// Dense transpose: every cross-node rank pair exchanges data.
+	perNode := n / nodes
+	wantPairs := n*(n-1) - nodes*perNode*(perNode-1)
+	if s.CrossPairs != wantPairs {
+		t.Fatalf("cross-node rank pairs = %d, want %d", s.CrossPairs, wantPairs)
+	}
+	if got, limit := s.MaxFlowsPerRound(), nodes*(nodes-1); got == 0 || got > limit {
+		t.Fatalf("max flows per round = %d, want in (0, %d]", got, limit)
+	}
+	// Byte conservation against the rank-level schedule.
+	stats := plan.Stats()
+	if s.CrossNodeBytes+s.IntraNodeBytes != stats.TotalWireBytes {
+		t.Fatalf("flow bytes %d + intra %d != wire bytes %d",
+			s.CrossNodeBytes, s.IntraNodeBytes, stats.TotalWireBytes)
+	}
+	// Every flow is cross-node and carries data.
+	for r, round := range s.Rounds {
+		for _, f := range round.Flows {
+			if f.SrcNode == f.DstNode {
+				t.Fatalf("round %d emitted an intra-node flow %+v", r, f)
+			}
+			if f.Bytes <= 0 || f.Msgs <= 0 {
+				t.Fatalf("round %d emitted an empty flow %+v", r, f)
+			}
+		}
+	}
+}
+
+// TestTwoLevelScheduleFlat checks the degenerate placements: a nil
+// topology and a one-node topology both emit no flows and classify all
+// cross-rank traffic as intra-node.
+func TestTwoLevelScheduleFlat(t *testing.T) {
+	const n = 8
+	plan := buildPlanFor(t, n, transposeGeom(n))
+	one, err := mpi.NewTopology(n, func(int) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topo := range []*mpi.Topology{nil, one} {
+		s := plan.TwoLevelSchedule(topo)
+		if s.CrossFlows != 0 || s.CrossNodeBytes != 0 || s.CrossPairs != 0 {
+			t.Fatalf("flat placement emitted flows: %+v", s)
+		}
+		if s.IntraNodeBytes != plan.Stats().TotalWireBytes {
+			t.Fatalf("intra bytes %d != wire bytes %d", s.IntraNodeBytes, plan.Stats().TotalWireBytes)
+		}
+	}
+}
+
+// TestTwoLevelScheduleRandom cross-checks flow aggregation against a
+// brute-force per-pair recount on random geometries and placements.
+func TestTwoLevelScheduleRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 4 + rng.Intn(9)
+		domain := grid.Box2(0, 0, 8+rng.Intn(24), 8+rng.Intn(24))
+		boxes, err := grid.RCB(domain, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		needs, err := grid.RCB(domain, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perm := rng.Perm(n)
+		plan := buildPlanFor(t, n, func(rank int) ([]grid.Box, grid.Box) {
+			return []grid.Box{boxes[rank]}, needs[perm[rank]]
+		})
+		nodes := 1 + rng.Intn(4)
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = rng.Intn(nodes)
+		}
+		topo, err := mpi.NewTopology(n, func(rank int) int { return assign[rank] })
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := plan.TwoLevelSchedule(topo)
+		var cross, intra int64
+		for rank := 0; rank < n; rank++ {
+			for peer := 0; peer < n; peer++ {
+				if peer == rank {
+					continue
+				}
+				ov, ok := boxes[rank].Intersect(needs[perm[peer]])
+				if !ok || ov.Empty() {
+					continue
+				}
+				b := int64(ov.Volume())
+				if topo.NodeOf(rank) == topo.NodeOf(peer) {
+					intra += b
+				} else {
+					cross += b
+				}
+			}
+		}
+		if s.CrossNodeBytes != cross || s.IntraNodeBytes != intra {
+			t.Fatalf("trial %d: schedule (%d,%d) != brute force (%d,%d)",
+				trial, s.CrossNodeBytes, s.IntraNodeBytes, cross, intra)
+		}
+		if limit := topo.NumNodes() * (topo.NumNodes() - 1); s.MaxFlowsPerRound() > limit {
+			t.Fatalf("trial %d: %d flows exceed %d", trial, s.MaxFlowsPerRound(), limit)
+		}
+	}
+}

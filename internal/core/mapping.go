@@ -222,7 +222,7 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 		plan.fp = d.cache.lastKey.fp
 		d.cache.store(plan)
 	} else {
-		plan.fp = geometryFingerprint(packed)
+		plan.fp = topoHash(geometryFingerprint(packed), c)
 	}
 	d.plan = plan
 	return nil

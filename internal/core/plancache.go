@@ -61,6 +61,22 @@ func geometryFingerprint(packed [][]byte) uint64 {
 	return fp
 }
 
+// topoHash folds the communicator's topology fingerprint into the
+// running hash state h, so the effective cache key is (geometry ×
+// topology): a plan compiled for one node placement never replays on a
+// flat world or a different placement that happens to share the
+// geometry. Flat worlds (nil topology) contribute nothing, keeping
+// their fingerprints identical to the pre-topology format.
+func topoHash(h uint64, c *mpi.Comm) uint64 {
+	tf := c.Topology().Fingerprint()
+	if tf == 0 {
+		return h
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], tf)
+	return hash64(h, b[:])
+}
+
 // mixExchangeID mints an exchange ID from the plan fingerprint and the
 // descriptor's lockstep exchange counter. The splitmix64 finalizer
 // scatters consecutive counters across the keyspace so IDs from
@@ -121,7 +137,7 @@ func (pc *planCache[T]) lookup(c *mpi.Comm, enc []byte, match func(T) bool) (T, 
 	// fingerprint folds the gathered hashes in rank order, so all ranks
 	// derive the same 64-bit value for the same global geometry.
 	var local [8]byte
-	binary.LittleEndian.PutUint64(local[:], hash64(fnvOffset64, enc))
+	binary.LittleEndian.PutUint64(local[:], topoHash(hash64(fnvOffset64, enc), c))
 	gathered, err := c.Allgather(local[:])
 	if err != nil {
 		return zero, false, err

@@ -219,6 +219,11 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 		defer cancel()
 	}
 
+	// Resolve the pack strategies this exchange will use — a measured
+	// probe on the first exchange of a (plan, transport) pair, two
+	// comparisons afterwards.
+	d.ensureTuned(c, p)
+
 	d.timings = d.timings[:0]
 	o := d.obsv
 	rankL := o.Rank(c)
@@ -309,7 +314,7 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 			err = c.AlltoallwOpt(sendBuf, rowSend, need, rowRecv, mpi.AlltoallwOptions{
 				Parallelism: d.parallelism(),
 				Pooled:      d.pooled,
-				ZeroCopy:    d.zeroCopy,
+				ZeroCopy:    d.zcSend && d.zcRecv,
 				Deadline:    d.deadline,
 			})
 			d.resetAlltoallwRows(p, r)
@@ -369,11 +374,11 @@ func (d *Descriptor) selfExchange(round int, src, need []byte) {
 	}
 	rt, rs := p.recvE.at(round, p.rank)
 	switch {
-	case d.zeroCopy && ss.ok && rs.ok:
+	case d.zcSend && d.zcRecv && ss.ok && rs.ok:
 		copy(need[rs.off:rs.off+n], src[ss.off:ss.off+n])
-	case d.zeroCopy && ss.ok:
+	case d.zcSend && ss.ok:
 		rt.Unpack(src[ss.off:ss.off+n], need)
-	case d.zeroCopy && rs.ok:
+	case d.zcRecv && rs.ok:
 		st.Pack(src, need[rs.off:rs.off+n])
 	default:
 		wire := d.stage(n)
@@ -393,7 +398,7 @@ func (d *Descriptor) acceptRound(o *exchObs, round, peer int, data, need []byte)
 	if len(data) != rt.PackedSize() {
 		return fmt.Errorf("core: expected %d bytes from rank %d, got %d", rt.PackedSize(), peer, len(data))
 	}
-	if d.zeroCopy && sp.ok {
+	if d.zcRecv && sp.ok {
 		directUnpack(o, need[sp.off:sp.off+sp.n], data, peer)
 		d.releaseRecv(data)
 		return nil
@@ -423,7 +428,7 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 	for _, peer := range p.sendPeers[round] {
 		st, sp := p.sendE.at(round, peer)
 		n := st.PackedSize()
-		if d.zeroCopy && sp.ok {
+		if d.zcSend && sp.ok {
 			s.wires = append(s.wires, sendBuf[sp.off:sp.off+n])
 			continue
 		}
@@ -541,7 +546,7 @@ func (d *Descriptor) acceptFused(o *exchObs, i, peer int, data, need []byte) err
 		if n == 0 {
 			continue
 		}
-		if d.zeroCopy && sp.ok {
+		if d.zcRecv && sp.ok {
 			directUnpack(o, need[sp.off:sp.off+sp.n], data[off:off+n], peer)
 		} else {
 			d.eng.add(exchJob{t: rt, local: need, wire: data[off : off+n], unpack: true, peer: peer})
@@ -570,7 +575,7 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 	s.wires = s.wires[:0]
 	s.staged = s.staged[:0]
 	for i, peer := range p.fusedSendPeers {
-		if r := p.fusedSendOne[i]; d.zeroCopy && r >= 0 {
+		if r := p.fusedSendOne[i]; d.zcSend && r >= 0 {
 			if _, sp := p.sendE.at(r, peer); sp.ok {
 				s.wires = append(s.wires, own[r][sp.off:sp.off+sp.n])
 				continue
@@ -584,7 +589,7 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 			if n == 0 {
 				continue
 			}
-			if d.zeroCopy && sp.ok {
+			if d.zcSend && sp.ok {
 				copy(wire[off:off+n], own[r][sp.off:sp.off+n])
 			} else {
 				d.eng.add(exchJob{t: st, local: own[r], wire: wire[off : off+n], peer: peer})

@@ -48,8 +48,15 @@ type InTransitConfig struct {
 
 	// Transport selects how the M+N in-process ranks talk: "" or
 	// "inproc" uses the shared mailbox, "tcp" runs every rank on the
-	// loopback TCP transport (frames, chunking, real wire behaviour).
+	// loopback TCP transport (frames, chunking, real wire behaviour),
+	// "shm" on mmap-backed shared-memory rings, and "hier" on the
+	// two-level data path — ranks split across Nodes emulated nodes,
+	// shm rings inside a node, leader-relayed TCP between nodes.
 	Transport string
+
+	// Nodes is the emulated node count for Transport "hier" (ranks are
+	// split contiguously). 0 means 2.
+	Nodes int
 }
 
 func (cfg *InTransitConfig) fillDefaults() {
@@ -114,15 +121,15 @@ func RunInTransit(cfg InTransitConfig) (*InTransitResult, error) {
 		InletVelocity: cfg.InletVelocity,
 		Barrier:       lbm.CylinderBarrier(cfg.GridW/4, cfg.GridH/2, cfg.GridH/9),
 	}
-	var launchOpts []mpi.LaunchOption
-	switch cfg.Transport {
-	case "", "inproc":
-	case "tcp":
-		launchOpts = append(launchOpts, mpi.WithTransport(mpi.TransportTCP))
-	default:
-		return nil, fmt.Errorf("experiments: unknown transport %q (have inproc, tcp)", cfg.Transport)
+	nodes := cfg.Nodes
+	if nodes == 0 {
+		nodes = 2
 	}
-	err := mpi.Launch(cfg.M+cfg.N, func(world *mpi.Comm) error {
+	launchOpts, err := transportLaunchOpts(cfg.Transport, nodes, cfg.M+cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	err = mpi.Launch(cfg.M+cfg.N, func(world *mpi.Comm) error {
 		cfg.Telemetry.attach(world)
 		cp, err := transit.NewCoupling(world, cfg.M, cfg.N)
 		if err != nil {
@@ -148,7 +155,7 @@ func RunInTransit(cfg InTransitConfig) (*InTransitResult, error) {
 			mu.Unlock()
 		}
 		return cfg.Telemetry.MergeAndWrite(world)
-	})
+	}, launchOpts...)
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"flag"
+	"fmt"
+
+	"ddr/internal/mpi"
+)
+
+// RegisterTransportFlags installs the transport-selection flags shared
+// by the command-line binaries (-transport, -nodes) on fs and returns a
+// function that, called after fs.Parse, resolves the selected transport
+// name and node count. The empty transport means the in-process
+// mailbox; "hier" emulates a multi-node placement: ranks are split
+// across -nodes nodes, intra-node traffic rides shared-memory rings and
+// each node's leader relays inter-node traffic over TCP.
+func RegisterTransportFlags(fs *flag.FlagSet) (resolve func() (transport string, nodes int)) {
+	transport := fs.String("transport", "",
+		"rank transport: inproc (default), tcp, shm, or hier (two-level leader relay)")
+	nodes := fs.Int("nodes", 2,
+		"emulated node count for -transport=hier (ranks are split contiguously)")
+	return func() (string, int) { return *transport, *nodes }
+}
+
+// transportLaunchOpts maps a transport name and node count to the
+// launch options the experiment worlds pass to mpi.Launch. ranks is the
+// world size, needed to build the hier placement.
+func transportLaunchOpts(transport string, nodes, ranks int) ([]mpi.LaunchOption, error) {
+	switch transport {
+	case "", "inproc":
+		return nil, nil
+	case "tcp":
+		return []mpi.LaunchOption{mpi.WithTransport(mpi.TransportTCP)}, nil
+	case "shm":
+		return []mpi.LaunchOption{mpi.WithTransport(mpi.TransportShm)}, nil
+	case "hier":
+		if nodes < 1 {
+			return nil, fmt.Errorf("experiments: -transport=hier needs nodes >= 1, have %d", nodes)
+		}
+		return []mpi.LaunchOption{
+			mpi.WithTransport(mpi.TransportShm),
+			mpi.WithTopology(mpi.NodesOf(ranks, nodes)),
+		}, nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown transport %q (have inproc, tcp, shm, hier)", transport)
+	}
+}

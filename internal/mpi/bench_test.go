@@ -210,3 +210,50 @@ func BenchmarkCollectives(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkShmExchange measures the shared-memory transport on the same
+// two traffic shapes as BenchmarkTCPExchange — the 16-rank small-frame
+// storm and the 64 MiB bulk payload — against the TCP-loopback and
+// in-process channel transports. make bench-shm records the results in
+// BENCH_shm.json; the acceptance bar is shm at >= 3x TCP loopback on
+// the 64 MiB payload.
+func BenchmarkShmExchange(b *testing.B) {
+	b.Run("storm/16ranks/4KiB/shm", func(b *testing.B) {
+		benchStorm(b, RunShm, 16, 4, 4096)
+	})
+	b.Run("storm/16ranks/4KiB/tcp", func(b *testing.B) {
+		benchStorm(b, RunTCP, 16, 4, 4096)
+	})
+	b.Run("storm/16ranks/4KiB/inproc", func(b *testing.B) {
+		benchStorm(b, Run, 16, 4, 4096)
+	})
+	b.Run("large/64MiB/shm", func(b *testing.B) {
+		benchLarge(b, RunShm, 64<<20)
+	})
+	b.Run("large/64MiB/tcp", func(b *testing.B) {
+		benchLarge(b, RunTCP, 64<<20)
+	})
+	b.Run("large/64MiB/inproc", func(b *testing.B) {
+		benchLarge(b, Run, 64<<20)
+	})
+}
+
+// BenchmarkHierExchange measures the two-level transport's headline
+// case: a 64-rank all-to-all storm on a 4-node placement, where leader
+// aggregation reduces the O(P²) socket flows of flat TCP to O(nodes²),
+// versus the same storm on flat TCP loopback and on flat shm.
+func BenchmarkHierExchange(b *testing.B) {
+	const ranks, nodes = 64, 4
+	runHier := func(n int, body func(*Comm) error) error {
+		return RunHier(n, NodesOf(n, nodes), body)
+	}
+	b.Run("storm/64ranks/1KiB/hier-4node", func(b *testing.B) {
+		benchStorm(b, runHier, ranks, 2, 1024)
+	})
+	b.Run("storm/64ranks/1KiB/tcp", func(b *testing.B) {
+		benchStorm(b, RunTCP, ranks, 2, 1024)
+	})
+	b.Run("storm/64ranks/1KiB/shm", func(b *testing.B) {
+		benchStorm(b, RunShm, ranks, 2, 1024)
+	})
+}

@@ -1,5 +1,7 @@
 package mpi
 
+import "fmt"
+
 // Launch is the single entry point for running an n-rank world: it
 // replaces the Run / RunChaos / RunTCP / RunTCPOpts / RunTCPChaos family
 // with one call configured by functional options. The default is the
@@ -10,17 +12,26 @@ package mpi
 //	mpi.Launch(8, body, mpi.WithFaultInjector(inj))              // RunChaos
 //	mpi.Launch(8, body, mpi.WithTransport(mpi.TransportTCP))     // RunTCP
 //	mpi.Launch(8, body, mpi.WithTCPOptions(opts))                // RunTCPOpts
-//	mpi.Launch(8, body, mpi.WithTCPOptions(opts),
-//	    mpi.WithFaultInjector(inj))                              // RunTCPChaos
+//	mpi.Launch(8, body, mpi.WithTransport(mpi.TransportShm))     // shm rings
+//	mpi.Launch(8, body, mpi.WithTransport(mpi.TransportShm),
+//	    mpi.WithTopology(func(rank int) int { return rank / 4 })) // two-level
 //
 // body runs once per rank (one goroutine each); Launch blocks until all
 // ranks return and yields the joined errors. When a rank fails, the
 // remaining ranks' pending operations are unblocked with ErrClosed so
 // the world can drain.
+//
+// Option values are validated up front: malformed TCPOptions or
+// ShmOptions (negative sizes, non-power-of-2 rings, ...) fail here with
+// an error wrapping ErrBadOption instead of misbehaving deep inside a
+// transport goroutine.
 func Launch(n int, body func(c *Comm) error, opts ...LaunchOption) error {
 	cfg := launchConfig{tcpOpts: DefaultTCPOptions()}
 	for _, o := range opts {
 		o(&cfg)
+	}
+	if err := cfg.validate(n); err != nil {
+		return err
 	}
 	inj := cfg.inj
 	if !cfg.injSet {
@@ -29,6 +40,20 @@ func Launch(n int, body func(c *Comm) error, opts ...LaunchOption) error {
 	switch cfg.transport {
 	case TransportTCP:
 		return launchTCP(n, cfg.tcpOpts, inj, body)
+	case TransportShm:
+		if cfg.nodeOf != nil {
+			topo, err := NewTopology(n, cfg.nodeOf)
+			if err != nil {
+				return err
+			}
+			if topo.NumNodes() > 1 {
+				return launchHier(n, topo, cfg.shmOpts, cfg.tcpOpts, inj, body)
+			}
+			// One node: the hierarchy degenerates to plain shm, but keep
+			// the topology visible so plan caches key on it consistently.
+			return launchShmTopo(n, topo, cfg.shmOpts, inj, body)
+		}
+		return launchShm(n, cfg.shmOpts, inj, body)
 	default:
 		return launchInProc(n, inj, body)
 	}
@@ -44,14 +69,50 @@ const (
 	// TransportTCP carries all inter-rank traffic over loopback TCP
 	// sockets, exercising a real network stack.
 	TransportTCP
+	// TransportShm carries traffic over mmap-backed shared-memory ring
+	// buffers — the data path for ranks co-located on one node. Combine
+	// with WithTopology to run a multi-node world two-level: shm within
+	// each node, leader-aggregated TCP between nodes.
+	TransportShm
 )
+
+// String names the transport the way flags and metrics label it.
+func (t Transport) String() string {
+	switch t {
+	case TransportInProc:
+		return "inproc"
+	case TransportTCP:
+		return "tcp"
+	case TransportShm:
+		return "shm"
+	default:
+		return fmt.Sprintf("transport(%d)", int(t))
+	}
+}
 
 // launchConfig is the resolved option set of one Launch call.
 type launchConfig struct {
 	transport Transport
 	tcpOpts   TCPOptions
+	shmOpts   ShmOptions
+	nodeOf    func(rank int) int
 	inj       FaultInjector
 	injSet    bool
+}
+
+// validate rejects malformed option combinations before any transport
+// state is built; every failure wraps ErrBadOption.
+func (cfg *launchConfig) validate(n int) error {
+	if err := cfg.tcpOpts.Validate(); err != nil {
+		return err
+	}
+	if err := cfg.shmOpts.Validate(); err != nil {
+		return err
+	}
+	if cfg.nodeOf != nil && cfg.transport != TransportShm {
+		return fmt.Errorf("%w: WithTopology requires WithTransport(TransportShm); the %s transport is flat", ErrBadOption, cfg.transport)
+	}
+	return nil
 }
 
 // LaunchOption configures one Launch call.
@@ -63,12 +124,36 @@ func WithTransport(t Transport) LaunchOption {
 }
 
 // WithTCPOptions selects the TCP transport with explicit per-endpoint
-// options (it implies WithTransport(TransportTCP)).
+// options (it implies WithTransport(TransportTCP)). Under WithTopology
+// the options instead tune the inter-node leader links, and the
+// transport stays TransportShm.
 func WithTCPOptions(opts TCPOptions) LaunchOption {
 	return func(cfg *launchConfig) {
-		cfg.transport = TransportTCP
+		if cfg.transport != TransportShm {
+			cfg.transport = TransportTCP
+		}
 		cfg.tcpOpts = opts
 	}
+}
+
+// WithShmOptions selects the shared-memory transport with explicit ring
+// tuning (it implies WithTransport(TransportShm)).
+func WithShmOptions(opts ShmOptions) LaunchOption {
+	return func(cfg *launchConfig) {
+		cfg.transport = TransportShm
+		cfg.shmOpts = opts
+	}
+}
+
+// WithTopology declares which node each rank lives on, turning the
+// shared-memory world hierarchical: ranks on one node exchange over shm
+// rings, and each node elects its lowest rank as leader to carry all of
+// the node's inter-node traffic over TCP — O(nodes²) cross-node flows
+// instead of O(ranks²). nodeOf must map every rank in [0,n) to a node
+// id; ids need not be dense. Requires WithTransport(TransportShm) /
+// WithShmOptions.
+func WithTopology(nodeOf func(rank int) int) LaunchOption {
+	return func(cfg *launchConfig) { cfg.nodeOf = nodeOf }
 }
 
 // WithFaultInjector wraps every rank's transport with inj: deliveries

@@ -452,6 +452,7 @@ type Comm struct {
 
 	counters *traffic   // shared across communicators derived from one rank
 	tel      *Telemetry // shared observability hooks, nil unless attached
+	topo     *Topology  // node placement, nil unless launched WithTopology
 
 	// curTC is the trace context stamped on sends while an exchange is in
 	// flight on this communicator (nil = untraced). One writer (the
@@ -468,6 +469,30 @@ func (c *Comm) Size() int { return len(c.group) }
 // WorldRank returns the world (root communicator) rank of the given rank
 // in this communicator.
 func (c *Comm) WorldRank(rank int) int { return c.group[rank] }
+
+// Topology returns the node placement the world was launched with, or
+// nil for a flat (single-node) world. Derived communicators inherit it.
+func (c *Comm) Topology() *Topology { return c.topo }
+
+// TransportName identifies the transport carrying this communicator's
+// traffic ("inproc", "tcp", "shm", or "hier"), unwrapping the fault-
+// injection layer. Plan caches and the pack autotuner key on it.
+func (c *Comm) TransportName() string {
+	tr := c.tr
+	if ft, ok := tr.(*faultTransport); ok {
+		tr = ft.raw
+	}
+	switch tr.(type) {
+	case *tcpTransport:
+		return "tcp"
+	case *shmTransport:
+		return "shm"
+	case *hierTransport:
+		return "hier"
+	default:
+		return "inproc"
+	}
+}
 
 func (c *Comm) checkRank(rank int) error {
 	if rank < 0 || rank >= len(c.group) {

@@ -16,6 +16,12 @@ var transports = []struct {
 }{
 	{"inproc", Run},
 	{"tcp", RunTCP},
+	{"shm", RunShm},
+	{"hier", func(n int, body func(c *Comm) error) error {
+		// Two ranks per node exercises every hierarchical leg (self, shm
+		// sibling, leader relay, leader-to-leader) in every world size.
+		return RunHier(n, NodesOf(n, (n+1)/2), body)
+	}},
 }
 
 func forEachTransport(t *testing.T, n int, body func(c *Comm) error) {

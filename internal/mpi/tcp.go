@@ -165,6 +165,38 @@ func DefaultTCPOptions() TCPOptions {
 	return TCPOptions{}
 }
 
+// Validate rejects option values the transport cannot run with, with a
+// typed error (wrapping ErrBadOption) naming the offending field. The
+// convention is: 0 selects the default, and only ChunkThreshold admits a
+// negative value (it disables chunking); everything else must be
+// non-negative. Launch and NewTCPEndpoint call this up front so a bad
+// option fails at the API boundary instead of misbehaving inside a
+// writer goroutine (resolve used to clamp silently).
+func (o TCPOptions) Validate() error {
+	if o.SendBufSize < 0 {
+		return fmt.Errorf("%w: TCPOptions.SendBufSize %d is negative", ErrBadOption, o.SendBufSize)
+	}
+	if o.RecvBufSize < 0 {
+		return fmt.Errorf("%w: TCPOptions.RecvBufSize %d is negative", ErrBadOption, o.RecvBufSize)
+	}
+	if o.ChunkSize < 0 {
+		return fmt.Errorf("%w: TCPOptions.ChunkSize %d is negative", ErrBadOption, o.ChunkSize)
+	}
+	if o.SendQueueLen < 0 {
+		return fmt.Errorf("%w: TCPOptions.SendQueueLen %d is negative", ErrBadOption, o.SendQueueLen)
+	}
+	if o.WriteBatch < 0 {
+		return fmt.Errorf("%w: TCPOptions.WriteBatch %d is negative", ErrBadOption, o.WriteBatch)
+	}
+	if o.RetryMax < 0 {
+		return fmt.Errorf("%w: TCPOptions.RetryMax %d is negative", ErrBadOption, o.RetryMax)
+	}
+	if o.RetryBackoff < 0 {
+		return fmt.Errorf("%w: TCPOptions.RetryBackoff %v is negative", ErrBadOption, o.RetryBackoff)
+	}
+	return nil
+}
+
 // tcpConfig is a TCPOptions with every default resolved.
 type tcpConfig struct {
 	nagle          bool
@@ -241,6 +273,7 @@ type TCPStats struct {
 	SendQueueDepth     int64 // frames currently queued across all peers
 	Reconnects         int64 // writer redials after connection failures
 	DupFramesDropped   int64 // replayed frames discarded by sequence dedupe
+	PeerConnections    int64 // outbound peer links this endpoint has dialed
 }
 
 // seqDeduper discards frames replayed by post-reconnect retransmission.
@@ -387,7 +420,11 @@ func (ep *TCPEndpoint) WireStats() (out, in int64) {
 
 // Stats snapshots every transport counter.
 func (ep *TCPEndpoint) Stats() TCPStats {
+	ep.mu.Lock()
+	peerConns := int64(len(ep.peers))
+	ep.mu.Unlock()
 	return TCPStats{
+		PeerConnections:    peerConns,
 		WireOut:            ep.wireOut.Load(),
 		WireIn:             ep.wireIn.Load(),
 		FramesOut:          ep.framesOut.Load(),
@@ -497,13 +534,23 @@ func NewTCPEndpoint(bind string, opts ...TCPOptions) (*TCPEndpoint, error) {
 	if len(opts) > 0 {
 		o = opts[0]
 	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return newTCPEndpointOn(bind, newMailbox(), o)
+}
+
+// newTCPEndpointOn is NewTCPEndpoint delivering into a caller-owned
+// mailbox — the hook the hierarchical transport uses to land inter-node
+// frames directly in a leader rank's existing mailbox.
+func newTCPEndpointOn(bind string, box *mailbox, o TCPOptions) (*TCPEndpoint, error) {
 	l, err := net.Listen("tcp", bind)
 	if err != nil {
 		return nil, fmt.Errorf("mpi: tcp listen: %w", err)
 	}
 	ep := &TCPEndpoint{
 		listener: l,
-		box:      newMailbox(),
+		box:      box,
 		cfg:      o.resolve(),
 		stop:     make(chan struct{}),
 		peers:    map[int]*tcpPeer{},

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 
 	"ddr/internal/obs"
 )
@@ -188,7 +189,19 @@ func TestTCPUntracedWireIdentical(t *testing.T) {
 				}
 				PutBuffer(ack)
 				if tt, ok := c.tr.(*tcpTransport); ok {
-					wireOut = tt.ep.Stats().WireOut
+					// The frames leave in one writev batch and the stats add
+					// happens after the syscall returns, so the ack round-trip
+					// can overtake the writer goroutine's counter update on a
+					// loaded box. Poll until the counter is nonzero and stable.
+					prev := int64(-1)
+					for deadline := time.Now().Add(5 * time.Second); time.Now().Before(deadline); {
+						wireOut = tt.ep.Stats().WireOut
+						if wireOut > 0 && wireOut == prev {
+							break
+						}
+						prev = wireOut
+						time.Sleep(time.Millisecond)
+					}
 				}
 				return nil
 			}

@@ -33,6 +33,14 @@ type Telemetry struct {
 	tcpSendqSat     *obs.Counter
 	tcpQueueDepth   *obs.Gauge
 
+	// Shared-memory transport instruments, mirrored by the rank's shm
+	// ring producer/consumer, and the leader-relay counter of the
+	// hierarchical transport (only moved by ranks that lead their node).
+	shmBytesOut    *obs.Counter
+	shmBytesIn     *obs.Counter
+	shmOccupancy   *obs.Gauge
+	hierRelayBytes *obs.Counter
+
 	// Fault-tolerance instruments: chaos-engine verdicts mirrored by the
 	// fault transport, TCP reconnect attempts, and peers this rank's
 	// mailbox declared lost.
@@ -86,6 +94,14 @@ func NewTelemetry(reg *obs.Registry, rec *trace.Recorder, rank int) *Telemetry {
 			"Send-queue saturation events per peer writer. The warning log is one-shot per peer; this counter records every recurrence so scrapes see sustained saturation.", rl),
 		tcpQueueDepth: reg.Gauge("mpi_tcp_send_queue_depth",
 			"Frames enqueued to peer writers and not yet written.", rl),
+		shmBytesOut: reg.Counter("mpi_shm_bytes_out_total",
+			"Payload bytes this rank published into shared-memory rings.", rl),
+		shmBytesIn: reg.Counter("mpi_shm_bytes_in_total",
+			"Payload bytes this rank consumed from shared-memory rings.", rl),
+		shmOccupancy: reg.Gauge("mpi_shm_ring_occupancy_bytes",
+			"Record bytes committed to this rank's inbound rings and not yet consumed.", rl),
+		hierRelayBytes: reg.Counter("mpi_hier_leader_relay_bytes_total",
+			"Bytes this rank aggregated onto inter-node TCP flows as its node's leader.", rl),
 		faultDrops: reg.Counter("mpi_fault_drops_total",
 			"Delivery attempts discarded by the fault injector.", rl),
 		faultRetries: reg.Counter("mpi_fault_retries_total",
@@ -150,10 +166,19 @@ func (c *Comm) AttachTelemetry(t *Telemetry) {
 	switch tr := c.tr.(type) {
 	case *tcpTransport:
 		tr.ep.attachObs(t)
+	case *shmTransport:
+		tr.attachObs(t)
+	case *hierTransport:
+		tr.attachObs(t)
 	case *faultTransport:
 		tr.attachObs(t)
-		if tt, ok := tr.raw.(*tcpTransport); ok {
-			tt.ep.attachObs(t)
+		switch raw := tr.raw.(type) {
+		case *tcpTransport:
+			raw.ep.attachObs(t)
+		case *shmTransport:
+			raw.attachObs(t)
+		case *hierTransport:
+			raw.attachObs(t)
 		}
 	}
 }
