@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-json bench-mapping bench-resize bench-shm bench-compare
+.PHONY: build test verify chaos bench bench-json bench-mapping bench-resize bench-shm bench-bounded bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,15 @@ chaos:
 	$(GO) test -race -short ./internal/chaos/ ./internal/ddrtest/
 	$(GO) test -race -short -run 'Chaos|Partial|WaitCtxAbandon' ./internal/mpi/
 
+# verify is the pre-merge gate. The memory-bounded compiler gate runs by
+# name: the differential sweep (bounded plans byte-identical to the
+# brute oracle across seeded geometries x exchange modes x budget tiers
+# down to the one-chunk minimum, with measured peak staging enforced
+# against the budget), the meter-enforcement self-test, the planted-bug
+# self-tests (core and harness), the golden bounded step fixtures, the
+# bounded zero-alloc steady-state guard, the short bounded chaos
+# property schedule, and a one-iteration bounded bench smoke.
+#
 # verify is the pre-merge gate. On top of the long-standing checks
 # (described below), the topology-aware data path gate runs by name: the
 # shm ring suite under race (concurrent storm, wraparound, chunked
@@ -50,12 +59,16 @@ verify: chaos
 	$(GO) test -race -run 'TestCompilerEquivalence' ./internal/core/
 	$(GO) test -race -run 'TestTraceMergeRoundTrip|TestGatherTrace' ./internal/core/ ./internal/mpi/
 	$(GO) test -race -run 'TestMetricsScrapeWhileWriting|TestFlightRecHandler' ./internal/obs/
-	$(GO) test -run 'TestZeroAllocSteadyState|TestTracingDetachedZeroAlloc|TestFlightRecorderRecordZeroAlloc|TestTCPUntracedWireIdentical' ./internal/core/ ./internal/obs/ ./internal/mpi/
+	$(GO) test -run 'TestZeroAllocSteadyState|TestBoundedZeroAllocSteadyState|TestTracingDetachedZeroAlloc|TestFlightRecorderRecordZeroAlloc|TestTCPUntracedWireIdentical' ./internal/core/ ./internal/obs/ ./internal/mpi/
 	$(GO) test -race -run 'TestRegridderReconnect' ./internal/transit/
 	$(GO) test -race -run 'TestRegridderResize|TestRegridderConnectFailureResetsState' ./internal/transit/
 	$(GO) test -race -run 'TestCompileDelta|TestDeltaCompilerCollective|TestDeltaExchange' ./internal/core/
 	$(GO) test -race -short -run 'TestResize' ./internal/ddrtest/
 	$(GO) test -run TestGoldenPlans ./internal/core/
+	$(GO) test -race -run 'TestBoundedDifferentialSweep|TestBoundedMeterHasTeeth|TestBoundedHarnessCatchesPlantedBug|TestBoundedBudgetTooSmall|TestBoundedPlanCacheKeyedByBudget|TestBoundedCachedPlanReplays|TestSingleShotFootprintClassRounded' ./internal/core/
+	$(GO) test -run 'TestGoldenBoundedPlans' ./internal/core/
+	$(GO) test -race -short -run 'TestBoundedProperty|TestHarnessCatchesBoundedPlantedBug' ./internal/ddrtest/
+	$(GO) test -run '^$$' -bench BenchmarkBoundedExchange -benchtime 1x ./internal/core/
 	$(GO) test -race -run 'TestShmConcurrentStorm|TestShmRingWraparound|TestShmChunkedInterleave|TestShmChaosSchedules|TestShmScrapeUnderLoad|TestTransportOptionsValidation' ./internal/mpi/
 	$(GO) test -race -run 'TestHierSmoke|TestHierLargeChunkedRelay|TestHierCollectivesAndSplit|TestHierErrorPropagation' ./internal/mpi/
 	$(GO) test -race -run 'TestAutotuneProbesOnce|TestPackStrategiesByteIdentical|TestTopologyKeyedPlanFingerprint|TestTwoLevelSchedule' ./internal/core/
@@ -125,3 +138,15 @@ bench-resize:
 	  -note "elastic 64->65 grow: incremental delta compile vs from-scratch schedule; moved_frac vs a cold full re-exchange" \
 	  -o BENCH_resize.json
 	@echo wrote BENCH_resize.json
+
+# bench-bounded snapshots the memory-bounded exchange against the
+# one-shot backend on the same 16-rank regrid: wall time, peak staging
+# bytes (the live meter's high-water mark), bounded step count, and
+# process peak RSS — as BENCH_bounded.json. Pass BASELINE=<file> to
+# embed a prior snapshot for before/after ratios.
+bench-bounded:
+	$(GO) test -run '^$$' -bench BenchmarkBoundedExchange -benchmem -benchtime 10x -count 3 ./internal/core/ | \
+	  $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) \
+	  -note "memory-bounded step schedule vs one-shot exchange, 16-rank 256x256 regrid; peak-staging-B is the measured arena high-water mark, peak-rss-B the process VmHWM" \
+	  -o BENCH_bounded.json
+	@echo wrote BENCH_bounded.json

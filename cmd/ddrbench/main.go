@@ -39,23 +39,24 @@ import (
 
 func main() {
 	var (
-		table    = flag.Int("table", 0, "reproduce table N (1-4)")
-		figure   = flag.Int("figure", 0, "reproduce figure N (2-5)")
-		all      = flag.Bool("all", false, "reproduce every table and figure")
-		real     = flag.Bool("real", false, "run the laptop-scale real-execution TIFF study")
-		ablation = flag.Bool("ablation", false, "run the exchange-mode ablation study")
-		vol3d    = flag.Bool("volumetric", false, "run the 3D in-transit volume-rendering extension")
-		outDir   = flag.String("out", "ddrbench-out", "directory for rendered outputs")
-		t4w      = flag.Int("t4width", 648, "grid width for the Table IV JPEG density measurement")
-		t4h      = flag.Int("t4height", 260, "grid height for the Table IV JPEG density measurement")
-		t4fr     = flag.Int("t4frames", 5, "frames for the Table IV measurement")
-		quality  = flag.Int("quality", 75, "JPEG quality")
-		traceOut = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the instrumented runs to this JSON file")
-		metrics  = flag.String("metrics-out", "", "write Prometheus text-format metrics of the instrumented runs to this file")
-		pprof    = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
-		mergeOut = flag.String("trace-merge", "", "gather every rank's spans at rank 0, clock-correct them, and write one merged multi-rank Perfetto timeline (plus a straggler report on stderr) to this JSON file")
-		flightN  = flag.Int("flightrec", 0, "arm a flight recorder keeping the last N transport events, dumped on peer loss, SIGQUIT, and /debug/flightrec (0 disables)")
-		useTCP   = flag.Bool("tcp", false, "run the in-transit pipeline ranks over the loopback TCP transport (shorthand for -transport=tcp)")
+		table     = flag.Int("table", 0, "reproduce table N (1-4)")
+		figure    = flag.Int("figure", 0, "reproduce figure N (2-5)")
+		all       = flag.Bool("all", false, "reproduce every table and figure")
+		real      = flag.Bool("real", false, "run the laptop-scale real-execution TIFF study")
+		ablation  = flag.Bool("ablation", false, "run the exchange-mode ablation study")
+		vol3d     = flag.Bool("volumetric", false, "run the 3D in-transit volume-rendering extension")
+		outDir    = flag.String("out", "ddrbench-out", "directory for rendered outputs")
+		t4w       = flag.Int("t4width", 648, "grid width for the Table IV JPEG density measurement")
+		t4h       = flag.Int("t4height", 260, "grid height for the Table IV JPEG density measurement")
+		t4fr      = flag.Int("t4frames", 5, "frames for the Table IV measurement")
+		quality   = flag.Int("quality", 75, "JPEG quality")
+		traceOut  = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the instrumented runs to this JSON file")
+		metrics   = flag.String("metrics-out", "", "write Prometheus text-format metrics of the instrumented runs to this file")
+		pprof     = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
+		mergeOut  = flag.String("trace-merge", "", "gather every rank's spans at rank 0, clock-correct them, and write one merged multi-rank Perfetto timeline (plus a straggler report on stderr) to this JSON file")
+		flightN   = flag.Int("flightrec", 0, "arm a flight recorder keeping the last N transport events, dumped on peer loss, SIGQUIT, and /debug/flightrec (0 disables)")
+		useTCP    = flag.Bool("tcp", false, "run the in-transit pipeline ranks over the loopback TCP transport (shorthand for -transport=tcp)")
+		memBudget = flag.Int("mem-budget", 0, "per-rank exchange staging budget in bytes for the in-transit pipeline; frames exceeding it regrid through the bounded step compiler (0 = unbounded)")
 	)
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
 	resolveTransport := experiments.RegisterTransportFlags(flag.CommandLine)
@@ -79,7 +80,7 @@ func main() {
 	if *useTCP && transport == "" {
 		transport = "tcp"
 	}
-	if err := run(tel, transport, nodes, *table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
+	if err := run(tel, transport, nodes, *memBudget, *table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
 		fmt.Fprintln(os.Stderr, "ddrbench:", err)
 		os.Exit(1)
 	}
@@ -89,7 +90,7 @@ func main() {
 	}
 }
 
-func run(tel *experiments.Telemetry, transport string, nodes int, table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
+func run(tel *experiments.Telemetry, transport string, nodes, memBudget int, table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
 	machine := perfmodel.Cooley()
 	want := func(t, f int) bool {
 		return all || (t != 0 && table == t) || (f != 0 && figure == f)
@@ -182,6 +183,7 @@ func run(tel *experiments.Telemetry, transport string, nodes int, table, figure 
 			Telemetry:   tel,
 			Transport:   transport,
 			Nodes:       nodes,
+			MemBudget:   memBudget,
 		})
 		if err != nil {
 			return err

@@ -25,26 +25,27 @@ import (
 
 func main() {
 	var (
-		sim     = flag.Int("sim", 8, "simulation ranks (M)")
-		viz     = flag.Int("viz", 2, "analysis ranks (N)")
-		width   = flag.Int("width", 648, "grid width")
-		height  = flag.Int("height", 260, "grid height")
-		iters   = flag.Int("iters", 2000, "simulation iterations")
-		every   = flag.Int("every", 100, "stream every Nth iteration")
-		quality = flag.Int("quality", 75, "JPEG quality")
-		out     = flag.String("out", "frames", "output directory for JPEG frames")
-		fields  = flag.String("fields", "vorticity", "comma-separated variables to stream: vorticity,speed,density")
-		role    = flag.String("role", "both", "both (one process), sim, or viz (two applications over TCP)")
-		connect = flag.String("connect", "", "comma-separated analysis addresses (role=sim)")
-		bind    = flag.String("bind", "127.0.0.1:0", "listener bind address (role=viz)")
-		gifOut  = flag.String("gif", "", "also write an animated GIF of the first field to this path")
-		stats   = flag.String("stats", "", "write per-frame field statistics (min/max/mean/rms) as CSV to this path")
-		trace   = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the pipeline to this JSON file")
-		metrics = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file")
-		pprof   = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
-		merge   = flag.String("trace-merge", "", "gather every rank's spans at rank 0, clock-correct them, and write one merged multi-rank Perfetto timeline (role=both only)")
-		flightN = flag.Int("flightrec", 0, "arm a flight recorder keeping the last N transport events, dumped on peer loss, SIGQUIT, and /debug/flightrec (0 disables)")
-		useTCP  = flag.Bool("tcp", false, "run the in-process world over the loopback TCP transport (shorthand for -transport=tcp, role=both only)")
+		sim       = flag.Int("sim", 8, "simulation ranks (M)")
+		viz       = flag.Int("viz", 2, "analysis ranks (N)")
+		width     = flag.Int("width", 648, "grid width")
+		height    = flag.Int("height", 260, "grid height")
+		iters     = flag.Int("iters", 2000, "simulation iterations")
+		every     = flag.Int("every", 100, "stream every Nth iteration")
+		quality   = flag.Int("quality", 75, "JPEG quality")
+		out       = flag.String("out", "frames", "output directory for JPEG frames")
+		fields    = flag.String("fields", "vorticity", "comma-separated variables to stream: vorticity,speed,density")
+		role      = flag.String("role", "both", "both (one process), sim, or viz (two applications over TCP)")
+		connect   = flag.String("connect", "", "comma-separated analysis addresses (role=sim)")
+		bind      = flag.String("bind", "127.0.0.1:0", "listener bind address (role=viz)")
+		gifOut    = flag.String("gif", "", "also write an animated GIF of the first field to this path")
+		stats     = flag.String("stats", "", "write per-frame field statistics (min/max/mean/rms) as CSV to this path")
+		trace     = flag.String("trace-out", "", "write a Perfetto/Chrome trace of the pipeline to this JSON file")
+		metrics   = flag.String("metrics-out", "", "write Prometheus text-format metrics to this file")
+		pprof     = flag.String("pprof-addr", "", "serve /metrics and /debug/pprof on this address while running")
+		merge     = flag.String("trace-merge", "", "gather every rank's spans at rank 0, clock-correct them, and write one merged multi-rank Perfetto timeline (role=both only)")
+		flightN   = flag.Int("flightrec", 0, "arm a flight recorder keeping the last N transport events, dumped on peer loss, SIGQUIT, and /debug/flightrec (0 disables)")
+		useTCP    = flag.Bool("tcp", false, "run the in-process world over the loopback TCP transport (shorthand for -transport=tcp, role=both only)")
+		memBudget = flag.Int("mem-budget", 0, "per-rank exchange staging budget in bytes; frames exceeding it regrid through the bounded step compiler (0 = unbounded)")
 	)
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
 	resolveTransport := experiments.RegisterTransportFlags(flag.CommandLine)
@@ -76,6 +77,7 @@ func main() {
 		Telemetry:   tel,
 		Transport:   transport,
 		Nodes:       nodes,
+		MemBudget:   *memBudget,
 	}
 	if err := run(cfg, *role, *connect, *bind, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)

@@ -1,0 +1,262 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ddr/internal/mpi"
+	"ddr/internal/trace"
+)
+
+// Execution of the bounded step schedule (see bounded.go for the
+// compiler). Each step runs in two phases that never overlap on a rank:
+// first every send slice of the step is packed — through metered staging
+// buffers unless the zero-copy fast path applies — and handed to the
+// transport (whose sends copy eagerly, so staging recycles before any
+// receive posts); then every receive slice's payload is taken from the
+// transport, charged against the meter while held, and placed into the
+// need buffer. The step packer charged each slice's class-rounded size
+// to both its source and destination rank within a step, so the measured
+// high-water mark of either phase stays under the configured budget.
+//
+// The staging arena is always used on this path regardless of
+// WithBufferPooling: the budget is defined in terms of the arena's class
+// sizes, and bypassing the pool would change what the meter measures
+// without changing what the process allocates.
+
+// stageBounded takes a metered staging buffer from the arena.
+func (d *Descriptor) stageBounded(n int) []byte {
+	return mpi.GetBufferMetered(n, &d.meter)
+}
+
+// unstageBounded releases a metered staging buffer back to the arena.
+func (d *Descriptor) unstageBounded(b []byte) {
+	mpi.PutBufferMetered(b, &d.meter)
+}
+
+// chargeRecv charges a received payload's full capacity (its arena class)
+// against the meter for as long as the exchange holds it.
+func (d *Descriptor) chargeRecv(b []byte) {
+	d.meter.Acquire(cap(b))
+}
+
+// releaseRecvBounded drops a received payload's charge and recycles it.
+func (d *Descriptor) releaseRecvBounded(b []byte) {
+	d.meter.Release(cap(b))
+	mpi.PutBuffer(b)
+}
+
+// selfSlice moves one slice whose source and destination are both this
+// rank, without touching the transport.
+func (d *Descriptor) selfSlice(sl *boundedSlice, src, need []byte) {
+	n := sl.bytes
+	switch {
+	case d.zcSend && d.zcRecv && sl.sendSpan.ok && sl.recvSpan.ok:
+		copy(need[sl.recvSpan.off:sl.recvSpan.off+n], src[sl.sendSpan.off:sl.sendSpan.off+n])
+	case d.zcSend && sl.sendSpan.ok:
+		sl.recvT.Unpack(src[sl.sendSpan.off:sl.sendSpan.off+n], need)
+	case d.zcRecv && sl.recvSpan.ok:
+		sl.sendT.Pack(src, need[sl.recvSpan.off:sl.recvSpan.off+n])
+	default:
+		wire := d.stageBounded(n)
+		sl.sendT.Pack(src, wire)
+		sl.recvT.Unpack(wire, need)
+		d.unstageBounded(wire)
+	}
+}
+
+// exchangeBounded performs the whole redistribution as the plan's bounded
+// step sequence. Semantically identical to the one-shot exchanges — the
+// union of all slices is exactly the set of (chunk × need) overlaps — but
+// with per-rank staging bounded by the descriptor's budget.
+func (d *Descriptor) exchangeBounded(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte, ps *partialState) error {
+	p := d.plan
+	b := p.bounded
+	s := &d.scratch
+	d.meter.ResetPeak()
+	traced := o.tracing() || d.flight != nil
+
+	for step := 0; step < b.steps; step++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				if ps == nil || (ps.uctx != nil && ps.uctx.Err() != nil) {
+					return err
+				}
+				// The exchange deadline is spent: give up on every source
+				// still owed data in the remaining steps and report what
+				// landed rather than abort with the buffer state unknown.
+				for _, idx := range b.recvIdx[b.recvOff[step]:] {
+					sl := &b.slices[idx]
+					ps.markLost(sl.src, sl.step)
+				}
+				if ps.cause == nil {
+					ps.cause = fmt.Errorf("core: exchange deadline %v exhausted after step %d: %w",
+						d.deadline, step, mpi.ErrExchangeTimeout)
+				}
+				break
+			}
+		}
+		if traced {
+			c.SetTraceContext(mpi.TraceContext{Exchange: d.lastExchID, Round: uint32(step)})
+		}
+		var stepStart time.Time
+		if o.tracing() {
+			stepStart = time.Now()
+		}
+
+		// Send phase: self slices place immediately; remote slices pack
+		// (staged through the meter unless contiguous and zero-copy) and
+		// go to the transport. All of the step's staging is held at once
+		// — that simultaneity is exactly what the packer budgeted.
+		s.wires = s.wires[:0]
+		s.staged = s.staged[:0]
+		sends := b.sendIdx[b.sendOff[step]:b.sendOff[step+1]]
+		for _, idx := range sends {
+			sl := &b.slices[idx]
+			if sl.dst == p.rank {
+				d.selfSlice(sl, own[sl.chunk], need)
+				continue
+			}
+			if d.zcSend && sl.sendSpan.ok {
+				s.wires = append(s.wires, own[sl.chunk][sl.sendSpan.off:sl.sendSpan.off+sl.bytes])
+				continue
+			}
+			wire := d.stageBounded(sl.bytes)
+			d.eng.add(exchJob{t: sl.sendT, local: own[sl.chunk], wire: wire, peer: sl.dst})
+			s.wires = append(s.wires, wire)
+			s.staged = append(s.staged, wire)
+		}
+		d.eng.run(o)
+		w := 0
+		for _, idx := range sends {
+			sl := &b.slices[idx]
+			if sl.dst == p.rank {
+				continue
+			}
+			wire := s.wires[w]
+			w++
+			if ps.isLost(sl.dst) {
+				continue
+			}
+			var err error
+			if ctx == nil {
+				err = c.Send(sl.dst, sl.tag, wire)
+			} else {
+				// Context-bound sends always copy eagerly, so the staging
+				// recycle below stays unconditional.
+				err = c.SendCtx(ctx, sl.dst, sl.tag, wire)
+			}
+			if err != nil {
+				if ps.degrade(sl.dst, sl.step, err) {
+					continue
+				}
+				return err
+			}
+		}
+		// Send copies eagerly, so staging buffers recycle before any
+		// receive payload is held — the phases never stack on the meter.
+		for _, wire := range s.staged {
+			d.unstageBounded(wire)
+		}
+		s.staged = s.staged[:0]
+
+		// Receive phase: every payload is charged against the meter from
+		// delivery until placement. Slices carry unique tags, so delivery
+		// order across steps cannot mismatch a receive.
+		s.datas = s.datas[:0]
+		recvs := b.recvIdx[b.recvOff[step]:b.recvOff[step+1]]
+		if ctx == nil {
+			for _, idx := range recvs {
+				sl := &b.slices[idx]
+				var waitStart time.Time
+				if o.tracing() {
+					waitStart = time.Now()
+				}
+				data, _, _, err := c.Recv(sl.src, sl.tag)
+				if err != nil {
+					return err
+				}
+				if o.tracing() {
+					o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", sl.src),
+						Bytes: int64(len(data)), Exchange: d.lastExchID, Round: int32(step), Peer: int32(sl.src)},
+						waitStart, time.Now())
+				}
+				if err := d.acceptSlice(o, sl, data, need); err != nil {
+					return err
+				}
+			}
+		} else {
+			s.reqs = s.reqs[:0]
+			for _, idx := range recvs {
+				sl := &b.slices[idx]
+				if ps.isLost(sl.src) {
+					// Nothing is coming: our own send already failed or the
+					// source was lost in an earlier step.
+					s.reqs = append(s.reqs, nil)
+					continue
+				}
+				s.reqs = append(s.reqs, c.Irecv(sl.src, sl.tag))
+			}
+			for i, idx := range recvs {
+				if s.reqs[i] == nil {
+					continue
+				}
+				sl := &b.slices[idx]
+				var waitStart time.Time
+				if o.tracing() {
+					waitStart = time.Now()
+				}
+				data, _, _, err := s.reqs[i].WaitCtx(ctx)
+				if err != nil {
+					if ps.degrade(sl.src, sl.step, err) {
+						continue
+					}
+					return err
+				}
+				if o.tracing() {
+					o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", sl.src),
+						Bytes: int64(len(data)), Exchange: d.lastExchID, Round: int32(step), Peer: int32(sl.src)},
+						waitStart, time.Now())
+				}
+				if err := d.acceptSlice(o, sl, data, need); err != nil {
+					return err
+				}
+			}
+		}
+		d.eng.run(o)
+		for _, data := range s.datas {
+			d.releaseRecvBounded(data)
+		}
+		s.datas = s.datas[:0]
+
+		if o.tracing() {
+			o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("step-%d", step),
+				Exchange: d.lastExchID, Round: int32(step), Peer: -1}, stepStart, time.Now())
+		}
+	}
+	d.lastPeakStaging = d.meter.Peak()
+	return nil
+}
+
+// acceptSlice consumes one received slice payload: contiguous
+// destinations copy straight into the need buffer and recycle the
+// payload; strided ones are batched for the unpack phase (and recycled
+// after the batch runs). The payload's charge is held either way until
+// its bytes have landed.
+func (d *Descriptor) acceptSlice(o *exchObs, sl *boundedSlice, data, need []byte) error {
+	d.chargeRecv(data)
+	if len(data) != sl.bytes {
+		d.releaseRecvBounded(data)
+		return fmt.Errorf("core: expected %d bytes from rank %d (slice tag %d), got %d",
+			sl.bytes, sl.src, sl.tag, len(data))
+	}
+	if d.zcRecv && sl.recvSpan.ok {
+		directUnpack(o, need[sl.recvSpan.off:sl.recvSpan.off+sl.recvSpan.n], data, sl.src)
+		d.releaseRecvBounded(data)
+		return nil
+	}
+	d.eng.add(exchJob{t: sl.recvT, local: need, wire: data, unpack: true, peer: sl.src})
+	d.scratch.datas = append(d.scratch.datas, data)
+	return nil
+}

@@ -326,7 +326,7 @@ func (dc *DeltaCompiler) Compile(c *mpi.Comm, oldNeed, newNeed grid.Box) (*Delta
 	// collective fingerprint agreement applies unchanged.
 	enc := encodeGeometry(oldNeed, []grid.Box{newNeed})
 	if dc.cache != nil {
-		cached, ok, err := dc.cache.lookup(c, enc, func(p *DeltaPlan) bool {
+		cached, ok, err := dc.cache.lookup(c, enc, 0, func(p *DeltaPlan) bool {
 			return p.rank == c.Rank() && p.nRanks == c.Size() &&
 				p.oldNeed.Equal(oldNeed) && p.newNeed.Equal(newNeed)
 		})

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"ddr/internal/grid"
+	"ddr/internal/mpi"
 	"ddr/internal/obs"
 	"ddr/internal/trace"
 )
@@ -147,12 +148,13 @@ type Descriptor struct {
 	autotune    bool          // measured pack-strategy selection at first use
 	forcedStrat PackStrategy  // WithPackStrategy override; StrategyAuto probes
 	deadline    time.Duration // per-exchange bound; > 0 enables degradation
+	budget      int           // WithMemoryBudget ceiling; <= 0 disables
 	tracer      *trace.Recorder
 	metrics     *obs.Registry
 	flight      *obs.FlightRecorder // nil unless WithFlightRecorder
 	cacheCap    int                 // plan-cache capacity; <= 0 disables
 
-	plan                   *Plan            // nil until SetupDataMapping
+	plan                   *Plan             // nil until SetupDataMapping
 	cache                  *planCache[*Plan] // nil when caching is disabled
 	cacheHits, cacheMisses atomic.Int64
 	timings                []RoundTiming
@@ -175,6 +177,13 @@ type Descriptor struct {
 
 	eng     engine // pack/unpack worker pool + reusable job batch
 	scratch exchScratch
+
+	// meter is the live staging accountant of the bounded exchange: every
+	// pack buffer and held receive payload of a bounded step is charged
+	// against it, so the measured high-water mark (lastPeakStaging) is the
+	// ground truth the budget-enforcement tests assert against.
+	meter           mpi.StagingMeter
+	lastPeakStaging int64
 }
 
 // exchObs is the observation context threaded through the exchange
@@ -195,6 +204,8 @@ type exchObs struct {
 	exchangeBytes *obs.Counter
 	packLat       *obs.Histogram
 	unpackLat     *obs.Histogram
+	boundedSteps  *obs.Counter
+	boundedPeak   *obs.Gauge
 }
 
 // parallelismBuckets covers worker-pool widths from serial through large
@@ -241,6 +252,10 @@ func (d *Descriptor) buildObs(rank int) {
 			"Time spent packing sub-arrays into wire buffers.", obs.LatencyBuckets, rl),
 		unpackLat: d.metrics.Histogram("ddr_unpack_seconds",
 			"Time spent scattering wire buffers into the need box.", obs.LatencyBuckets, rl),
+		boundedSteps: d.metrics.Counter("ddr_bounded_steps_total",
+			"Bounded-footprint exchange steps executed by memory-bounded ReorganizeData calls.", rl, ml),
+		boundedPeak: d.metrics.Gauge("ddr_bounded_peak_staging_bytes",
+			"High-water mark of measured exchange-layer staging bytes across bounded exchanges.", rl, ml),
 	}
 }
 

@@ -65,6 +65,12 @@ type Plan struct {
 	fusedRecvBytes []int // parallel to fusedRecvPeers
 	fusedSendOne   []int // parallel to fusedSendPeers; sole round, or -1
 	fusedRecvOne   []int // parallel to fusedRecvPeers; sole round, or -1
+
+	// bounded is the memory-bounded step schedule, attached by
+	// ensureBounded when a WithMemoryBudget descriptor maps a geometry
+	// whose single-shot footprint exceeds the budget, nil otherwise (see
+	// bounded.go).
+	bounded *boundedPlan
 }
 
 // planEntries is one direction's sparse exchange table: the overlap
@@ -161,13 +167,16 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 
 	enc := encodeGeometry(need, own)
 	if d.cache != nil {
-		cached, ok, err := d.cache.lookup(c, enc, func(p *Plan) bool {
+		cached, ok, err := d.cache.lookup(c, enc, d.fpSalt(), func(p *Plan) bool {
 			return planMatchesLocal(p, c.Rank(), own, need)
 		})
 		if err != nil {
 			return fmt.Errorf("core: plan cache agreement: %w", err)
 		}
 		if ok {
+			if err := d.ensureBounded(cached); err != nil {
+				return err
+			}
 			d.plan = cached
 			d.cacheHits.Add(1)
 			if o.on() {
@@ -216,13 +225,16 @@ func (d *Descriptor) SetupDataMapping(c *mpi.Comm, own []grid.Box, need grid.Box
 		o.planCompile.Observe(now.Sub(mapStart).Seconds())
 		o.compilePar.Observe(float64(d.parallelism()))
 	}
+	if err := d.ensureBounded(plan); err != nil {
+		return err
+	}
 	if d.cache != nil {
 		// The cache lookup already agreed on the fingerprint collectively;
 		// reuse it so the stored plan replays with the same identity.
 		plan.fp = d.cache.lastKey.fp
 		d.cache.store(plan)
 	} else {
-		plan.fp = topoHash(geometryFingerprint(packed), c)
+		plan.fp = saltHash(topoHash(geometryFingerprint(packed), c), d.fpSalt())
 	}
 	d.plan = plan
 	return nil
@@ -333,7 +345,6 @@ type scheduleCompiler struct {
 	flat      []grid.Box // all chunks, peer-major, round ascending
 	flatPeer  []int
 	flatRound []int
-
 }
 
 func newScheduleCompiler(elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box) *scheduleCompiler {
@@ -369,7 +380,6 @@ func fillEmpty(ts []datatype.Type) {
 		copy(ts[n:], ts[:n])
 	}
 }
-
 
 // compile builds rank's plan against the shared indexes. Subarray
 // construction and contiguity analysis fan out across par workers
@@ -599,4 +609,3 @@ func CompileSchedule(elemSize int, allChunks [][]grid.Box, allNeeds []grid.Box, 
 	}
 	return plans, nil
 }
-

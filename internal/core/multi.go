@@ -150,7 +150,7 @@ func (d *MultiDescriptor) SetupDataMapping(c *mpi.Comm, own, needs []grid.Box) e
 		}
 	}
 	enc := encodeBoxLists(own, needs)
-	cached, ok, err := d.cache.lookup(c, enc, func(p *multiPlan) bool {
+	cached, ok, err := d.cache.lookup(c, enc, 0, func(p *multiPlan) bool {
 		return multiPlanMatchesLocal(p, c.Rank(), own, needs)
 	})
 	if err != nil {

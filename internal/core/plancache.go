@@ -77,6 +77,21 @@ func topoHash(h uint64, c *mpi.Comm) uint64 {
 	return hash64(h, b[:])
 }
 
+// saltHash folds a descriptor-level salt into the running hash state h.
+// The bounded backend salts fingerprints with its memory budget so plans
+// compiled for different budgets — whose step schedules, autotune
+// entries, and exchange identities all differ — never replay for each
+// other. Salt 0 (no budget) contributes nothing, keeping unbudgeted
+// fingerprints byte-identical to the historical format.
+func saltHash(h, salt uint64) uint64 {
+	if salt == 0 {
+		return h
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], salt)
+	return hash64(h, b[:])
+}
+
 // mixExchangeID mints an exchange ID from the plan fingerprint and the
 // descriptor's lockstep exchange counter. The splitmix64 finalizer
 // scatters consecutive counters across the keyspace so IDs from
@@ -126,18 +141,21 @@ func newPlanCache[T any](limit int) *planCache[T] {
 
 // lookup fingerprints the global geometry from this rank's canonical
 // encoding enc and collectively decides whether every rank can replay a
-// cached plan. match confirms a candidate was compiled from exactly this
-// rank's current geometry (the collision defense). Returns the plan and
-// true only on a unanimous hit; otherwise the caller must compile and
-// then call store, on every rank.
-func (pc *planCache[T]) lookup(c *mpi.Comm, enc []byte, match func(T) bool) (T, bool, error) {
+// cached plan. salt is folded into every rank's local hash (see
+// saltHash); it must be uniform across ranks, like the geometry itself —
+// a disagreement surfaces as a fingerprint mismatch, which routes all
+// ranks through the compile path together. match confirms a candidate
+// was compiled from exactly this rank's current geometry (the collision
+// defense). Returns the plan and true only on a unanimous hit; otherwise
+// the caller must compile and then call store, on every rank.
+func (pc *planCache[T]) lookup(c *mpi.Comm, enc []byte, salt uint64, match func(T) bool) (T, bool, error) {
 	var zero T
 
 	// Every rank contributes the hash of its own geometry; the global
 	// fingerprint folds the gathered hashes in rank order, so all ranks
 	// derive the same 64-bit value for the same global geometry.
 	var local [8]byte
-	binary.LittleEndian.PutUint64(local[:], topoHash(hash64(fnvOffset64, enc), c))
+	binary.LittleEndian.PutUint64(local[:], saltHash(topoHash(hash64(fnvOffset64, enc), c), salt))
 	gathered, err := c.Allgather(local[:])
 	if err != nil {
 		return zero, false, err

@@ -137,6 +137,21 @@ func (d *Descriptor) partialError(ps *partialState) error {
 	}
 	sort.Ints(lost)
 	var missing []grid.Box
+	if b := p.bounded; b != nil {
+		// Bounded exchanges lose peers at step granularity: a source lost
+		// at step s0 is missing exactly its receive slices scheduled at
+		// s0 or later (its earlier steps landed before the loss).
+		for _, peer := range lost {
+			s0 := ps.lost[peer]
+			for _, idx := range b.recvIdx {
+				sl := &b.slices[idx]
+				if sl.src == peer && sl.step >= s0 {
+					missing = append(missing, sl.region)
+				}
+			}
+		}
+		return &PartialError{LostPeers: lost, Missing: missing, Cause: ps.cause}
+	}
 	for _, peer := range lost {
 		if peer < 0 || peer >= len(p.allChunks) {
 			continue
@@ -252,6 +267,26 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 			o.rec.StampSpan(trace.Event{Rank: rankL, Name: "exchange",
 				Exchange: exch, Round: -1, Peer: -1}, allStart, time.Now())
 		}()
+	}
+	if b := p.bounded; b != nil {
+		// The memory-bounded backend replaces the mode dispatch entirely:
+		// the step schedule was compiled for this descriptor's budget and
+		// every rank selected it from the same collectively shared
+		// geometry, so the worlds agree on the path taken.
+		start := time.Now()
+		if err := d.exchangeBounded(ctx, o, c, own, need, ps); err != nil {
+			return fmt.Errorf("core: bounded exchange: %w", err)
+		}
+		elapsed := time.Since(start)
+		d.timings = append(d.timings, RoundTiming{Round: 0, Duration: elapsed, WireBytes: b.wireBytes})
+		if o.on() {
+			o.exchangeLat.Observe(elapsed.Seconds())
+			o.roundLat.Observe(elapsed.Seconds())
+			o.exchangeBytes.Add(b.wireBytes)
+			o.boundedSteps.Add(int64(b.steps))
+			o.boundedPeak.SetMax(d.lastPeakStaging)
+		}
+		return d.finishExchange(rankL, exch, ps)
 	}
 	if d.mode == ModePointToPointFused {
 		start := time.Now()

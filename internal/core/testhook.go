@@ -16,6 +16,56 @@ func CompileBruteForTest(rank, elemSize int, allChunks [][]grid.Box, allNeeds []
 	return compilePlanBrute(rank, elemSize, allChunks, allNeeds)
 }
 
+// CompileBoundedForTest attaches a bounded step schedule compiled for an
+// explicit budget to the plan, bypassing the descriptor's auto-selection
+// (which only compiles one when the single-shot footprint exceeds the
+// budget). It exists for the golden bounded fixtures and the
+// meter-enforcement self-tests. Never call outside tests.
+func CompileBoundedForTest(p *Plan, budget int) error {
+	b, err := compileBounded(p, budget)
+	if err != nil {
+		return err
+	}
+	p.bounded = b
+	return nil
+}
+
+// PerturbBoundedForTest translates one of the bounded schedule's receive
+// slices by one cell along an axis (staying inside the need box),
+// rebuilding its receive type and span — a step-boundary off-by-one: the
+// payload still carries the right bytes, but they land one cell away
+// from where they belong. The send half is untouched, so the wire
+// lengths still match and only the differential byte comparison (or the
+// harness's fill invariant) can catch it. Returns false when no receive
+// slice can be shifted while staying in bounds. Never call outside
+// tests.
+func (p *Plan) PerturbBoundedForTest() bool {
+	if p == nil || p.bounded == nil {
+		return false
+	}
+	b := p.bounded
+	for _, idx := range b.recvIdx {
+		sl := &b.slices[idx]
+		for ax := 0; ax < sl.region.NDims; ax++ {
+			for _, delta := range [2]int{1, -1} {
+				moved := sl.region
+				moved.Offset[ax] += delta
+				if !p.need.Contains(moved) {
+					continue
+				}
+				t, span, err := boundedType(p.elemSize, p.need, moved, sl.src, true)
+				if err != nil {
+					continue
+				}
+				sl.region = moved
+				sl.recvT, sl.recvSpan = t, span
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // PerturbPlanForTest shifts one compiled contiguous receive span by one
 // element, simulating an off-by-one in the overlap math. It exists so the
 // property-based harness can prove it detects plan-compilation bugs: a

@@ -205,14 +205,59 @@ type RankResult struct {
 	Err error
 	// CheckErr is an invariant violation found in the need buffer.
 	CheckErr error
+	// BoundedSteps is the number of bounded-backend steps the exchange
+	// executed (0 when the one-shot backend ran).
+	BoundedSteps int
+	// PeakStaging is the rank's measured peak staging footprint in bytes
+	// during a bounded exchange; 0 otherwise.
+	PeakStaging int64
 }
+
+// Transport names accepted by RunOptions.Transport.
+const (
+	TransportInproc = ""     // in-process channels (the default)
+	TransportTCP    = "tcp"  // loopback sockets
+	TransportShm    = "shm"  // shared-memory rings
+	TransportHier   = "hier" // shm transport under a two-node hierarchical topology
+)
 
 // RunOptions selects how a case executes.
 type RunOptions struct {
-	TCP      bool              // socket transport instead of in-process
+	// Transport picks the wire: "" (in-process), "tcp", "shm", or "hier"
+	// (shm rings under a two-node hierarchical topology, exercising the
+	// leader-exchange path).
+	Transport string
+	// TCP is the deprecated spelling of Transport == "tcp"; it is honored
+	// when Transport is empty.
+	TCP      bool
 	Injector mpi.FaultInjector // nil runs fault-free
 	Deadline time.Duration     // per-exchange bound; required for sever schedules
 	Mutate   func(*core.Plan)  // test hook: corrupt the compiled plan on rank 0
+	// Budget, when positive, arms core.WithMemoryBudget so cases whose
+	// single-shot footprint exceeds it run on the bounded backend.
+	Budget int
+}
+
+// launchOptions maps the option's transport name onto launcher options.
+func (opt RunOptions) launchOptions(nprocs int) ([]mpi.LaunchOption, error) {
+	transport := opt.Transport
+	if transport == TransportInproc && opt.TCP {
+		transport = TransportTCP
+	}
+	lo := []mpi.LaunchOption{mpi.WithFaultInjector(opt.Injector)}
+	switch transport {
+	case TransportInproc:
+	case TransportTCP:
+		lo = append(lo, mpi.WithTransport(mpi.TransportTCP))
+	case TransportShm:
+		lo = append(lo, mpi.WithTransport(mpi.TransportShm))
+	case TransportHier:
+		lo = append(lo, mpi.WithTransport(mpi.TransportShm),
+			mpi.WithTopology(mpi.NodesOf(nprocs, 2)))
+	default:
+		return nil, fmt.Errorf("ddrtest: unknown transport %q", transport)
+	}
+	return lo, nil
 }
 
 // Run executes the case and returns the per-rank results. The returned
@@ -230,6 +275,9 @@ func (tc *Case) Run(opt RunOptions) ([]RankResult, error) {
 		}
 		if opt.Deadline > 0 {
 			dopts = append(dopts, core.WithExchangeDeadline(opt.Deadline))
+		}
+		if opt.Budget > 0 {
+			dopts = append(dopts, core.WithMemoryBudget(opt.Budget))
 		}
 		d, err := core.NewDescriptor(tc.NProcs, tc.Layout, core.Uint8, dopts...)
 		if err != nil {
@@ -250,6 +298,8 @@ func (tc *Case) Run(opt RunOptions) ([]RankResult, error) {
 			needBuf[i] = Sentinel
 		}
 		err = d.ReorganizeData(c, own, needBuf)
+		res.BoundedSteps = d.BoundedSteps()
+		res.PeakStaging = d.LastPeakStaging()
 		var pe *core.PartialError
 		if errors.As(err, &pe) {
 			res.Partial = pe
@@ -266,10 +316,10 @@ func (tc *Case) Run(opt RunOptions) ([]RankResult, error) {
 		res.CheckErr = tc.CheckNeed(tc.Needs[rank], needBuf, missing)
 		return nil
 	}
-	launchOpts := []mpi.LaunchOption{mpi.WithFaultInjector(opt.Injector)}
-	if opt.TCP {
-		launchOpts = append(launchOpts, mpi.WithTransport(mpi.TransportTCP))
+	launchOpts, err := opt.launchOptions(tc.NProcs)
+	if err != nil {
+		return results, err
 	}
-	err := mpi.Launch(tc.NProcs, body, launchOpts...)
+	err = mpi.Launch(tc.NProcs, body, launchOpts...)
 	return results, err
 }

@@ -27,6 +27,12 @@ var (
 		"largest domain extent per axis the generator may pick")
 	flagTCPEvery = flag.Int("ddr-tcp-every", 16,
 		"run every Nth case on the TCP transport as well (0 disables)")
+	flagShmEvery = flag.Int("ddr-shm-every", 16,
+		"run every Nth case on the shared-memory transport as well (0 disables)")
+	flagHierEvery = flag.Int("ddr-hier-every", 16,
+		"run every Nth case on the hierarchical (shm + two-node topology) path as well (0 disables)")
+	flagTransport = flag.String("ddr-transport", "",
+		"transport for -ddr-seed reproductions: \"\" (in-process), tcp, shm, or hier")
 )
 
 // severDeadline bounds exchanges under sever schedules so lost peers
@@ -96,47 +102,47 @@ var propertyModes = []core.ExchangeMode{
 
 // runOne executes one (seed, mode, schedule) combination and fails the
 // test with a reproduction command if the invariant does not hold.
-func runOne(t *testing.T, seed uint64, mode core.ExchangeMode, sc schedule, tcp bool) {
+func runOne(t *testing.T, seed uint64, mode core.ExchangeMode, sc schedule, transport string) {
 	t.Helper()
 	tc := GenCase(seed, mode, *flagMaxProcs, *flagMaxExtent)
 	results, err := tc.Run(RunOptions{
-		TCP:      tcp,
-		Injector: sc.build(&tc),
-		Deadline: sc.deadline,
+		Transport: transport,
+		Injector:  sc.build(&tc),
+		Deadline:  sc.deadline,
 	})
 	if err != nil {
-		fail(t, &tc, sc, tcp, fmt.Errorf("world error: %w", err))
+		fail(t, &tc, sc, transport, fmt.Errorf("world error: %w", err))
 		return
 	}
 	for rank, res := range results {
 		switch {
 		case res.Err != nil:
-			fail(t, &tc, sc, tcp, fmt.Errorf("rank %d exchange failed: %w", rank, res.Err))
+			fail(t, &tc, sc, transport, fmt.Errorf("rank %d exchange failed: %w", rank, res.Err))
 		case res.CheckErr != nil:
-			fail(t, &tc, sc, tcp, fmt.Errorf("rank %d invariant violated: %w", rank, res.CheckErr))
+			fail(t, &tc, sc, transport, fmt.Errorf("rank %d invariant violated: %w", rank, res.CheckErr))
 		case res.Partial != nil && !sc.lossy:
-			fail(t, &tc, sc, tcp, fmt.Errorf("rank %d degraded under a lossless schedule: %v", rank, res.Partial))
+			fail(t, &tc, sc, transport, fmt.Errorf("rank %d degraded under a lossless schedule: %v", rank, res.Partial))
 		}
 	}
 }
 
 // fail reports a violation together with the minimal reproduction found
 // by shrinking the generator bounds for the same seed.
-func fail(t *testing.T, tc *Case, sc schedule, tcp bool, cause error) {
+func fail(t *testing.T, tc *Case, sc schedule, transport string, cause error) {
 	t.Helper()
-	procs, extent := shrink(tc.Seed, tc.Mode, sc, tcp)
-	t.Errorf("%v under schedule %q (tcp=%v): %v\nreproduce: go test ./internal/ddrtest -run TestDDRProperty -ddr-seed=%d -ddr-max-procs=%d -ddr-max-extent=%d",
-		tc, sc.name, tcp, cause, tc.Seed, procs, extent)
+	procs, extent := shrink(tc.Seed, tc.Mode, sc, transport)
+	t.Errorf("%v under schedule %q (transport=%q): %v\nreproduce: go test ./internal/ddrtest -run TestDDRProperty -ddr-seed=%d -ddr-max-procs=%d -ddr-max-extent=%d -ddr-transport=%s",
+		tc, sc.name, transport, cause, tc.Seed, procs, extent, transport)
 }
 
 // shrink re-runs the failing seed with progressively tighter generator
 // bounds and returns the smallest (maxProcs, maxExtent) that still fails,
 // so the reproduction command builds the least case that shows the bug.
-func shrink(seed uint64, mode core.ExchangeMode, sc schedule, tcp bool) (procs, extent int) {
+func shrink(seed uint64, mode core.ExchangeMode, sc schedule, transport string) (procs, extent int) {
 	procs, extent = *flagMaxProcs, *flagMaxExtent
 	fails := func(p, e int) bool {
 		tc := GenCase(seed, mode, p, e)
-		results, err := tc.Run(RunOptions{TCP: tcp, Injector: sc.build(&tc), Deadline: sc.deadline})
+		results, err := tc.Run(RunOptions{Transport: transport, Injector: sc.build(&tc), Deadline: sc.deadline})
 		if err != nil {
 			return true
 		}
@@ -158,8 +164,9 @@ func shrink(seed uint64, mode core.ExchangeMode, sc schedule, tcp bool) (procs, 
 
 // TestDDRProperty is the harness sweep: for every exchange mode and
 // chaos schedule it runs the configured number of seeded random cases
-// (default 200, reduced under -short) on the in-process transport, plus a
-// TCP subsample, and requires the redistribution invariant to hold.
+// (default 200, reduced under -short) on the in-process transport, plus
+// TCP, shared-memory, and hierarchical subsamples, and requires the
+// redistribution invariant to hold.
 func TestDDRProperty(t *testing.T) {
 	cases := *flagCases
 	if testing.Short() {
@@ -174,15 +181,22 @@ func TestDDRProperty(t *testing.T) {
 			name := fmt.Sprintf("%v/%s", mode, sc.name)
 			t.Run(name, func(t *testing.T) {
 				if *flagSeed >= 0 {
-					runOne(t, uint64(*flagSeed), mode, sc, false)
-					runOne(t, uint64(*flagSeed), mode, sc, true)
+					runOne(t, uint64(*flagSeed), mode, sc, *flagTransport)
 					return
 				}
 				for i := 0; i < cases && !t.Failed(); i++ {
 					seed := uint64(i)*2654435761 + uint64(i) + 1
-					runOne(t, seed, mode, sc, false)
+					runOne(t, seed, mode, sc, TransportInproc)
+					// Subsample the heavier transports on offset strides so
+					// no two sweeps hit the same case indices.
 					if *flagTCPEvery > 0 && i%*flagTCPEvery == 0 {
-						runOne(t, seed, mode, sc, true)
+						runOne(t, seed, mode, sc, TransportTCP)
+					}
+					if *flagShmEvery > 0 && i%*flagShmEvery == 5 {
+						runOne(t, seed, mode, sc, TransportShm)
+					}
+					if *flagHierEvery > 0 && i%*flagHierEvery == 11 {
+						runOne(t, seed, mode, sc, TransportHier)
 					}
 				}
 			})

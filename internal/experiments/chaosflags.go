@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"flag"
-	"time"
 
 	"ddr/internal/chaos"
 	"ddr/internal/core"
@@ -16,55 +15,45 @@ import (
 // injector and installs it process-wide so every world the binary runs —
 // in-process or TCP — carries the schedule. With no chaos flags set the
 // apply function installs nothing and the transports stay on their
-// fault-free fast path.
+// fault-free fast path. Registration is idempotent: a name fs already
+// carries (from an earlier registrar call or the binary itself) is
+// reused, never redefined.
 func RegisterChaosFlags(fs *flag.FlagSet) (apply func() error) {
-	var (
-		seed     uint64
-		drop     float64
-		delayP   float64
-		delayMax time.Duration
-		dup      float64
-		reorder  float64
-		stallP   float64
-		stallFor time.Duration
-		severs   string
-		tagFloor int
-	)
-	fs.Uint64Var(&seed, "chaos-seed", 1,
+	seed := flagGetUint64(fs, "chaos-seed", 1,
 		"seed of the deterministic fault schedule; equal seeds reproduce identical faults")
-	fs.Float64Var(&drop, "chaos-drop", 0,
+	drop := flagGetFloat64(fs, "chaos-drop", 0,
 		"probability per delivery attempt of dropping the message (the transport retries with backoff)")
-	fs.Float64Var(&delayP, "chaos-delay", 0,
+	delayP := flagGetFloat64(fs, "chaos-delay", 0,
 		"probability per message of delaying its delivery")
-	fs.DurationVar(&delayMax, "chaos-delay-max", 0,
+	delayMax := flagGetDuration(fs, "chaos-delay-max", 0,
 		"upper bound of injected delivery delays (0 = 2ms default)")
-	fs.Float64Var(&dup, "chaos-dup", 0,
+	dup := flagGetFloat64(fs, "chaos-dup", 0,
 		"probability per message of delivering it twice (deduplicated by the receiver)")
-	fs.Float64Var(&reorder, "chaos-reorder", 0,
+	reorder := flagGetFloat64(fs, "chaos-reorder", 0,
 		"probability per message of letting the next queued message overtake it")
-	fs.Float64Var(&stallP, "chaos-stall", 0,
+	stallP := flagGetFloat64(fs, "chaos-stall", 0,
 		"probability per message of stalling its link for -chaos-stall-for")
-	fs.DurationVar(&stallFor, "chaos-stall-for", 0,
+	stallFor := flagGetDuration(fs, "chaos-stall-for", 0,
 		"duration of injected link stalls (0 = 20ms default)")
-	fs.StringVar(&severs, "chaos-sever", "",
+	severs := flagGetString(fs, "chaos-sever", "",
 		"comma-separated link cuts of the form from>to@after, e.g. 0>1@5")
-	fs.IntVar(&tagFloor, "chaos-tag-floor", core.ExchangeTagBase,
+	tagFloor := flagGetInt(fs, "chaos-tag-floor", core.ExchangeTagBase,
 		"restrict faults to messages with tag >= this value (default spares the mapping collectives; 0 faults everything)")
 	return func() error {
-		sv, err := chaos.ParseSevers(severs)
+		sv, err := chaos.ParseSevers(severs())
 		if err != nil {
 			return err
 		}
 		inj := chaos.New(chaos.Options{
-			Seed:        seed,
-			DropProb:    drop,
-			DelayProb:   delayP,
-			DelayMax:    delayMax,
-			DupProb:     dup,
-			ReorderProb: reorder,
-			StallProb:   stallP,
-			StallFor:    stallFor,
-			TagFloor:    tagFloor,
+			Seed:        seed(),
+			DropProb:    drop(),
+			DelayProb:   delayP(),
+			DelayMax:    delayMax(),
+			DupProb:     dup(),
+			ReorderProb: reorder(),
+			StallProb:   stallP(),
+			StallFor:    stallFor(),
+			TagFloor:    tagFloor(),
 			Severs:      sv,
 		})
 		if inj.Enabled() {

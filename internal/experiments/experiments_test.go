@@ -309,6 +309,28 @@ func TestRunInTransitMultiField(t *testing.T) {
 	}
 }
 
+// TestRunInTransitMemBudget runs the pipeline under a staging budget
+// tight enough that every frame regrids through the bounded step
+// compiler; the rendered output accounting must be unchanged.
+func TestRunInTransitMemBudget(t *testing.T) {
+	res, err := RunInTransit(InTransitConfig{
+		M: 4, N: 2,
+		GridW: 48, GridH: 36,
+		Iterations:  30,
+		OutputEvery: 10,
+		MemBudget:   1 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Frames != 3 {
+		t.Errorf("frames = %d, want 3", res.Frames)
+	}
+	if res.ProcessedBytes <= 0 || res.ProcessedBytes >= res.RawBytes {
+		t.Errorf("processed bytes %d vs raw %d", res.ProcessedBytes, res.RawBytes)
+	}
+}
+
 func TestRunInTransitValidation(t *testing.T) {
 	if _, err := RunInTransit(InTransitConfig{M: 2, N: 1, GridW: 32, GridH: 16, Iterations: 5, OutputEvery: 0}); err == nil {
 		t.Error("zero OutputEvery accepted")

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"flag"
+	"strconv"
+	"time"
+)
+
+// Lookup-or-define flag helpers. The experiment binaries compose several
+// registrars (transport, TCP tuning, chaos) on one FlagSet, and embedding
+// tools may install the same registrar more than once; flag.FlagSet
+// panics on a redefined name. Each helper defines the flag only when the
+// FlagSet does not already carry it and returns a getter that reads the
+// live definition after Parse, so repeated registration resolves to the
+// single shared flag instead of panicking. The getters parse
+// Value.String() rather than type-asserting the concrete flag value, so
+// they also tolerate a binary that pre-defined the name with its own
+// flag type; unparsable text falls back to the registrar's default.
+
+func flagGetInt(fs *flag.FlagSet, name string, def int, usage string) func() int {
+	f := fs.Lookup(name)
+	if f == nil {
+		p := fs.Int(name, def, usage)
+		return func() int { return *p }
+	}
+	return func() int {
+		v, err := strconv.Atoi(f.Value.String())
+		if err != nil {
+			return def
+		}
+		return v
+	}
+}
+
+func flagGetUint64(fs *flag.FlagSet, name string, def uint64, usage string) func() uint64 {
+	f := fs.Lookup(name)
+	if f == nil {
+		p := fs.Uint64(name, def, usage)
+		return func() uint64 { return *p }
+	}
+	return func() uint64 {
+		v, err := strconv.ParseUint(f.Value.String(), 10, 64)
+		if err != nil {
+			return def
+		}
+		return v
+	}
+}
+
+func flagGetFloat64(fs *flag.FlagSet, name string, def float64, usage string) func() float64 {
+	f := fs.Lookup(name)
+	if f == nil {
+		p := fs.Float64(name, def, usage)
+		return func() float64 { return *p }
+	}
+	return func() float64 {
+		v, err := strconv.ParseFloat(f.Value.String(), 64)
+		if err != nil {
+			return def
+		}
+		return v
+	}
+}
+
+func flagGetBool(fs *flag.FlagSet, name string, def bool, usage string) func() bool {
+	f := fs.Lookup(name)
+	if f == nil {
+		p := fs.Bool(name, def, usage)
+		return func() bool { return *p }
+	}
+	return func() bool {
+		v, err := strconv.ParseBool(f.Value.String())
+		if err != nil {
+			return def
+		}
+		return v
+	}
+}
+
+func flagGetString(fs *flag.FlagSet, name, def, usage string) func() string {
+	f := fs.Lookup(name)
+	if f == nil {
+		p := fs.String(name, def, usage)
+		return func() string { return *p }
+	}
+	return func() string { return f.Value.String() }
+}
+
+func flagGetDuration(fs *flag.FlagSet, name string, def time.Duration, usage string) func() time.Duration {
+	f := fs.Lookup(name)
+	if f == nil {
+		p := fs.Duration(name, def, usage)
+		return func() time.Duration { return *p }
+	}
+	return func() time.Duration {
+		v, err := time.ParseDuration(f.Value.String())
+		if err != nil {
+			return def
+		}
+		return v
+	}
+}

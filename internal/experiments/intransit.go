@@ -57,6 +57,12 @@ type InTransitConfig struct {
 	// Nodes is the emulated node count for Transport "hier" (ranks are
 	// split contiguously). 0 means 2.
 	Nodes int
+
+	// MemBudget, when positive, caps each consumer rank's exchange
+	// staging footprint in bytes (core.WithMemoryBudget): frames whose
+	// one-shot footprint would exceed it are regridded through the
+	// bounded step compiler instead.
+	MemBudget int
 }
 
 func (cfg *InTransitConfig) fillDefaults() {
@@ -271,7 +277,11 @@ func runConsumer(env consumerEnv, cfg InTransitConfig) (*InTransitResult, error)
 	for p := lo; p < hi; p++ {
 		myChunks = append(myChunks, slabBox(p))
 	}
-	desc, err := core.NewDescriptor(local.Size(), core.Layout2D, core.Float32, tel.coreOpts()...)
+	dopts := tel.coreOpts()
+	if cfg.MemBudget > 0 {
+		dopts = append(dopts, core.WithMemoryBudget(cfg.MemBudget))
+	}
+	desc, err := core.NewDescriptor(local.Size(), core.Layout2D, core.Float32, dopts...)
 	if err != nil {
 		return nil, err
 	}

@@ -11,19 +11,29 @@ import (
 // -tcp-sndbuf, -tcp-rcvbuf, -tcp-nagle, -tcp-queue) on fs and returns a
 // function that, called after fs.Parse, publishes the selected values as
 // the process-wide defaults used by every TCP endpoint the binary opens.
+// Registration is idempotent: a name fs already carries (from an earlier
+// registrar call or the binary itself) is reused, never redefined.
 func RegisterTCPFlags(fs *flag.FlagSet) (apply func()) {
-	var o mpi.TCPOptions
-	fs.IntVar(&o.ChunkThreshold, "tcp-chunk-threshold", 0,
+	chunkThreshold := flagGetInt(fs, "tcp-chunk-threshold", 0,
 		"payload bytes above which TCP messages stream as chunked sub-frames (0 = 1 MiB default, negative disables chunking)")
-	fs.IntVar(&o.ChunkSize, "tcp-chunk-size", 0,
+	chunkSize := flagGetInt(fs, "tcp-chunk-size", 0,
 		"payload bytes per TCP chunk sub-frame (0 = 8 MiB default)")
-	fs.IntVar(&o.SendBufSize, "tcp-sndbuf", 0,
+	sndbuf := flagGetInt(fs, "tcp-sndbuf", 0,
 		"SO_SNDBUF in bytes for TCP transport connections (0 = OS default)")
-	fs.IntVar(&o.RecvBufSize, "tcp-rcvbuf", 0,
+	rcvbuf := flagGetInt(fs, "tcp-rcvbuf", 0,
 		"SO_RCVBUF in bytes for TCP transport connections (0 = OS default)")
-	fs.BoolVar(&o.Nagle, "tcp-nagle", false,
+	nagle := flagGetBool(fs, "tcp-nagle", false,
 		"re-enable Nagle's algorithm on TCP transport connections (default sets TCP_NODELAY)")
-	fs.IntVar(&o.SendQueueLen, "tcp-queue", 0,
+	queue := flagGetInt(fs, "tcp-queue", 0,
 		"per-peer TCP send queue capacity in frames; a full queue blocks the sender (0 = 256 default)")
-	return func() { mpi.SetDefaultTCPOptions(o) }
+	return func() {
+		mpi.SetDefaultTCPOptions(mpi.TCPOptions{
+			ChunkThreshold: chunkThreshold(),
+			ChunkSize:      chunkSize(),
+			SendBufSize:    sndbuf(),
+			RecvBufSize:    rcvbuf(),
+			Nagle:          nagle(),
+			SendQueueLen:   queue(),
+		})
+	}
 }

@@ -13,13 +13,15 @@ import (
 // name and node count. The empty transport means the in-process
 // mailbox; "hier" emulates a multi-node placement: ranks are split
 // across -nodes nodes, intra-node traffic rides shared-memory rings and
-// each node's leader relays inter-node traffic over TCP.
+// each node's leader relays inter-node traffic over TCP. Registration is
+// idempotent: a name fs already carries (from an earlier registrar call
+// or the binary itself) is reused, never redefined.
 func RegisterTransportFlags(fs *flag.FlagSet) (resolve func() (transport string, nodes int)) {
-	transport := fs.String("transport", "",
+	transport := flagGetString(fs, "transport", "",
 		"rank transport: inproc (default), tcp, shm, or hier (two-level leader relay)")
-	nodes := fs.Int("nodes", 2,
+	nodes := flagGetInt(fs, "nodes", 2,
 		"emulated node count for -transport=hier (ranks are split contiguously)")
-	return func() (string, int) { return *transport, *nodes }
+	return func() (string, int) { return transport(), nodes() }
 }
 
 // transportLaunchOpts maps a transport name and node count to the

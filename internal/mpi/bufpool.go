@@ -21,6 +21,7 @@ package mpi
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 )
 
@@ -85,4 +86,91 @@ func PutBuffer(b []byte) {
 	}
 	b = b[:c]
 	bufPools[shift-minClassShift].Put(unsafe.Pointer(unsafe.SliceData(b)))
+}
+
+// BufferClassSize reports the capacity a GetBuffer(n) call actually
+// holds: the size of the smallest class covering n, or n itself beyond
+// the largest class. Memory-budget accounting rounds through it so
+// modeled footprints match what the arena really hands out.
+func BufferClassSize(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	c := classFor(n)
+	if c < 0 {
+		return n
+	}
+	return 1 << (minClassShift + c)
+}
+
+// StagingMeter is a live accounting hook over arena traffic: callers that
+// acquire and release through it maintain a current-bytes counter and its
+// high-water mark. The core package's memory-bounded exchange charges
+// every staging buffer and held receive payload it owns against one, so
+// tests can assert the measured peak against a configured budget — the
+// budget is enforced by measurement, not advised. All methods are safe
+// for concurrent use and nil-safe (a nil meter is a no-op).
+type StagingMeter struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// Acquire charges n bytes and advances the high-water mark.
+func (m *StagingMeter) Acquire(n int) {
+	if m == nil {
+		return
+	}
+	c := m.cur.Add(int64(n))
+	for {
+		p := m.peak.Load()
+		if c <= p || m.peak.CompareAndSwap(p, c) {
+			return
+		}
+	}
+}
+
+// Release returns n previously acquired bytes.
+func (m *StagingMeter) Release(n int) {
+	if m != nil {
+		m.cur.Add(int64(-n))
+	}
+}
+
+// Current reports the bytes currently charged.
+func (m *StagingMeter) Current() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.cur.Load()
+}
+
+// Peak reports the high-water mark since the last ResetPeak.
+func (m *StagingMeter) Peak() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.peak.Load()
+}
+
+// ResetPeak rebases the high-water mark to the current charge, so a
+// caller can measure one bounded operation in isolation.
+func (m *StagingMeter) ResetPeak() {
+	if m != nil {
+		m.peak.Store(m.cur.Load())
+	}
+}
+
+// GetBufferMetered is GetBuffer with the buffer's full capacity (the
+// class size, not the requested length) charged against m.
+func GetBufferMetered(n int, m *StagingMeter) []byte {
+	b := GetBuffer(n)
+	m.Acquire(cap(b))
+	return b
+}
+
+// PutBufferMetered releases the charge taken by GetBufferMetered and
+// recycles the buffer.
+func PutBufferMetered(b []byte, m *StagingMeter) {
+	m.Release(cap(b))
+	PutBuffer(b)
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 
@@ -51,6 +52,91 @@ func TestBufferPoolRecycles(t *testing.T) {
 	if cap(c) != 1024 || len(c) != 900 {
 		t.Fatalf("recycled buffer len %d cap %d", len(c), cap(c))
 	}
+}
+
+// TestBufferClassSize pins the class-rounding contract memory-budget
+// accounting depends on: the reported size is exactly the capacity
+// GetBuffer hands out for the same request.
+func TestBufferClassSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {-5, 0},
+		{1, 256}, {255, 256}, {256, 256}, {257, 512},
+		{1000, 1024}, {1 << 20, 1 << 20}, {1<<20 + 1, 2 << 20},
+		{1 << 26, 1 << 26}, {1<<26 + 1, 1<<26 + 1}, // beyond the top class: allocator, exact
+	}
+	for _, c := range cases {
+		if got := BufferClassSize(c.n); got != c.want {
+			t.Errorf("BufferClassSize(%d) = %d, want %d", c.n, got, c.want)
+		}
+		if c.n <= 0 {
+			continue
+		}
+		b := GetBuffer(c.n)
+		if cap(b) != c.want {
+			t.Errorf("GetBuffer(%d) cap %d, BufferClassSize says %d", c.n, cap(b), c.want)
+		}
+		PutBuffer(b)
+	}
+}
+
+// TestStagingMeter covers the live accounting hook of the bounded
+// exchange: charge/release bookkeeping, the high-water mark, ResetPeak
+// rebasing, metered Get/Put charging full class capacity, and nil
+// safety.
+func TestStagingMeter(t *testing.T) {
+	var m StagingMeter
+	m.Acquire(100)
+	m.Acquire(50)
+	if cur, peak := m.Current(), m.Peak(); cur != 150 || peak != 150 {
+		t.Fatalf("cur=%d peak=%d, want 150/150", cur, peak)
+	}
+	m.Release(100)
+	if cur, peak := m.Current(), m.Peak(); cur != 50 || peak != 150 {
+		t.Fatalf("after release: cur=%d peak=%d, want 50/150", cur, peak)
+	}
+	m.ResetPeak()
+	if peak := m.Peak(); peak != 50 {
+		t.Fatalf("peak after reset = %d, want 50", peak)
+	}
+	b := GetBufferMetered(300, &m) // class 512
+	if cur := m.Current(); cur != 50+512 {
+		t.Fatalf("metered get charges %d, want class capacity 512", cur-50)
+	}
+	PutBufferMetered(b, &m)
+	if cur, peak := m.Current(), m.Peak(); cur != 50 || peak != 562 {
+		t.Fatalf("after metered put: cur=%d peak=%d, want 50/562", cur, peak)
+	}
+
+	// Concurrent acquire/release never loses a peak raise.
+	var c StagingMeter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				c.Acquire(64)
+				c.Release(64)
+			}
+		}()
+	}
+	wg.Wait()
+	if cur := c.Current(); cur != 0 {
+		t.Fatalf("concurrent balance = %d, want 0", cur)
+	}
+	if peak := c.Peak(); peak < 64 || peak > 8*64 {
+		t.Fatalf("concurrent peak = %d, want within [64, 512]", peak)
+	}
+
+	var nilM *StagingMeter
+	nilM.Acquire(10)
+	nilM.Release(10)
+	nilM.ResetPeak()
+	if nilM.Current() != 0 || nilM.Peak() != 0 {
+		t.Fatal("nil meter must read zero")
+	}
+	nb := GetBufferMetered(100, nil)
+	PutBufferMetered(nb, nil)
 }
 
 // TestAlltoallwOptParity verifies every staging strategy produces the

@@ -400,6 +400,21 @@ func (t *faultTransport) deliver(l *faultLink, e envelope, dup bool) error {
 
 func (t *faultTransport) severLink(l *faultLink, err error) {
 	l.fail(err)
+	// Notify the destination in-band: a lostCtx control envelope sent
+	// through the raw transport arrives at the mailbox behind every
+	// message delivered before the sever, so spared traffic still in
+	// flight (in a shm ring or a leader relay hop — e.g. mapping
+	// collectives below the injector's tag floor) stays consumable
+	// before the peer reads as lost. A direct markLost here would race
+	// ahead of those asynchronous deliveries and fail receives whose
+	// messages were already sent.
+	msg := err.Error()
+	buf := GetBuffer(len(msg))
+	copy(buf, msg)
+	if serr := t.raw.send(l.dst, envelope{ctx: lostCtx, src: t.src, data: buf}); serr == nil {
+		return
+	}
+	// The raw link itself is down; fall back to the direct mark.
 	if t.onPeerLost != nil {
 		t.onPeerLost(l.dst, t.src, err)
 	}

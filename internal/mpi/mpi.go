@@ -174,10 +174,10 @@ type mailbox struct {
 	queue  []envelope
 	closed bool
 	err    error
-	depth  *obs.Gauge         // pending-message depth, nil unless telemetry attached
-	lost   map[int]error      // world src -> why that peer is unreachable
-	seen   map[int]*seqWindow // world src -> dedupe window for sequenced envelopes
-	lostC  *obs.Counter       // peers-lost counter, nil unless telemetry attached
+	depth  *obs.Gauge          // pending-message depth, nil unless telemetry attached
+	lost   map[int]error       // world src -> why that peer is unreachable
+	seen   map[int]*seqWindow  // world src -> dedupe window for sequenced envelopes
+	lostC  *obs.Counter        // peers-lost counter, nil unless telemetry attached
 	flight *obs.FlightRecorder // flight recorder, nil unless attached
 	self   int                 // world rank owning this mailbox (flight attribution)
 }
@@ -196,7 +196,28 @@ func newMailbox() *mailbox {
 	return m
 }
 
+// lostCtx is the reserved communicator context for in-band peer-loss
+// notifications: a control envelope the fault layer sends through the
+// ordinary transport when it severs a link, so the loss notice arrives
+// at the destination mailbox behind every message delivered before the
+// sever. Like relayCtx, split-derived contexts never mint this value in
+// any realistic session.
+const lostCtx = ^uint32(0) - 1
+
+// inbandLostError is a peer-loss notice reconstructed from an in-band
+// control message; it preserves ErrPeerLost identity across the wire.
+type inbandLostError struct{ msg string }
+
+func (e *inbandLostError) Error() string { return e.msg }
+func (e *inbandLostError) Unwrap() error { return ErrPeerLost }
+
 func (m *mailbox) put(e envelope) {
+	if e.ctx == lostCtx {
+		err := &inbandLostError{msg: string(e.data)}
+		PutBuffer(e.data)
+		m.markLost(e.src, err)
+		return
+	}
 	m.mu.Lock()
 	if !m.closed {
 		if e.seq != 0 {

@@ -82,6 +82,21 @@ func (g *Gauge) Add(n int64) {
 	g.v.Add(n)
 }
 
+// SetMax raises the gauge to n if n exceeds the current value, leaving
+// it unchanged otherwise — a lock-free high-water mark for concurrent
+// writers (peak staging bytes, deepest queue). No-op on a nil gauge.
+func (g *Gauge) SetMax(n int64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.v.Load()
+		if n <= cur || g.v.CompareAndSwap(cur, n) {
+			return
+		}
+	}
+}
+
 // Value returns the current gauge value (0 for a nil gauge).
 func (g *Gauge) Value() int64 {
 	if g == nil {

@@ -28,6 +28,39 @@ func TestCounterGaugeBasics(t *testing.T) {
 	}
 }
 
+// TestGaugeSetMax covers the monotone raise used by high-watermark
+// gauges: lower values never regress the reading, and concurrent raisers
+// settle on the maximum.
+func TestGaugeSetMax(t *testing.T) {
+	reg := NewRegistry()
+	g := reg.Gauge("peak", "high watermark")
+	g.SetMax(40)
+	g.SetMax(25) // lower: no effect
+	if got := g.Value(); got != 40 {
+		t.Fatalf("gauge = %d, want 40", got)
+	}
+	g.SetMax(60)
+	if got := g.Value(); got != 60 {
+		t.Fatalf("gauge = %d, want 60", got)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := int64(0); v <= 1000; v++ {
+				g.SetMax(v*8 + int64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8007 {
+		t.Fatalf("concurrent SetMax = %d, want 8007", got)
+	}
+	var nilG *Gauge
+	nilG.SetMax(5) // nil-safe like every registry instrument
+}
+
 func TestHistogramBuckets(t *testing.T) {
 	reg := NewRegistry()
 	h := reg.Histogram("lat", "latency", []float64{0.001, 0.01, 0.1})
