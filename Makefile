@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test verify chaos bench bench-json bench-mapping bench-resize bench-shm bench-bounded bench-compare
+.PHONY: build test verify chaos bench bench-json bench-mapping bench-resize bench-shm bench-bounded bench-fft bench-compare
 
 build:
 	$(GO) build ./...
@@ -16,7 +16,19 @@ chaos:
 	$(GO) test -race -short ./internal/chaos/ ./internal/ddrtest/
 	$(GO) test -race -short -run 'Chaos|Partial|WaitCtxAbandon' ./internal/mpi/
 
-# verify is the pre-merge gate. The memory-bounded compiler gate runs by
+# verify is the pre-merge gate. The pipelined exchange gate runs by
+# name: the core pipelined differential sweep (depths 1/2/4 byte-identical
+# across seeded geometries, modes, and budget tiers, incl. composition
+# with the bounded step schedule), the pipelined planted-bug self-tests
+# (core and harness — a staging buffer recycled one round early must be
+# caught; these run WITHOUT -race because the planted bug is a genuine
+# data race the detector would fail before the harness's own check
+# fires), the budget depth clamp, the per-round Pack/Wire/Unpack timing
+# contract, the pipelined zero-alloc steady-state guard, the short
+# pipelined chaos property schedule, the distributed-FFT workload suite
+# under race, and a one-iteration FFT bench smoke.
+#
+# The memory-bounded compiler gate runs by
 # name: the differential sweep (bounded plans byte-identical to the
 # brute oracle across seeded geometries x exchange modes x budget tiers
 # down to the one-chunk minimum, with measured peak staging enforced
@@ -55,11 +67,11 @@ chaos:
 verify: chaos
 	$(GO) vet ./...
 	$(GO) run ./cmd/deprlint -root .
-	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/... ./internal/datatype/...
+	$(GO) test -race ./internal/obs/... ./internal/mpi/... ./internal/trace/... ./internal/core/... ./internal/datatype/... ./internal/fft/...
 	$(GO) test -race -run 'TestCompilerEquivalence' ./internal/core/
 	$(GO) test -race -run 'TestTraceMergeRoundTrip|TestGatherTrace' ./internal/core/ ./internal/mpi/
 	$(GO) test -race -run 'TestMetricsScrapeWhileWriting|TestFlightRecHandler' ./internal/obs/
-	$(GO) test -run 'TestZeroAllocSteadyState|TestBoundedZeroAllocSteadyState|TestTracingDetachedZeroAlloc|TestFlightRecorderRecordZeroAlloc|TestTCPUntracedWireIdentical' ./internal/core/ ./internal/obs/ ./internal/mpi/
+	$(GO) test -run 'TestZeroAllocSteadyState|TestBoundedZeroAllocSteadyState|TestPipelineZeroAllocSteadyState|TestTracingDetachedZeroAlloc|TestFlightRecorderRecordZeroAlloc|TestTCPUntracedWireIdentical' ./internal/core/ ./internal/obs/ ./internal/mpi/
 	$(GO) test -race -run 'TestRegridderReconnect' ./internal/transit/
 	$(GO) test -race -run 'TestRegridderResize|TestRegridderConnectFailureResetsState' ./internal/transit/
 	$(GO) test -race -run 'TestCompileDelta|TestDeltaCompilerCollective|TestDeltaExchange' ./internal/core/
@@ -69,6 +81,11 @@ verify: chaos
 	$(GO) test -run 'TestGoldenBoundedPlans' ./internal/core/
 	$(GO) test -race -short -run 'TestBoundedProperty|TestHarnessCatchesBoundedPlantedBug' ./internal/ddrtest/
 	$(GO) test -run '^$$' -bench BenchmarkBoundedExchange -benchtime 1x ./internal/core/
+	$(GO) test -race -run 'TestPipelineDifferentialSweep|TestPipelineDepthClampedByBudget|TestPipelineTimingsSubDurations|TestWithPipelineDepthValidation' ./internal/core/
+	$(GO) test -race -short -run 'TestPipelinedProperty' ./internal/ddrtest/
+	$(GO) test -run 'TestPipelineHarnessCatchesPlantedBug' ./internal/core/
+	$(GO) test -short -run 'TestHarnessCatchesPipelinePlantedBug' ./internal/ddrtest/
+	$(GO) test -run '^$$' -bench BenchmarkFFT2DStep -benchtime 1x ./internal/fft/
 	$(GO) test -race -run 'TestShmConcurrentStorm|TestShmRingWraparound|TestShmChunkedInterleave|TestShmChaosSchedules|TestShmScrapeUnderLoad|TestTransportOptionsValidation' ./internal/mpi/
 	$(GO) test -race -run 'TestHierSmoke|TestHierLargeChunkedRelay|TestHierCollectivesAndSplit|TestHierErrorPropagation' ./internal/mpi/
 	$(GO) test -race -run 'TestAutotuneProbesOnce|TestPackStrategiesByteIdentical|TestTopologyKeyedPlanFingerprint|TestTwoLevelSchedule' ./internal/core/
@@ -150,3 +167,19 @@ bench-bounded:
 	  -note "memory-bounded step schedule vs one-shot exchange, 16-rank 256x256 regrid; peak-staging-B is the measured arena high-water mark, peak-rss-B the process VmHWM" \
 	  -o BENCH_bounded.json
 	@echo wrote BENCH_bounded.json
+
+# bench-fft snapshots the distributed 2D FFT workload: the full spectral
+# timestep (four FFT passes + two slab<->pencil transposes) and the
+# transpose phase alone, on 16 ranks over links slowed by an injected
+# per-message transfer delay, with the DDR exchange at depth 1 (serial),
+# the default double buffer (depth2), the full-ring pipeline
+# (pipelined), and the hand-written one-message-per-peer transpose —
+# as BENCH_fft.json. The overlap-ratio column is the share of wire time
+# the pipelined schedule hid under pack/unpack. Pass BASELINE=<file> to
+# embed a prior snapshot for before/after ratios.
+bench-fft:
+	$(GO) test -run '^$$' -bench BenchmarkFFT2D -benchtime 5x -count 3 ./internal/fft/ | \
+	  $(GO) run ./cmd/benchjson $(if $(BASELINE),-baseline $(BASELINE)) \
+	  -note "16-rank 256x256 distributed FFT over a 200us-per-message wire: pipelined DDR transpose vs serial rounds vs hand-written transpose; overlap-ratio = hidden wire share" \
+	  -o BENCH_fft.json
+	@echo wrote BENCH_fft.json

@@ -61,6 +61,7 @@ func main() {
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
 	resolveTransport := experiments.RegisterTransportFlags(flag.CommandLine)
 	applyChaos := experiments.RegisterChaosFlags(flag.CommandLine)
+	pipeDepth := experiments.RegisterPipelineFlags(flag.CommandLine)
 	flag.Parse()
 	applyTCP()
 	if err := applyChaos(); err != nil {
@@ -80,7 +81,7 @@ func main() {
 	if *useTCP && transport == "" {
 		transport = "tcp"
 	}
-	if err := run(tel, transport, nodes, *memBudget, *table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
+	if err := run(tel, transport, nodes, *memBudget, pipeDepth(), *table, *figure, *all, *real, *ablation, *vol3d, *outDir, *t4w, *t4h, *t4fr, *quality); err != nil {
 		fmt.Fprintln(os.Stderr, "ddrbench:", err)
 		os.Exit(1)
 	}
@@ -90,7 +91,7 @@ func main() {
 	}
 }
 
-func run(tel *experiments.Telemetry, transport string, nodes, memBudget int, table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
+func run(tel *experiments.Telemetry, transport string, nodes, memBudget, pipeDepth int, table, figure int, all, real, ablation, vol3d bool, outDir string, t4w, t4h, t4fr, quality int) error {
 	machine := perfmodel.Cooley()
 	want := func(t, f int) bool {
 		return all || (t != 0 && table == t) || (f != 0 && figure == f)
@@ -176,14 +177,15 @@ func run(tel *experiments.Telemetry, transport string, nodes, memBudget int, tab
 		res, err := experiments.RunInTransit(experiments.InTransitConfig{
 			M: 8, N: 2,
 			GridW: 648, GridH: 260,
-			Iterations:  2000,
-			OutputEvery: 200,
-			JPEGQuality: quality,
-			OutDir:      outDir,
-			Telemetry:   tel,
-			Transport:   transport,
-			Nodes:       nodes,
-			MemBudget:   memBudget,
+			Iterations:    2000,
+			OutputEvery:   200,
+			JPEGQuality:   quality,
+			OutDir:        outDir,
+			Telemetry:     tel,
+			Transport:     transport,
+			Nodes:         nodes,
+			MemBudget:     memBudget,
+			PipelineDepth: pipeDepth,
 		})
 		if err != nil {
 			return err

@@ -50,6 +50,7 @@ func main() {
 	applyTCP := experiments.RegisterTCPFlags(flag.CommandLine)
 	resolveTransport := experiments.RegisterTransportFlags(flag.CommandLine)
 	applyChaos := experiments.RegisterChaosFlags(flag.CommandLine)
+	pipeDepth := experiments.RegisterPipelineFlags(flag.CommandLine)
 	flag.Parse()
 	applyTCP()
 	if err := applyChaos(); err != nil {
@@ -68,16 +69,17 @@ func main() {
 	cfg := experiments.InTransitConfig{
 		M: *sim, N: *viz,
 		GridW: *width, GridH: *height,
-		Iterations:  *iters,
-		OutputEvery: *every,
-		JPEGQuality: *quality,
-		Fields:      strings.Split(*fields, ","),
-		GIFPath:     *gifOut,
-		StatsPath:   *stats,
-		Telemetry:   tel,
-		Transport:   transport,
-		Nodes:       nodes,
-		MemBudget:   *memBudget,
+		Iterations:    *iters,
+		OutputEvery:   *every,
+		JPEGQuality:   *quality,
+		Fields:        strings.Split(*fields, ","),
+		GIFPath:       *gifOut,
+		StatsPath:     *stats,
+		Telemetry:     tel,
+		Transport:     transport,
+		Nodes:         nodes,
+		MemBudget:     *memBudget,
+		PipelineDepth: pipeDepth(),
 	}
 	if err := run(cfg, *role, *connect, *bind, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "lbmsim:", err)

@@ -100,10 +100,8 @@ func (d *Descriptor) exchangeBounded(ctx context.Context, o *exchObs, c *mpi.Com
 		if traced {
 			c.SetTraceContext(mpi.TraceContext{Exchange: d.lastExchID, Round: uint32(step)})
 		}
-		var stepStart time.Time
-		if o.tracing() {
-			stepStart = time.Now()
-		}
+		stepStart := time.Now()
+		var stepWire int64
 
 		// Send phase: self slices place immediately; remote slices pack
 		// (staged through the meter unless contiguous and zero-copy) and
@@ -136,6 +134,7 @@ func (d *Descriptor) exchangeBounded(ctx context.Context, o *exchObs, c *mpi.Com
 			}
 			wire := s.wires[w]
 			w++
+			stepWire += int64(sl.bytes)
 			if ps.isLost(sl.dst) {
 				continue
 			}
@@ -160,6 +159,7 @@ func (d *Descriptor) exchangeBounded(ctx context.Context, o *exchObs, c *mpi.Com
 			d.unstageBounded(wire)
 		}
 		s.staged = s.staged[:0]
+		issued := time.Now()
 
 		// Receive phase: every payload is charged against the meter from
 		// delivery until placement. Slices carry unique tags, so delivery
@@ -224,15 +224,28 @@ func (d *Descriptor) exchangeBounded(ctx context.Context, o *exchObs, c *mpi.Com
 				}
 			}
 		}
+		wireDone := time.Now()
 		d.eng.run(o)
 		for _, data := range s.datas {
 			d.releaseRecvBounded(data)
 		}
 		s.datas = s.datas[:0]
 
+		end := time.Now()
+		d.timings = append(d.timings, RoundTiming{
+			Round:     step,
+			Duration:  end.Sub(stepStart),
+			Pack:      issued.Sub(stepStart),
+			Wire:      wireDone.Sub(issued),
+			Unpack:    end.Sub(wireDone),
+			WireBytes: stepWire,
+		})
+		if o.on() {
+			o.roundLat.Observe(end.Sub(stepStart).Seconds())
+		}
 		if o.tracing() {
 			o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("step-%d", step),
-				Exchange: d.lastExchID, Round: int32(step), Peer: -1}, stepStart, time.Now())
+				Exchange: d.lastExchID, Round: int32(step), Peer: -1}, stepStart, end)
 		}
 	}
 	d.lastPeakStaging = d.meter.Peak()

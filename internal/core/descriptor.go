@@ -149,6 +149,7 @@ type Descriptor struct {
 	forcedStrat PackStrategy  // WithPackStrategy override; StrategyAuto probes
 	deadline    time.Duration // per-exchange bound; > 0 enables degradation
 	budget      int           // WithMemoryBudget ceiling; <= 0 disables
+	depth       int           // WithPipelineDepth; rounds in flight at once
 	tracer      *trace.Recorder
 	metrics     *obs.Registry
 	flight      *obs.FlightRecorder // nil unless WithFlightRecorder
@@ -184,6 +185,17 @@ type Descriptor struct {
 	// ground truth the budget-enforcement tests assert against.
 	meter           mpi.StagingMeter
 	lastPeakStaging int64
+
+	// Pipeline state: the depth the most recent exchange actually ran at
+	// (after geometry and budget clamping), its overlap ratio, the cached
+	// single-shot footprint the budget clamp divides by (recomputed when
+	// the plan fingerprint changes), and the test-only early-recycle
+	// perturbation (see PerturbPipelineForTest).
+	lastDepth   int
+	lastOverlap float64
+	pipeShotFP  uint64
+	pipeShot    int
+	pipePerturb bool
 }
 
 // exchObs is the observation context threaded through the exchange
@@ -206,6 +218,8 @@ type exchObs struct {
 	unpackLat     *obs.Histogram
 	boundedSteps  *obs.Counter
 	boundedPeak   *obs.Gauge
+	pipeDepth     *obs.Gauge
+	pipeOverlap   *obs.FloatGauge
 }
 
 // parallelismBuckets covers worker-pool widths from serial through large
@@ -256,6 +270,10 @@ func (d *Descriptor) buildObs(rank int) {
 			"Bounded-footprint exchange steps executed by memory-bounded ReorganizeData calls.", rl, ml),
 		boundedPeak: d.metrics.Gauge("ddr_bounded_peak_staging_bytes",
 			"High-water mark of measured exchange-layer staging bytes across bounded exchanges.", rl, ml),
+		pipeDepth: d.metrics.Gauge("ddr_pipeline_depth",
+			"Pipeline depth the most recent exchange ran at, after geometry and budget clamping (1 = serial).", rl, ml),
+		pipeOverlap: d.metrics.FloatGauge("ddr_pipeline_overlap_ratio",
+			"Fraction of the most recent exchange's wire time hidden behind pack/unpack work (0 = fully serial).", rl, ml),
 	}
 }
 
@@ -309,6 +327,25 @@ func WithValidation() Option {
 // the first transport error.
 func WithExchangeDeadline(dl time.Duration) Option {
 	return func(d *Descriptor) { d.deadline = dl }
+}
+
+// DefaultPipelineDepth is the pipeline depth descriptors run at unless
+// WithPipelineDepth overrides it: double buffering, the smallest depth
+// that overlaps round r+1's pack with round r's wire time.
+const DefaultPipelineDepth = 2
+
+// WithPipelineDepth sets how many exchange rounds (or bounded steps) may
+// be in flight at once (default DefaultPipelineDepth). Depth k > 1
+// software-pipelines the multi-round exchange paths: round r+1's pack and
+// send posting overlap round r's wire time, and round r's unpack runs
+// behind round r+1's sends, through a ring of k staging-buffer sets.
+// Depth 1 restores strictly serial rounds. The effective depth of an
+// exchange is additionally clamped by the plan's round (or step) count
+// and — when WithMemoryBudget is set — by the budget, so k-deep staging
+// never exceeds it; single-round geometries and the alltoallw and fused
+// modes always run serially. Results are byte-identical at every depth.
+func WithPipelineDepth(k int) Option {
+	return func(d *Descriptor) { d.depth = k }
 }
 
 // WithElemSize overrides the element byte size derived from the ElemType,
@@ -377,10 +414,14 @@ func NewDescriptor(nProcs int, layout Layout, elem ElemType, opts ...Option) (*D
 		zeroCopy: true,
 		autotune: true,
 		cacheCap: 8,
+		depth:    DefaultPipelineDepth,
 	}
 	d.zcSend, d.zcRecv = true, true
 	for _, opt := range opts {
 		opt(d)
+	}
+	if d.depth < 1 {
+		return nil, fmt.Errorf("core: pipeline depth %d must be at least 1", d.depth)
 	}
 	if d.cacheCap > 0 {
 		d.cache = newPlanCache[*Plan](d.cacheCap)
@@ -429,6 +470,23 @@ func (d *Descriptor) PlanCacheLen() int {
 	}
 	return d.cache.len()
 }
+
+// PipelineDepth returns the configured pipeline depth (the
+// WithPipelineDepth value, DefaultPipelineDepth when unset).
+func (d *Descriptor) PipelineDepth() int { return d.depth }
+
+// LastPipelineDepth returns the depth the most recent ReorganizeData
+// call actually ran at, after clamping by the plan's round count and the
+// memory budget — 1 when the exchange ran serially (0 before the first
+// call).
+func (d *Descriptor) LastPipelineDepth() int { return d.lastDepth }
+
+// LastOverlapRatio returns the fraction of the most recent exchange's
+// wire time that was hidden behind pack/unpack work: 0 for a serial
+// exchange (every wire interval was spent blocked), approaching 1 when
+// the pipeline kept the rounds' wire time fully covered. It equals
+// OverlapRatio(d.LastTimings()).
+func (d *Descriptor) LastOverlapRatio() float64 { return d.lastOverlap }
 
 // MetricsRegistry returns the registry attached with WithMetrics, or nil.
 func (d *Descriptor) MetricsRegistry() *obs.Registry { return d.metrics }

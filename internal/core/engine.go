@@ -77,11 +77,20 @@ func (e *engine) add(j exchJob) { e.jobs = append(e.jobs, j) }
 // across the pool; a single worker (or single job) runs inline on the
 // calling goroutine with no synchronization.
 func (e *engine) run(o *exchObs) {
-	n := len(e.jobs)
+	e.runJobs(o, e.jobs)
+	e.reset()
+}
+
+// runJobs executes an externally owned job batch on the same worker
+// pool, leaving the engine's own batch untouched. Pipelined exchanges
+// keep per-round job lists alive across several loop iterations (round
+// r's unpack batch outlives round r+1's pack batch), so they cannot
+// share the engine's single reusable slice.
+func (e *engine) runJobs(o *exchObs, jobs []exchJob) {
+	n := len(jobs)
 	if n == 0 {
 		return
 	}
-	defer e.reset()
 	par := e.par
 	if par <= 0 {
 		par = runtime.GOMAXPROCS(0)
@@ -90,8 +99,8 @@ func (e *engine) run(o *exchObs) {
 		par = n
 	}
 	if par == 1 {
-		for i := range e.jobs {
-			e.jobs[i].do(o)
+		for i := range jobs {
+			jobs[i].do(o)
 		}
 		return
 	}
@@ -106,7 +115,7 @@ func (e *engine) run(o *exchObs) {
 				if i >= n {
 					return
 				}
-				e.jobs[i].do(o)
+				jobs[i].do(o)
 			}
 		}()
 	}
@@ -120,6 +129,7 @@ type exchScratch struct {
 	staged [][]byte       // staged wires to recycle once sent
 	datas  [][]byte       // received payloads pending the unpack batch
 	reqs   []*mpi.Request // cancellable-path receive requests
+	slots  []pipeSlot     // pipelined-mode ring of in-flight round state
 
 	// Dense alltoallw rows, materialized per round from the plan's sparse
 	// tables (the collective's wire format wants one slot per peer).

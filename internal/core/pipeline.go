@@ -1,0 +1,677 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"ddr/internal/mpi"
+	"ddr/internal/trace"
+)
+
+// Pipelined execution of multi-round exchanges. The serial paths run
+// each round as pack → wire → unpack, strictly in that order, so the
+// wire time of every round is pure blocking. With pipeline depth k the
+// loop becomes a software pipeline over a ring of k staging-buffer
+// slots:
+//
+//	for r := 0; r < rounds; r++ {
+//	        if r >= k  { wait(r-k) }   // round r-k's payloads in hand
+//	        issue(r)                   // pack + post sends (+ receives)
+//	        if r >= k  { retire(r-k) } // scatter r-k behind r's wire
+//	}
+//	// drain the last min(k, rounds) rounds in order
+//
+// so round r's pack and send posting happen while rounds r-k..r-1 are on
+// the wire, and round r-k's unpack runs after round r's sends are posted
+// — the unpack itself is hidden behind the youngest round's wire time.
+// Because round r-k's state must survive across issue(r) — its waited
+// payloads retire only after r's sends are posted — the ring holds k+1
+// slots: k rounds in flight plus the one retiring behind the current
+// issue. Rounds r and r-k land in distinct slots (k and 0 differ mod
+// k+1), so issue(r) can reset its slot without touching the batch
+// wait(r-k) just brought in hand.
+// Rounds retire strictly in order, which keeps the timings slice, the
+// engine's job batches, and partial-failure bookkeeping identical in
+// shape to the serial path.
+//
+// Deadlock freedom at any depth mix: a rank only blocks in wait(j) after
+// it has issued rounds 0..j+k-1 — in particular its own round-j sends
+// are already posted — and delivery on every transport is eager (inproc
+// copies into the destination mailbox, TCP and shm drain their links
+// with background goroutines), so by induction over rounds every posted
+// send is eventually deliverable and every wait satisfiable, even when
+// peers run at different effective depths. Round tags (and the bounded
+// backend's per-slice tags) are distinct across the in-flight window, so
+// payloads of different rounds cannot be cross-matched.
+//
+// Partial failure with multiple rounds in flight follows the serial
+// semantics: a peer lost at round j is skipped for every subsequent send
+// and receive, in-flight receives from it degrade as their waits fail,
+// and when the exchange deadline expires mid-pipeline the not-yet-issued
+// rounds' sources are marked lost while the issued window drains.
+//
+// Buffer lease lifecycle (the memory-budget interaction): when a budget
+// is set, round r's receive payload classes are leased against the
+// staging meter at issue time and the lease is closed when the round
+// retires, so the meter's high-water mark bounds the whole in-flight
+// window — k receive leases plus the current round's send staging while
+// packing, or k+1 leases (and no pack staging) in the instant between
+// issue(r) and retire(r-k). Both are at most k+1 per-round footprints,
+// which is exactly what pipelineDepth clamps to the budget.
+
+// pipeSlot is one ring slot: the in-flight state of one issued round,
+// alive from issue until retire k iterations later. The ring is sized
+// k+1 so the retiring round and the round being issued never share a
+// slot. All slices are reused across rounds and exchanges, so steady
+// state allocates nothing.
+type pipeSlot struct {
+	round int
+	bytes int64 // wire bytes this rank sent in the round
+
+	packT   time.Duration // issue: pack through posting sends
+	blocked time.Duration // wait: time spent blocked on the transport
+	wire    time.Duration // sends posted → last payload in hand
+	issued  time.Time
+
+	lease mpi.StagingLease // receive-class reservation (budgeted runs)
+	datas [][]byte         // held payloads pending the unpack batch
+	jobs  []exchJob        // slot-local unpack batch
+	reqs  []*mpi.Request   // cancellable-path receive requests
+	early bool             // payloads recycled early by PerturbPipelineForTest
+}
+
+// ensureSlots sizes the descriptor's slot ring for depth k.
+func (d *Descriptor) ensureSlots(k int) []pipeSlot {
+	if cap(d.scratch.slots) < k {
+		d.scratch.slots = make([]pipeSlot, k)
+	}
+	d.scratch.slots = d.scratch.slots[:k]
+	return d.scratch.slots
+}
+
+// pipelineDepth resolves the depth an exchange may run at: the
+// configured depth clamped by the round (or step) count and — when a
+// memory budget is set — by the lease model: the in-flight window holds
+// at most k+1 per-round staging footprints (k receive leases plus the
+// round being packed), so k is lowered until (k+1)·footprint fits the
+// budget. perStep is the bounded schedule's modeled per-step footprint;
+// 0 selects the one-shot footprint of the plan's geometry, cached per
+// plan fingerprint. Depth 1 (or a single round) means the caller should
+// take the serial path, whose tighter phase ordering is already proven
+// against the budget.
+func (d *Descriptor) pipelineDepth(p *Plan, rounds, perStep int) int {
+	k := d.depth
+	if k > rounds {
+		k = rounds
+	}
+	if k <= 1 {
+		return 1
+	}
+	if d.budget <= 0 {
+		return k
+	}
+	per := perStep
+	if per == 0 {
+		if d.pipeShotFP != p.fp || d.pipeShot == 0 {
+			d.pipeShot = p.SingleShotFootprint(d.mode)
+			d.pipeShotFP = p.fp
+		}
+		per = d.pipeShot
+	}
+	if per <= 0 {
+		return k
+	}
+	kmax := d.budget/per - 1
+	if kmax < 1 {
+		kmax = 1
+	}
+	if k > kmax {
+		k = kmax
+	}
+	return k
+}
+
+// exchangePipelined runs the point-to-point rounds at depth k ≥ 2.
+// Byte-identical to the serial round loop: the same overlaps move on the
+// same tags in the same per-round order, only the schedule changes.
+func (d *Descriptor) exchangePipelined(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte, ps *partialState, k int, exch uint64, traced bool) error {
+	metered := d.budget > 0
+	if metered {
+		d.meter.ResetPeak()
+	}
+	slots := d.ensureSlots(k + 1)
+	if err := d.pipeRun(ctx, o, c, own, need, ps, k, exch, traced, metered, slots); err != nil {
+		// A hard error abandons the in-flight window; release whatever
+		// the ring still holds. (An explicit call rather than a defer —
+		// a deferred closure over the ring escapes and would cost the
+		// steady state two allocations per exchange.)
+		d.pipeAbort(slots)
+		return err
+	}
+	if metered {
+		d.lastPeakStaging = d.meter.Peak()
+	}
+	return nil
+}
+
+// pipeRun is exchangePipelined's loop body: issue/wait/retire across the
+// slot ring, then drain the in-flight window in round order.
+func (d *Descriptor) pipeRun(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte, ps *partialState, k int, exch uint64, traced, metered bool, slots []pipeSlot) error {
+	p := d.plan
+	ring := k + 1
+	issued := 0
+	for r := 0; r < p.rounds; r++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				if ps == nil || (ps.uctx != nil && ps.uctx.Err() != nil) {
+					return err
+				}
+				// The exchange deadline is spent: give up on every source
+				// of the not-yet-issued rounds; the issued window drains
+				// below, degrading peer by peer as its waits fail.
+				for rr := r; rr < p.rounds; rr++ {
+					for _, peer := range p.recvPeers[rr] {
+						ps.markLost(peer, rr)
+					}
+				}
+				if ps.cause == nil {
+					ps.cause = fmt.Errorf("core: exchange deadline %v exhausted after round %d: %w",
+						d.deadline, r, mpi.ErrExchangeTimeout)
+				}
+				break
+			}
+		}
+		if r >= k {
+			if err := d.pipeWait(ctx, o, c, &slots[(r-k)%ring], need, ps); err != nil {
+				return err
+			}
+		}
+		if err := d.pipeIssue(ctx, o, c, r, own, need, ps, &slots[r%ring], metered, traced, exch); err != nil {
+			return err
+		}
+		issued = r + 1
+		if r >= k {
+			d.pipeRetire(o, &slots[(r-k)%ring])
+		}
+	}
+	lo := issued - k
+	if lo < 0 {
+		lo = 0
+	}
+	for r := lo; r < issued; r++ {
+		s := &slots[r%ring]
+		if err := d.pipeWait(ctx, o, c, s, need, ps); err != nil {
+			return err
+		}
+		d.pipeRetire(o, s)
+	}
+	return nil
+}
+
+// pipeIssue packs and posts round r into slot s: local contribution,
+// staging copies, sends, the receive-class lease, and — on the
+// cancellable path — the round's receive requests.
+func (d *Descriptor) pipeIssue(ctx context.Context, o *exchObs, c *mpi.Comm, r int, own [][]byte, need []byte, ps *partialState, s *pipeSlot, metered, traced bool, exch uint64) error {
+	p := d.plan
+	tag := ddrTagBase + r
+	packStart := time.Now()
+	if traced {
+		c.SetTraceContext(mpi.TraceContext{Exchange: exch, Round: uint32(r)})
+	}
+	var sendBuf []byte
+	if r < len(own) {
+		sendBuf = own[r]
+	}
+	d.selfExchange(r, sendBuf, need)
+
+	sc := &d.scratch
+	sc.wires = sc.wires[:0]
+	sc.staged = sc.staged[:0]
+	for _, peer := range p.sendPeers[r] {
+		st, sp := p.sendE.at(r, peer)
+		n := st.PackedSize()
+		if d.zcSend && sp.ok {
+			sc.wires = append(sc.wires, sendBuf[sp.off:sp.off+n])
+			continue
+		}
+		var wire []byte
+		if metered {
+			wire = mpi.GetBufferMetered(n, &d.meter)
+		} else {
+			wire = d.stage(n)
+		}
+		d.eng.add(exchJob{t: st, local: sendBuf, wire: wire, peer: peer})
+		sc.wires = append(sc.wires, wire)
+		sc.staged = append(sc.staged, wire)
+	}
+	d.eng.run(o)
+	for i, peer := range p.sendPeers[r] {
+		if ps.isLost(peer) {
+			continue
+		}
+		var err error
+		if ctx == nil {
+			err = c.Send(peer, tag, sc.wires[i])
+		} else {
+			err = c.SendCtx(ctx, peer, tag, sc.wires[i])
+		}
+		if err != nil {
+			if ps.degrade(peer, r, err) {
+				continue
+			}
+			return err
+		}
+	}
+	// Sends copy eagerly, so pack staging recycles before the round's
+	// wire time even starts — only receive payloads ride the window.
+	for _, w := range sc.staged {
+		if metered {
+			mpi.PutBufferMetered(w, &d.meter)
+		} else {
+			d.unstage(w)
+		}
+	}
+	sc.staged = sc.staged[:0]
+
+	s.round = r
+	s.bytes = p.RankRoundSendBytes(p.rank, r)
+	s.datas = s.datas[:0]
+	s.jobs = s.jobs[:0]
+	s.reqs = s.reqs[:0]
+	s.early = false
+	if metered {
+		total := 0
+		for _, peer := range p.recvPeers[r] {
+			rt, _ := p.recvE.at(r, peer)
+			total += mpi.BufferClassSize(rt.PackedSize())
+		}
+		s.lease = d.meter.Lease(total)
+	}
+	if ctx != nil {
+		for _, peer := range p.recvPeers[r] {
+			if ps.isLost(peer) {
+				s.reqs = append(s.reqs, nil)
+				continue
+			}
+			s.reqs = append(s.reqs, c.Irecv(peer, tag))
+		}
+	}
+	s.issued = time.Now()
+	s.packT = s.issued.Sub(packStart)
+	return nil
+}
+
+// pipeWait brings slot s's round's payloads in hand, placing contiguous
+// ones immediately and batching strided ones into the slot's unpack
+// jobs. It is the only blocking point of the pipeline; the time spent
+// here is the round's unhidden wire time.
+func (d *Descriptor) pipeWait(ctx context.Context, o *exchObs, c *mpi.Comm, s *pipeSlot, need []byte, ps *partialState) error {
+	p := d.plan
+	r := s.round
+	tag := ddrTagBase + r
+	waitStart := time.Now()
+	if ctx == nil {
+		for _, peer := range p.recvPeers[r] {
+			var peerStart time.Time
+			if o.tracing() {
+				peerStart = time.Now()
+			}
+			data, _, _, err := c.Recv(peer, tag)
+			if err != nil {
+				return err
+			}
+			if o.tracing() {
+				o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", peer),
+					Bytes: int64(len(data)), Exchange: d.lastExchID, Round: int32(r), Peer: int32(peer)},
+					peerStart, time.Now())
+			}
+			if err := d.pipeAccept(o, r, peer, data, need, s); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i, peer := range p.recvPeers[r] {
+			if s.reqs[i] == nil {
+				continue
+			}
+			var peerStart time.Time
+			if o.tracing() {
+				peerStart = time.Now()
+			}
+			data, _, _, err := s.reqs[i].WaitCtx(ctx)
+			if err != nil {
+				if ps.degrade(peer, r, err) {
+					continue
+				}
+				return err
+			}
+			if o.tracing() {
+				o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", peer),
+					Bytes: int64(len(data)), Exchange: d.lastExchID, Round: int32(r), Peer: int32(peer)},
+					peerStart, time.Now())
+			}
+			if err := d.pipeAccept(o, r, peer, data, need, s); err != nil {
+				return err
+			}
+		}
+	}
+	now := time.Now()
+	s.blocked = now.Sub(waitStart)
+	s.wire = now.Sub(s.issued)
+	if d.pipePerturb {
+		// Planted bug (PerturbPipelineForTest): recycle the round's held
+		// payloads one iteration early. The next issue's staging draws
+		// the same arena buffers back out and packs over them before
+		// this round's unpack batch has scattered them.
+		for _, data := range s.datas {
+			d.releaseRecv(data)
+		}
+		s.early = true
+	}
+	return nil
+}
+
+// pipeAccept consumes one received round payload into slot s.
+func (d *Descriptor) pipeAccept(o *exchObs, round, peer int, data, need []byte, s *pipeSlot) error {
+	p := d.plan
+	rt, sp := p.recvE.at(round, peer)
+	if len(data) != rt.PackedSize() {
+		return fmt.Errorf("core: expected %d bytes from rank %d, got %d", rt.PackedSize(), peer, len(data))
+	}
+	if d.zcRecv && sp.ok {
+		directUnpack(o, need[sp.off:sp.off+sp.n], data, peer)
+		d.releaseRecv(data)
+		return nil
+	}
+	s.jobs = append(s.jobs, exchJob{t: rt, local: need, wire: data, unpack: true, peer: peer})
+	s.datas = append(s.datas, data)
+	return nil
+}
+
+// pipeRetire scatters slot s's batched payloads, releases them and the
+// slot's lease, and records the round's timing. Retires happen in round
+// order, so the timings slice reads exactly like the serial one.
+func (d *Descriptor) pipeRetire(o *exchObs, s *pipeSlot) {
+	unpackStart := time.Now()
+	d.eng.runJobs(o, s.jobs)
+	if !s.early {
+		for _, data := range s.datas {
+			d.releaseRecv(data)
+		}
+	}
+	s.jobs = s.jobs[:0]
+	s.datas = s.datas[:0]
+	s.lease.Close()
+	unpackT := time.Since(unpackStart)
+	dur := s.packT + s.blocked + unpackT
+	d.timings = append(d.timings, RoundTiming{
+		Round:     s.round,
+		Duration:  dur,
+		Pack:      s.packT,
+		Wire:      s.wire,
+		Unpack:    unpackT,
+		WireBytes: s.bytes,
+	})
+	if o.on() {
+		o.roundLat.Observe(dur.Seconds())
+		o.exchangeBytes.Add(s.bytes)
+	}
+}
+
+// pipeAbort releases whatever the ring still holds after a hard error:
+// held payloads and open leases. Outstanding receive requests are left
+// to the transport, matching the serial error paths — a hard error ends
+// the communicator's DDR use.
+func (d *Descriptor) pipeAbort(slots []pipeSlot) {
+	for i := range slots {
+		s := &slots[i]
+		if !s.early {
+			for _, data := range s.datas {
+				d.releaseRecv(data)
+			}
+		}
+		s.datas = s.datas[:0]
+		s.jobs = s.jobs[:0]
+		s.reqs = s.reqs[:0]
+		s.lease.Close()
+	}
+}
+
+// exchangeBoundedPipelined runs the bounded step schedule at depth k ≥ 2
+// — the same slices on the same tags in the same per-step order as
+// exchangeBounded, software-pipelined across steps. All staging stays on
+// the meter: pack buffers while held, receive payload classes leased per
+// step from issue to retire.
+func (d *Descriptor) exchangeBoundedPipelined(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte, ps *partialState, k int, exch uint64, traced bool) error {
+	d.meter.ResetPeak()
+	slots := d.ensureSlots(k + 1)
+	if err := d.pipeRunBounded(ctx, o, c, own, need, ps, k, exch, traced, slots); err != nil {
+		d.pipeAbort(slots)
+		return err
+	}
+	d.lastPeakStaging = d.meter.Peak()
+	return nil
+}
+
+// pipeRunBounded is exchangeBoundedPipelined's loop body.
+func (d *Descriptor) pipeRunBounded(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte, ps *partialState, k int, exch uint64, traced bool, slots []pipeSlot) error {
+	p := d.plan
+	b := p.bounded
+	ring := k + 1
+	issued := 0
+	for step := 0; step < b.steps; step++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				if ps == nil || (ps.uctx != nil && ps.uctx.Err() != nil) {
+					return err
+				}
+				for _, idx := range b.recvIdx[b.recvOff[step]:] {
+					sl := &b.slices[idx]
+					ps.markLost(sl.src, sl.step)
+				}
+				if ps.cause == nil {
+					ps.cause = fmt.Errorf("core: exchange deadline %v exhausted after step %d: %w",
+						d.deadline, step, mpi.ErrExchangeTimeout)
+				}
+				break
+			}
+		}
+		if step >= k {
+			if err := d.pipeWaitBounded(ctx, o, c, &slots[(step-k)%ring], need, ps); err != nil {
+				return err
+			}
+		}
+		if err := d.pipeIssueBounded(ctx, o, c, step, own, need, ps, &slots[step%ring], traced, exch); err != nil {
+			return err
+		}
+		issued = step + 1
+		if step >= k {
+			d.pipeRetire(o, &slots[(step-k)%ring])
+		}
+	}
+	lo := issued - k
+	if lo < 0 {
+		lo = 0
+	}
+	for step := lo; step < issued; step++ {
+		s := &slots[step%ring]
+		if err := d.pipeWaitBounded(ctx, o, c, s, need, ps); err != nil {
+			return err
+		}
+		d.pipeRetire(o, s)
+	}
+	return nil
+}
+
+// pipeIssueBounded packs and posts one bounded step into slot s.
+func (d *Descriptor) pipeIssueBounded(ctx context.Context, o *exchObs, c *mpi.Comm, step int, own [][]byte, need []byte, ps *partialState, s *pipeSlot, traced bool, exch uint64) error {
+	p := d.plan
+	b := p.bounded
+	packStart := time.Now()
+	if traced {
+		c.SetTraceContext(mpi.TraceContext{Exchange: exch, Round: uint32(step)})
+	}
+	sc := &d.scratch
+	sc.wires = sc.wires[:0]
+	sc.staged = sc.staged[:0]
+	sends := b.sendIdx[b.sendOff[step]:b.sendOff[step+1]]
+	for _, idx := range sends {
+		sl := &b.slices[idx]
+		if sl.dst == p.rank {
+			d.selfSlice(sl, own[sl.chunk], need)
+			continue
+		}
+		if d.zcSend && sl.sendSpan.ok {
+			sc.wires = append(sc.wires, own[sl.chunk][sl.sendSpan.off:sl.sendSpan.off+sl.bytes])
+			continue
+		}
+		wire := d.stageBounded(sl.bytes)
+		d.eng.add(exchJob{t: sl.sendT, local: own[sl.chunk], wire: wire, peer: sl.dst})
+		sc.wires = append(sc.wires, wire)
+		sc.staged = append(sc.staged, wire)
+	}
+	d.eng.run(o)
+	w := 0
+	var stepWire int64
+	for _, idx := range sends {
+		sl := &b.slices[idx]
+		if sl.dst == p.rank {
+			continue
+		}
+		wire := sc.wires[w]
+		w++
+		stepWire += int64(sl.bytes)
+		if ps.isLost(sl.dst) {
+			continue
+		}
+		var err error
+		if ctx == nil {
+			err = c.Send(sl.dst, sl.tag, wire)
+		} else {
+			err = c.SendCtx(ctx, sl.dst, sl.tag, wire)
+		}
+		if err != nil {
+			if ps.degrade(sl.dst, sl.step, err) {
+				continue
+			}
+			return err
+		}
+	}
+	for _, wire := range sc.staged {
+		d.unstageBounded(wire)
+	}
+	sc.staged = sc.staged[:0]
+
+	s.round = step
+	s.bytes = stepWire
+	s.datas = s.datas[:0]
+	s.jobs = s.jobs[:0]
+	s.reqs = s.reqs[:0]
+	s.early = false
+	recvs := b.recvIdx[b.recvOff[step]:b.recvOff[step+1]]
+	total := 0
+	for _, idx := range recvs {
+		total += mpi.BufferClassSize(b.slices[idx].bytes)
+	}
+	s.lease = d.meter.Lease(total)
+	if ctx != nil {
+		for _, idx := range recvs {
+			sl := &b.slices[idx]
+			if ps.isLost(sl.src) {
+				s.reqs = append(s.reqs, nil)
+				continue
+			}
+			s.reqs = append(s.reqs, c.Irecv(sl.src, sl.tag))
+		}
+	}
+	s.issued = time.Now()
+	s.packT = s.issued.Sub(packStart)
+	return nil
+}
+
+// pipeWaitBounded brings one bounded step's payloads in hand.
+func (d *Descriptor) pipeWaitBounded(ctx context.Context, o *exchObs, c *mpi.Comm, s *pipeSlot, need []byte, ps *partialState) error {
+	p := d.plan
+	b := p.bounded
+	step := s.round
+	recvs := b.recvIdx[b.recvOff[step]:b.recvOff[step+1]]
+	waitStart := time.Now()
+	if ctx == nil {
+		for _, idx := range recvs {
+			sl := &b.slices[idx]
+			var peerStart time.Time
+			if o.tracing() {
+				peerStart = time.Now()
+			}
+			data, _, _, err := c.Recv(sl.src, sl.tag)
+			if err != nil {
+				return err
+			}
+			if o.tracing() {
+				o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", sl.src),
+					Bytes: int64(len(data)), Exchange: d.lastExchID, Round: int32(step), Peer: int32(sl.src)},
+					peerStart, time.Now())
+			}
+			if err := d.pipeAcceptSlice(o, sl, data, need, s); err != nil {
+				return err
+			}
+		}
+	} else {
+		for i, idx := range recvs {
+			if s.reqs[i] == nil {
+				continue
+			}
+			sl := &b.slices[idx]
+			var peerStart time.Time
+			if o.tracing() {
+				peerStart = time.Now()
+			}
+			data, _, _, err := s.reqs[i].WaitCtx(ctx)
+			if err != nil {
+				if ps.degrade(sl.src, sl.step, err) {
+					continue
+				}
+				return err
+			}
+			if o.tracing() {
+				o.rec.StampSpan(trace.Event{Rank: o.rank, Name: fmt.Sprintf("wait<-%d", sl.src),
+					Bytes: int64(len(data)), Exchange: d.lastExchID, Round: int32(step), Peer: int32(sl.src)},
+					peerStart, time.Now())
+			}
+			if err := d.pipeAcceptSlice(o, sl, data, need, s); err != nil {
+				return err
+			}
+		}
+	}
+	now := time.Now()
+	s.blocked = now.Sub(waitStart)
+	s.wire = now.Sub(s.issued)
+	if d.pipePerturb {
+		for _, data := range s.datas {
+			d.releaseRecv(data)
+		}
+		s.early = true
+	}
+	return nil
+}
+
+// pipeAcceptSlice consumes one received bounded-slice payload into slot
+// s. The payload's bytes are covered by the step's lease, so no per-
+// payload charge is taken.
+func (d *Descriptor) pipeAcceptSlice(o *exchObs, sl *boundedSlice, data, need []byte, s *pipeSlot) error {
+	if len(data) != sl.bytes {
+		d.releaseRecv(data)
+		return fmt.Errorf("core: expected %d bytes from rank %d (slice tag %d), got %d",
+			sl.bytes, sl.src, sl.tag, len(data))
+	}
+	if d.zcRecv && sl.recvSpan.ok {
+		directUnpack(o, need[sl.recvSpan.off:sl.recvSpan.off+sl.recvSpan.n], data, sl.src)
+		d.releaseRecv(data)
+		return nil
+	}
+	s.jobs = append(s.jobs, exchJob{t: sl.recvT, local: need, wire: data, unpack: true, peer: sl.src})
+	s.datas = append(s.datas, data)
+	return nil
+}
+

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector is compiled in. Alloc-
+// count assertions skip under it: the detector's own sync-event shadow
+// allocations are not the code under test.
+const raceEnabled = true

@@ -17,11 +17,55 @@ import (
 // RoundTiming records the wall-clock cost of one exchange round of the
 // most recent ReorganizeData call, along with the bytes this rank sent to
 // other ranks in that round. Fused mode reports a single entry covering
-// the whole exchange.
+// the whole exchange; bounded exchanges report one entry per step.
+//
+// Duration is the round's contribution to the exchange's wall time. The
+// sub-durations decompose it against the wire: Pack covers staging the
+// round's sends (through handing them to the transport), Unpack covers
+// the batched scatter of its strided payloads, and Wire spans from the
+// sends being posted until the round's last payload was in hand —
+// including, in that span, the inline placement of contiguous payloads.
+// A serial round blocks for the whole wire span, so Duration ≈ Pack +
+// Wire + Unpack; a pipelined round only pays the part of the wire span
+// it actually blocked on (Duration = Pack + blocked + Unpack), which is
+// what makes overlap efficiency computable from timings alone — see
+// OverlapRatio. Alltoallw rounds delegate the whole phase to the
+// collective and leave the sub-durations zero.
 type RoundTiming struct {
 	Round     int
 	Duration  time.Duration
+	Pack      time.Duration
+	Wire      time.Duration
+	Unpack    time.Duration
 	WireBytes int64
+}
+
+// OverlapRatio reports, over a set of round timings, the fraction of
+// wire time that was hidden behind pack/unpack work instead of being
+// blocked on: 0 when every round waited out its whole wire span (serial
+// execution), approaching 1 when the pipeline kept the wire fully
+// covered by useful work. Rounds that report no wire span (alltoallw
+// delegation, pure-local rounds) are excluded.
+func OverlapRatio(ts []RoundTiming) float64 {
+	var wire, hidden time.Duration
+	for _, t := range ts {
+		if t.Wire <= 0 {
+			continue
+		}
+		blocked := t.Duration - t.Pack - t.Unpack
+		if blocked < 0 {
+			blocked = 0
+		}
+		if blocked > t.Wire {
+			blocked = t.Wire
+		}
+		wire += t.Wire
+		hidden += t.Wire - blocked
+	}
+	if wire == 0 {
+		return 0
+	}
+	return float64(hidden) / float64(wire)
 }
 
 // LastTimings returns a copy of the per-round timings of the most recent
@@ -272,16 +316,24 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 		// The memory-bounded backend replaces the mode dispatch entirely:
 		// the step schedule was compiled for this descriptor's budget and
 		// every rank selected it from the same collectively shared
-		// geometry, so the worlds agree on the path taken.
+		// geometry, so the worlds agree on the path taken. Depth permitting
+		// (the budget clamp divides by the schedule's modeled per-step
+		// footprint), the steps run software-pipelined.
 		start := time.Now()
-		if err := d.exchangeBounded(ctx, o, c, own, need, ps); err != nil {
+		k := d.pipelineDepth(p, b.steps, b.peak)
+		d.lastDepth = k
+		var err error
+		if k >= 2 {
+			err = d.exchangeBoundedPipelined(ctx, o, c, own, need, ps, k, exch, traced)
+		} else {
+			err = d.exchangeBounded(ctx, o, c, own, need, ps)
+		}
+		if err != nil {
 			return fmt.Errorf("core: bounded exchange: %w", err)
 		}
 		elapsed := time.Since(start)
-		d.timings = append(d.timings, RoundTiming{Round: 0, Duration: elapsed, WireBytes: b.wireBytes})
 		if o.on() {
 			o.exchangeLat.Observe(elapsed.Seconds())
-			o.roundLat.Observe(elapsed.Seconds())
 			o.exchangeBytes.Add(b.wireBytes)
 			o.boundedSteps.Add(int64(b.steps))
 			o.boundedPeak.SetMax(d.lastPeakStaging)
@@ -289,8 +341,10 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 		return d.finishExchange(rankL, exch, ps)
 	}
 	if d.mode == ModePointToPointFused {
+		d.lastDepth = 1
 		start := time.Now()
-		if err := d.exchangeFused(ctx, o, c, own, need, ps); err != nil {
+		var rt RoundTiming
+		if err := d.exchangeFused(ctx, o, c, own, need, ps, &rt); err != nil {
 			return fmt.Errorf("core: fused exchange: %w", err)
 		}
 		elapsed := time.Since(start)
@@ -298,7 +352,8 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 		for r := 0; r < p.rounds; r++ {
 			wire += p.RankRoundSendBytes(p.rank, r)
 		}
-		d.timings = append(d.timings, RoundTiming{Round: 0, Duration: elapsed, WireBytes: wire})
+		rt.Duration, rt.WireBytes = elapsed, wire
+		d.timings = append(d.timings, rt)
 		if o.on() {
 			o.exchangeLat.Observe(elapsed.Seconds())
 			o.roundLat.Observe(elapsed.Seconds())
@@ -306,6 +361,20 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 		}
 		return d.finishExchange(rankL, exch, ps)
 	}
+	if d.mode == ModePointToPoint {
+		if k := d.pipelineDepth(p, p.rounds, 0); k >= 2 {
+			d.lastDepth = k
+			start := time.Now()
+			if err := d.exchangePipelined(ctx, o, c, own, need, ps, k, exch, traced); err != nil {
+				return fmt.Errorf("core: pipelined exchange: %w", err)
+			}
+			if o.on() {
+				o.exchangeLat.Observe(time.Since(start).Seconds())
+			}
+			return d.finishExchange(rankL, exch, ps)
+		}
+	}
+	d.lastDepth = 1
 	var exchangeStart time.Time
 	if o.on() {
 		exchangeStart = time.Now()
@@ -341,9 +410,10 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 		}
 		start := time.Now()
 		var err error
+		rt := RoundTiming{Round: r, WireBytes: roundBytes}
 		switch d.mode {
 		case ModePointToPoint:
-			err = d.exchangeP2P(ctx, o, c, r, sendBuf, need, ps)
+			err = d.exchangeP2P(ctx, o, c, r, sendBuf, need, ps, &rt)
 		default:
 			rowSend, rowRecv := d.alltoallwRows(p, r)
 			err = c.AlltoallwOpt(sendBuf, rowSend, need, rowRecv, mpi.AlltoallwOptions{
@@ -366,11 +436,8 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 			o.roundLat.Observe(elapsed.Seconds())
 			o.exchangeBytes.Add(roundBytes)
 		}
-		d.timings = append(d.timings, RoundTiming{
-			Round:     r,
-			Duration:  elapsed,
-			WireBytes: roundBytes,
-		})
+		rt.Duration = elapsed
+		d.timings = append(d.timings, rt)
 	}
 	if o.on() {
 		o.exchangeLat.Observe(time.Since(exchangeStart).Seconds())
@@ -384,6 +451,11 @@ func (d *Descriptor) ReorganizeDataCtx(ctx context.Context, c *mpi.Comm, own [][
 // the lost peers while the ring still holds the frames leading up to the
 // loss.
 func (d *Descriptor) finishExchange(rankL int, exch uint64, ps *partialState) error {
+	d.lastOverlap = OverlapRatio(d.timings)
+	if o := d.obsv; o.on() {
+		o.pipeDepth.Set(int64(d.lastDepth))
+		o.pipeOverlap.Set(d.lastOverlap)
+	}
 	err := d.partialError(ps)
 	if d.flight != nil {
 		d.flight.Record(obs.FlightEvent{Kind: obs.FlightExchangeEnd, Rank: int32(rankL), Peer: -1, Exchange: exch})
@@ -446,10 +518,11 @@ func (d *Descriptor) acceptRound(o *exchObs, round, peer int, data, need []byte)
 // exchangeP2P performs one round using direct sends and receives between
 // only the ranks that share data — the sparse-communication optimization
 // the paper lists as future work. Semantically identical to the alltoallw
-// round.
-func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, round int, sendBuf, need []byte, ps *partialState) error {
+// round. rt receives the round's pack/wire/unpack sub-durations.
+func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, round int, sendBuf, need []byte, ps *partialState, rt *RoundTiming) error {
 	p := d.plan
 	tag := ddrTagBase + round
+	packStart := time.Now()
 
 	// Local contribution first (no message needed).
 	d.selfExchange(round, sendBuf, need)
@@ -497,6 +570,8 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 		d.unstage(w)
 	}
 	s.staged = s.staged[:0]
+	issued := time.Now()
+	rt.Pack = issued.Sub(packStart)
 
 	// Receive phase. Delivery is eager and buffered — every peer's send
 	// has already been accepted by the transport — so receiving in plan
@@ -558,11 +633,14 @@ func (d *Descriptor) exchangeP2P(ctx context.Context, o *exchObs, c *mpi.Comm, r
 			}
 		}
 	}
+	wireDone := time.Now()
+	rt.Wire = wireDone.Sub(issued)
 	d.eng.run(o)
 	for _, data := range s.datas {
 		d.releaseRecv(data)
 	}
 	s.datas = s.datas[:0]
+	rt.Unpack = time.Since(wireDone)
 	return nil
 }
 
@@ -597,9 +675,11 @@ func (d *Descriptor) acceptFused(o *exchObs, i, peer int, data, need []byte) err
 // the sending side and unpacked in the same order on the receiving side.
 // When a single round contributes a contiguous region to a peer, the
 // message is the owned buffer's sub-slice and no staging happens at all.
-func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte, ps *partialState) error {
+// rt receives the exchange's pack/wire/unpack sub-durations.
+func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm, own [][]byte, need []byte, ps *partialState, rt *RoundTiming) error {
 	p := d.plan
 	const tag = ddrTagBase
+	packStart := time.Now()
 
 	// Local contribution.
 	for r := 0; r < len(p.myChunks); r++ {
@@ -656,6 +736,8 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 		d.unstage(w)
 	}
 	s.staged = s.staged[:0]
+	issued := time.Now()
+	rt.Pack = issued.Sub(packStart)
 
 	s.datas = s.datas[:0]
 	if ctx == nil {
@@ -711,11 +793,14 @@ func (d *Descriptor) exchangeFused(ctx context.Context, o *exchObs, c *mpi.Comm,
 			}
 		}
 	}
+	wireDone := time.Now()
+	rt.Wire = wireDone.Sub(issued)
 	d.eng.run(o)
 	for _, data := range s.datas {
 		d.releaseRecv(data)
 	}
 	s.datas = s.datas[:0]
+	rt.Unpack = time.Since(wireDone)
 	return nil
 }
 

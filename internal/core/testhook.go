@@ -66,6 +66,22 @@ func (p *Plan) PerturbBoundedForTest() bool {
 	return false
 }
 
+// PerturbPipelineForTest arms a pipelined-schedule bug in this
+// descriptor: every pipelined round (or bounded step) recycles its held
+// receive payloads to the staging arena one iteration early — right
+// after the wait brings them in hand, instead of after the retire has
+// scattered them. Because the next round's issue stages its pack
+// buffers between those two points, the arena hands the just-freed
+// payloads back out and the pack overwrites them before the unpack batch
+// reads them — the classic double-buffer lifetime bug a depth-k ring
+// must not have. Exchanges at depth 1 (or whose payloads all take the
+// contiguous fast path) are unaffected. It exists so both the
+// differential sweep and the property harness can prove they detect
+// pipelined buffer-lifetime bugs. Never call outside tests.
+func (d *Descriptor) PerturbPipelineForTest() {
+	d.pipePerturb = true
+}
+
 // PerturbPlanForTest shifts one compiled contiguous receive span by one
 // element, simulating an off-by-one in the overlap math. It exists so the
 // property-based harness can prove it detects plan-compilation bugs: a

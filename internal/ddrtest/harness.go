@@ -233,9 +233,17 @@ type RunOptions struct {
 	Injector mpi.FaultInjector // nil runs fault-free
 	Deadline time.Duration     // per-exchange bound; required for sever schedules
 	Mutate   func(*core.Plan)  // test hook: corrupt the compiled plan on rank 0
+	// MutateDescriptor is the descriptor-level sibling of Mutate, also
+	// applied on rank 0 after mapping setup. It exists for planted bugs
+	// that live in exchange execution state rather than the compiled plan
+	// (e.g. core.(*Descriptor).PerturbPipelineForTest).
+	MutateDescriptor func(*core.Descriptor)
 	// Budget, when positive, arms core.WithMemoryBudget so cases whose
 	// single-shot footprint exceeds it run on the bounded backend.
 	Budget int
+	// PipelineDepth, when positive, arms core.WithPipelineDepth; 0 keeps
+	// the descriptor's default depth.
+	PipelineDepth int
 }
 
 // launchOptions maps the option's transport name onto launcher options.
@@ -279,6 +287,9 @@ func (tc *Case) Run(opt RunOptions) ([]RankResult, error) {
 		if opt.Budget > 0 {
 			dopts = append(dopts, core.WithMemoryBudget(opt.Budget))
 		}
+		if opt.PipelineDepth > 0 {
+			dopts = append(dopts, core.WithPipelineDepth(opt.PipelineDepth))
+		}
 		d, err := core.NewDescriptor(tc.NProcs, tc.Layout, core.Uint8, dopts...)
 		if err != nil {
 			return err
@@ -288,6 +299,9 @@ func (tc *Case) Run(opt RunOptions) ([]RankResult, error) {
 		}
 		if opt.Mutate != nil && rank == 0 {
 			opt.Mutate(d.Plan())
+		}
+		if opt.MutateDescriptor != nil && rank == 0 {
+			opt.MutateDescriptor(d)
 		}
 		own := make([][]byte, len(tc.Chunks[rank]))
 		for i, b := range tc.Chunks[rank] {

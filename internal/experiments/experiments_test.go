@@ -331,6 +331,29 @@ func TestRunInTransitMemBudget(t *testing.T) {
 	}
 }
 
+// TestRunInTransitPipelineDepth runs the pipeline with an explicit
+// exchange pipeline depth — rounds in flight through the consumer
+// descriptor's staging ring — and, composed with a tight budget, with
+// the depth clamped so the ring still fits. Output accounting must be
+// unchanged in both.
+func TestRunInTransitPipelineDepth(t *testing.T) {
+	for _, cfg := range []InTransitConfig{
+		{M: 4, N: 2, GridW: 48, GridH: 36, Iterations: 30, OutputEvery: 10, PipelineDepth: 3},
+		{M: 4, N: 2, GridW: 48, GridH: 36, Iterations: 30, OutputEvery: 10, PipelineDepth: 4, MemBudget: 1 << 10},
+	} {
+		res, err := RunInTransit(cfg)
+		if err != nil {
+			t.Fatalf("depth %d budget %d: %v", cfg.PipelineDepth, cfg.MemBudget, err)
+		}
+		if res.Frames != 3 {
+			t.Errorf("depth %d budget %d: frames = %d, want 3", cfg.PipelineDepth, cfg.MemBudget, res.Frames)
+		}
+		if res.ProcessedBytes <= 0 || res.ProcessedBytes >= res.RawBytes {
+			t.Errorf("depth %d budget %d: processed bytes %d vs raw %d", cfg.PipelineDepth, cfg.MemBudget, res.ProcessedBytes, res.RawBytes)
+		}
+	}
+}
+
 func TestRunInTransitValidation(t *testing.T) {
 	if _, err := RunInTransit(InTransitConfig{M: 2, N: 1, GridW: 32, GridH: 16, Iterations: 5, OutputEvery: 0}); err == nil {
 		t.Error("zero OutputEvery accepted")

@@ -53,13 +53,21 @@ func TestFlagRegistrarsCompose(t *testing.T) {
 			fs.String("out", "ddrbench-out", "")
 			fs.Bool("tcp", false, "")
 		})
+		depth := RegisterPipelineFlags(fs)
+		if again := RegisterPipelineFlags(fs); again == nil {
+			t.Fatal("re-registering the pipeline flags returned no getter")
+		}
 		args := []string{
 			"-transport=hier", "-nodes=3",
 			"-tcp-queue=64", "-tcp-nagle",
 			"-chaos-seed=7", "-chaos-drop=0.25", "-chaos-sever=0>1@5",
+			"-pipeline-depth=4",
 		}
 		if err := fs.Parse(args); err != nil {
 			t.Fatalf("parse: %v", err)
+		}
+		if depth() != 4 {
+			t.Fatalf("pipeline depth = %d, want 4", depth())
 		}
 		transport, nodes := resolve()
 		if transport != "hier" || nodes != 3 {

@@ -63,6 +63,14 @@ type InTransitConfig struct {
 	// one-shot footprint would exceed it are regridded through the
 	// bounded step compiler instead.
 	MemBudget int
+
+	// PipelineDepth, when positive, sets how many exchange rounds the
+	// consumer descriptor keeps in flight (core.WithPipelineDepth):
+	// 1 forces serial rounds, k ≥ 2 overlaps pack and unpack with wire
+	// time through k staging-buffer sets. 0 keeps the library default.
+	// Under MemBudget the effective depth is clamped so the deeper
+	// staging ring still fits the budget.
+	PipelineDepth int
 }
 
 func (cfg *InTransitConfig) fillDefaults() {
@@ -280,6 +288,9 @@ func runConsumer(env consumerEnv, cfg InTransitConfig) (*InTransitResult, error)
 	dopts := tel.coreOpts()
 	if cfg.MemBudget > 0 {
 		dopts = append(dopts, core.WithMemoryBudget(cfg.MemBudget))
+	}
+	if cfg.PipelineDepth > 0 {
+		dopts = append(dopts, core.WithPipelineDepth(cfg.PipelineDepth))
 	}
 	desc, err := core.NewDescriptor(local.Size(), core.Layout2D, core.Float32, dopts...)
 	if err != nil {

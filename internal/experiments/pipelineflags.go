@@ -1,0 +1,15 @@
+package experiments
+
+import "flag"
+
+// RegisterPipelineFlags installs the exchange-pipelining flag shared by
+// the experiment binaries (-pipeline-depth) on fs and returns a getter
+// that, called after fs.Parse, yields the requested depth: 0 keeps the
+// library default (core.DefaultPipelineDepth), 1 forces strictly serial
+// rounds, k ≥ 2 runs up to k exchange rounds in flight so pack and
+// unpack hide behind wire time. Like the other registrars, registration
+// is idempotent: a name fs already carries is reused, never redefined.
+func RegisterPipelineFlags(fs *flag.FlagSet) (depth func() int) {
+	return flagGetInt(fs, "pipeline-depth", 0,
+		"exchange rounds in flight per redistribution: 0 = library default, 1 = serial, k>=2 = pipelined (clamped by -mem-budget)")
+}

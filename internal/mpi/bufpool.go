@@ -160,6 +160,48 @@ func (m *StagingMeter) ResetPeak() {
 	}
 }
 
+// StagingLease is a reservation of arena bytes held open across a
+// multi-buffer lifetime — the accounting primitive of pipelined
+// exchanges, where the receive payloads of round r are leased when the
+// round is issued and stay charged until the round retires k iterations
+// later, with several leases open at once. Reserving up front (rather
+// than charging each payload as it is delivered) makes the meter's
+// high-water mark an upper bound on what the in-flight window can hold,
+// so a measured peak under budget proves the depth clamp sound. The
+// zero value is an empty lease; a lease against a nil meter is a no-op.
+type StagingLease struct {
+	m *StagingMeter
+	n int64
+}
+
+// Lease opens a reservation of n bytes against the meter (callers pass
+// class-rounded sizes so the reservation matches arena reality).
+func (m *StagingMeter) Lease(n int) StagingLease {
+	m.Acquire(n)
+	return StagingLease{m: m, n: int64(n)}
+}
+
+// Grow extends the lease by n bytes.
+func (l *StagingLease) Grow(n int) {
+	if l.m == nil {
+		return
+	}
+	l.m.Acquire(n)
+	l.n += int64(n)
+}
+
+// Bytes reports the bytes currently reserved by the lease.
+func (l *StagingLease) Bytes() int64 { return l.n }
+
+// Close releases the whole reservation. Closing an empty or
+// already-closed lease is a no-op, so retiring a round is idempotent.
+func (l *StagingLease) Close() {
+	if l.m != nil && l.n > 0 {
+		l.m.Release(int(l.n))
+	}
+	l.n = 0
+}
+
 // GetBufferMetered is GetBuffer with the buffer's full capacity (the
 // class size, not the requested length) charged against m.
 func GetBufferMetered(n int, m *StagingMeter) []byte {

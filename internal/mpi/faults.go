@@ -377,19 +377,27 @@ func (t *faultTransport) process(l *faultLink, e envelope) bool {
 }
 
 func (t *faultTransport) deliver(l *faultLink, e envelope, dup bool) error {
+	// The duplicate must own its payload, and must copy it BEFORE the
+	// first send: transports recycle a message's buffer once delivered
+	// (the shm ring synchronously after the ring copy, the TCP writer
+	// after the wire write, the mailbox's dedupe window on discard), so
+	// after raw.send returns e.data may already be back in the arena —
+	// and handed to a concurrent receiver.
+	var d envelope
+	if dup {
+		d = e
+		d.data = GetBuffer(len(e.data))
+		copy(d.data, e.data)
+	}
 	if err := t.raw.send(l.dst, e); err != nil {
 		t.severLink(l, err)
+		if dup {
+			PutBuffer(d.data)
+		}
 		return err
 	}
 	if dup {
 		faultStats.dups.Add(1)
-		// The duplicate must own its payload: transports recycle a
-		// message's buffer once delivered (the TCP writer after the wire
-		// write, the mailbox's dedupe window on discard), so aliasing the
-		// original would recycle one buffer twice.
-		d := e
-		d.data = GetBuffer(len(e.data))
-		copy(d.data, e.data)
 		if err := t.raw.send(l.dst, d); err != nil {
 			t.severLink(l, err)
 			return err

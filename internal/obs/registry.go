@@ -105,6 +105,30 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// FloatGauge is a float64 metric that can go up and down, for ratios
+// and rates that an int64 Gauge cannot carry (overlap efficiency,
+// utilization fractions). The value is stored as float64 bits in an
+// atomic word, so Set and Value never take a lock.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value. No-op on a nil gauge.
+func (g *FloatGauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current gauge value (0 for a nil gauge).
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram is a fixed-bucket histogram. Buckets are upper bounds in
 // ascending order; an implicit +Inf bucket catches the overflow. The sum
 // is kept as float64 bits updated by CAS so Observe never takes a lock.
@@ -190,9 +214,10 @@ type instrument interface {
 	typeName() string
 }
 
-func (c *Counter) typeName() string   { return "counter" }
-func (g *Gauge) typeName() string     { return "gauge" }
-func (h *Histogram) typeName() string { return "histogram" }
+func (c *Counter) typeName() string    { return "counter" }
+func (g *Gauge) typeName() string      { return "gauge" }
+func (g *FloatGauge) typeName() string { return "gauge" }
+func (h *Histogram) typeName() string  { return "histogram" }
 
 // family groups all label variants of one metric name.
 type family struct {
@@ -297,6 +322,20 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 	return g
 }
 
+// FloatGauge registers (or re-derives) a float-valued gauge. A nil
+// registry returns a nil, no-op gauge.
+func (r *Registry) FloatGauge(name, help string, labels ...Label) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	inst := r.lookup(name, help, "gauge", labels, func() instrument { return &FloatGauge{} })
+	g, ok := inst.(*FloatGauge)
+	if !ok {
+		return nil
+	}
+	return g
+}
+
 // Histogram registers (or re-derives) a histogram with the given upper
 // bounds (ascending; +Inf is implicit). A nil registry returns a nil,
 // no-op histogram. Re-deriving ignores the buckets argument and returns
@@ -326,6 +365,10 @@ func (c *Counter) write(w io.Writer, name, labels string) {
 
 func (g *Gauge) write(w io.Writer, name, labels string) {
 	fmt.Fprintf(w, "%s%s %d\n", name, braced(labels), g.Value())
+}
+
+func (g *FloatGauge) write(w io.Writer, name, labels string) {
+	fmt.Fprintf(w, "%s%s %s\n", name, braced(labels), formatFloat(g.Value()))
 }
 
 func (h *Histogram) write(w io.Writer, name, labels string) {
